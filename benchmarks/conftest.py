@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (Table I,
+Table II, Fig. 8, Fig. 9) or one of the ablations documented in DESIGN.md.
+The printed output of each benchmark is the reproduced table/figure data; the
+timing measured by pytest-benchmark is the cost of regenerating it.
+
+Density measurements (which require training reduced models) are shared
+across benchmarks through session-scoped fixtures so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.common import ExperimentScale
+from repro.eval.fig8 import measure_model_densities
+
+
+# Benchmark-friendly scale: small enough to finish in seconds per benchmark,
+# large enough that the measured trends are stable.
+BENCH_SCALE = ExperimentScale(
+    num_samples=320,
+    num_classes=4,
+    image_size=16,
+    epochs=2,
+    batch_size=32,
+    width_scale=0.15,
+    resnet_blocks=(1, 1),
+    resnet_width=8,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def measured_densities():
+    """Measured per-layer densities for both model families (p = 90%)."""
+    return {
+        "AlexNet": measure_model_densities("AlexNet", 0.9, BENCH_SCALE),
+        "ResNet": measure_model_densities("ResNet-18", 0.9, BENCH_SCALE),
+    }

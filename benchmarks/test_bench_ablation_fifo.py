@@ -1,0 +1,73 @@
+"""Benchmark E-A1 — FIFO threshold prediction ablation (paper Section III-B).
+
+The paper's hardware prunes gradients with a threshold *predicted* from the
+previous NF batches so that gradients can be pruned in a single streaming
+pass.  This ablation sweeps the FIFO depth and reports the prediction error
+against the exact per-batch threshold and the realised density, confirming
+the prediction scheme loses essentially nothing versus the two-pass oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import run_fifo_ablation
+
+
+@pytest.mark.benchmark(group="ablation-fifo")
+def test_fifo_depth_sweep(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_fifo_ablation,
+        kwargs={
+            "fifo_depths": (1, 2, 5, 10, 20),
+            "target_sparsity": 0.9,
+            "num_batches": 96,
+            "batch_elements": 8192,
+            "sigma_drift": 0.02,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        header = f"{'NF':>4}{'mean err':>12}{'max err':>12}{'density':>10}{'target':>10}"
+        print(header)
+        print("-" * len(header))
+        for point in points:
+            print(
+                f"{point.fifo_depth:>4}{point.mean_prediction_error:>12.4f}"
+                f"{point.max_prediction_error:>12.4f}{point.mean_density_after:>10.3f}"
+                f"{point.target_density:>10.3f}"
+            )
+
+    for point in points:
+        # Prediction tracks the exact threshold within a few percent ...
+        assert point.mean_prediction_error < 0.1
+        # ... so the realised density matches the analytic expectation.
+        assert abs(point.mean_density_after - point.target_density) < 0.08
+
+
+@pytest.mark.benchmark(group="ablation-fifo")
+def test_fifo_prediction_under_fast_drift(benchmark, capsys):
+    """With a rapidly drifting gradient scale a deep FIFO lags more: the error
+    grows with depth, which is why the paper keeps NF small (NF << N)."""
+    points = benchmark.pedantic(
+        run_fifo_ablation,
+        kwargs={
+            "fifo_depths": (1, 20),
+            "target_sparsity": 0.9,
+            "num_batches": 96,
+            "batch_elements": 4096,
+            "sigma_drift": 0.10,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    shallow, deep = points
+    with capsys.disabled():
+        print()
+        print(
+            f"fast drift: NF=1 error {shallow.mean_prediction_error:.3f}, "
+            f"NF=20 error {deep.mean_prediction_error:.3f}"
+        )
+    assert deep.mean_prediction_error >= shallow.mean_prediction_error

@@ -1,0 +1,79 @@
+"""Benchmark E-A2 — architecture sweeps (pruning rate, PE count, energy constants).
+
+These quantify the design-space claims DESIGN.md calls out:
+
+* speedup and energy efficiency grow with the target pruning rate,
+* the SparseTrain-vs-baseline speedup is roughly independent of the PE count
+  (both architectures scale together until DRAM bandwidth dominates),
+* the efficiency conclusion survives large changes of the energy constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import (
+    run_energy_sensitivity,
+    run_pe_sweep,
+    run_pruning_rate_sweep,
+)
+
+
+@pytest.mark.benchmark(group="ablation-sweeps")
+def test_pruning_rate_sweep(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_pruning_rate_sweep,
+        kwargs={"pruning_rates": (0.0, 0.5, 0.7, 0.8, 0.9, 0.99)},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(f"{'p':>6}{'speedup':>10}{'efficiency':>12}")
+        for point in points:
+            print(f"{point.parameter:>6.2f}{point.speedup:>9.2f}x{point.energy_efficiency:>11.2f}x")
+
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    assert speedups[0] > 1.0          # natural sparsity alone already helps
+    assert speedups[-1] > speedups[0] * 1.2
+
+
+@pytest.mark.benchmark(group="ablation-sweeps")
+def test_pe_count_sweep(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_pe_sweep,
+        kwargs={"pe_counts": (42, 84, 168, 336)},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(f"{'PEs':>6}{'speedup':>10}{'efficiency':>12}")
+        for point in points:
+            print(f"{int(point.parameter):>6}{point.speedup:>9.2f}x{point.energy_efficiency:>11.2f}x")
+
+    speedups = [p.speedup for p in points]
+    assert all(s > 1.5 for s in speedups)
+    # Speedup stays within a factor ~2 band across an 8x range of PE counts.
+    assert max(speedups) / min(speedups) < 2.0
+
+
+@pytest.mark.benchmark(group="ablation-sweeps")
+def test_energy_constant_sensitivity(benchmark, capsys):
+    def sweep():
+        return {
+            "sram_pj": run_energy_sensitivity(scale_factors=(0.5, 1.0, 2.0, 4.0), component="sram_pj"),
+            "dram_pj": run_energy_sensitivity(scale_factors=(0.5, 1.0, 2.0, 4.0), component="dram_pj"),
+            "mac_pj": run_energy_sensitivity(scale_factors=(0.5, 1.0, 2.0, 4.0), component="mac_pj"),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        for component, points in results.items():
+            values = ", ".join(f"x{p.parameter:g}: {p.energy_efficiency:.2f}" for p in points)
+            print(f"  {component:<8} -> efficiency {values}")
+
+    for points in results.values():
+        assert all(p.energy_efficiency > 1.2 for p in points)

@@ -1,0 +1,50 @@
+"""Benchmark E-T1 — regenerate Table I (sparsity of the training data types).
+
+Prints the measured density and dense/sparse classification of the six data
+types (W, dW, I, dI, O, dO) for a reduced ResNet-18 trained with gradient
+pruning, and checks the classification matches the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.table1 import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_data_type_sparsity(benchmark, bench_scale, capsys):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"model_name": "ResNet-18", "pruning_rate": 0.9, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+        print(f"matches paper classification: {result.matches_paper()}")
+
+    assert result.matches_paper()
+    assert result.row("I").mean_density < 0.75
+    assert result.row("dO").mean_density < 0.75
+    assert result.row("W").mean_density > 0.99
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_alexnet_natural_sparsity(benchmark, bench_scale, capsys):
+    """AlexNet without pruning: natural sparsity alone already makes I and dO sparse."""
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"model_name": "AlexNet", "pruning_rate": 0.0, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+    assert result.row("I").classification == "sparse"
+    assert result.row("dO").classification == "sparse"
+    assert result.row("W").classification == "dense"
+    assert result.row("O").classification == "dense"

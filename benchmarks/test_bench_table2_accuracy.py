@@ -1,0 +1,73 @@
+"""Benchmark E-T2 — regenerate Table II (accuracy & gradient density vs pruning rate).
+
+Trains reduced AlexNet and ResNet-18 models on the synthetic CIFAR-10 stand-in
+at the paper's pruning rates and prints the accuracy / rho_nnz grid in the
+paper's layout.  The assertions encode the table's qualitative claims:
+accuracy survives pruning up to p = 90% and the gradient density drops
+severalfold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.table2 import run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_accuracy_and_density(benchmark, bench_scale, capsys):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={
+            "models": ("AlexNet", "ResNet-18"),
+            "datasets": ("CIFAR-10",),
+            "pruning_rates": (None, 0.7, 0.8, 0.9, 0.99),
+            "scale": bench_scale,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.format())
+        print(f"max accuracy drop at p<=90%: {result.max_accuracy_drop(0.9) * 100:.2f} points")
+
+    # Claim 1: accuracy essentially preserved for p <= 90%.
+    assert result.max_accuracy_drop(max_rate=0.9) < 0.20
+
+    # Claim 2: pruning reduces the gradient density substantially for the
+    # BN-based model (whose unpruned dO is dense).
+    resnet_base = result.baseline("ResNet-18", "CIFAR-10")
+    resnet_p90 = result.cell("ResNet-18", "CIFAR-10", 0.9)
+    assert resnet_base.grad_density > 0.9
+    assert resnet_p90.grad_density < 0.6
+    assert resnet_base.grad_density / resnet_p90.grad_density > 1.8
+
+    # Claim 3: higher pruning rates give (weakly) lower density.
+    densities = [
+        result.cell("ResNet-18", "CIFAR-10", rate).grad_density for rate in (0.7, 0.8, 0.9, 0.99)
+    ]
+    assert densities[-1] <= densities[0] + 0.05
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_deeper_network_gets_sparser_gradients(benchmark, bench_scale, capsys):
+    """Paper claim: deeper networks obtain relatively lower gradient density."""
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={
+            "models": ("ResNet-18", "ResNet-34"),
+            "datasets": ("CIFAR-10",),
+            "pruning_rates": (0.9,),
+            "scale": bench_scale,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    shallow = result.cell("ResNet-18", "CIFAR-10", 0.9).grad_density
+    deep = result.cell("ResNet-34", "CIFAR-10", 0.9).grad_density
+    with capsys.disabled():
+        print()
+        print(f"rho_nnz at p=90%: ResNet-18-mini {shallow:.3f}  ResNet-34-mini {deep:.3f}")
+    assert deep <= shallow + 0.08

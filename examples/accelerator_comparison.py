@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fig. 8 / Fig. 9 style study: SparseTrain vs the dense Eyeriss-like baseline.
+
+Pipeline:
+
+1. train reduced AlexNet / ResNet models on synthetic data with pruning
+   enabled and *measure* the per-layer operand densities;
+2. map the measured densities onto the paper's full-size AlexNet /
+   ResNet-18 / ResNet-34 layer geometries (CIFAR and ImageNet);
+3. compile sparse and dense training programs and simulate them on the
+   SparseTrain architecture and the dense baseline (168 PEs, 386 KB buffer);
+4. print per-sample latency, speedup, energy breakdown and efficiency —
+   the data behind the paper's Fig. 8 and Fig. 9.
+
+Run with:  python examples/accelerator_comparison.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import ExperimentScale, run_fig8, run_fig9
+from repro.eval.fig8 import PAPER_FIG8_WORKLOADS, QUICK_FIG8_WORKLOADS
+from repro.sim import format_breakdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all-workloads", action="store_true",
+                        help="simulate the full 9-workload grid of the paper")
+    parser.add_argument("--pruning-rate", type=float, default=0.9,
+                        help="target pruning rate p used when measuring densities")
+    args = parser.parse_args()
+
+    workloads = PAPER_FIG8_WORKLOADS if args.all_workloads else QUICK_FIG8_WORKLOADS
+    scale = ExperimentScale.quick()
+
+    print("=== Fig. 8: training latency per sample and speedup ===")
+    fig8 = run_fig8(workloads=workloads, pruning_rate=args.pruning_rate, scale=scale)
+    print(fig8.format())
+    print(f"\npaper: up to ~4.5x (AlexNet/CIFAR-10), average ~2.7x")
+    print(f"here : up to {fig8.max_speedup:.2f}x, average {fig8.mean_speedup:.2f}x")
+
+    print("\n=== Fig. 9: energy per sample and efficiency ===")
+    fig9 = run_fig9(fig8_result=fig8)
+    for workload in fig9.workloads:
+        print(format_breakdown(workload))
+    print(f"\npaper: 1.5-2.8x energy efficiency (average ~2.2x), "
+          f"baseline SRAM share 62-71%")
+    print(f"here : average {fig9.mean_efficiency:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Table II style study: accuracy and gradient density versus pruning rate.
+
+Trains the same reduced AlexNet-style model once per pruning rate
+(baseline, 70%, 80%, 90%, 99%) with identical seeds and hyper-parameters and
+prints the accuracy / rho_nnz grid — the reproduction of the paper's Table II
+at laptop scale.
+
+Run with:  python examples/pruning_rate_study.py          (quick, ~1 minute)
+           python examples/pruning_rate_study.py --full   (larger models/data)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import ExperimentScale, run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the larger 'thorough' experiment scale")
+    parser.add_argument("--models", nargs="+", default=["AlexNet", "ResNet-18"],
+                        help="model families to evaluate")
+    parser.add_argument("--datasets", nargs="+", default=["CIFAR-10"],
+                        help="dataset stand-ins to evaluate (CIFAR-10, CIFAR-100)")
+    args = parser.parse_args()
+
+    scale = ExperimentScale.thorough() if args.full else ExperimentScale.quick()
+    print(f"running Table II grid at scale: {scale}\n")
+
+    result = run_table2(
+        models=tuple(args.models),
+        datasets=tuple(args.datasets),
+        scale=scale,
+    )
+    print(result.format())
+    print()
+    print(f"largest accuracy drop for p <= 90%: "
+          f"{result.max_accuracy_drop(0.9) * 100:.2f} percentage points")
+    print("paper claim: accuracy is essentially unchanged up to p = 90%, and the")
+    print("gradient density drops by 3-10x for BN-based networks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""SparseTrain (DAC 2020) reproduction.
+
+A from-scratch Python implementation of *SparseTrain: Exploiting Dataflow
+Sparsity for Efficient Convolutional Neural Networks Training* (Dai et al.,
+DAC 2020), covering the three levels of the paper's contribution and every
+substrate they depend on:
+
+* :mod:`repro.pruning` — layer-wise stochastic activation-gradient pruning
+  with analytic threshold determination and FIFO-based threshold prediction.
+* :mod:`repro.dataflow` — the 1-D convolution training dataflow (SRC / MSRC /
+  OSRC row operations), compressed operand formats, a compiler from model
+  specifications to accelerator instruction streams, and closed-form operation
+  counts.
+* :mod:`repro.arch` — the sparse-aware accelerator (PE, PPU, PE groups,
+  global buffer, DRAM, controller) with cycle and energy models, plus
+  :mod:`repro.baselines` for the dense Eyeriss-like comparison point.
+* :mod:`repro.nn`, :mod:`repro.data`, :mod:`repro.models` — the numpy CNN
+  training framework, synthetic datasets and the AlexNet/ResNet model zoo the
+  algorithm experiments run on.
+* :mod:`repro.sim` and :mod:`repro.eval` — end-to-end workload simulation and
+  the harnesses regenerating the paper's Table I, Table II, Fig. 8 and Fig. 9.
+"""
+
+__version__ = "1.0.0"
+
+from repro import arch, baselines, data, dataflow, models, nn, pruning, sim, sparsity, utils
+
+__all__ = [
+    "__version__",
+    "nn",
+    "data",
+    "models",
+    "pruning",
+    "sparsity",
+    "dataflow",
+    "arch",
+    "baselines",
+    "sim",
+    "utils",
+]

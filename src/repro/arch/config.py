@@ -1,0 +1,143 @@
+"""Architecture configuration for SparseTrain and the dense baseline.
+
+The paper's evaluation setup (Section VI): 168 PEs in both the proposed
+architecture and the Eyeriss-like dense baseline, a 386 KB global SRAM buffer
+for intermediate data, PEs grouped three-per-group with one PPU, synthesised
+in a 14 nm FinFET process.  ``ArchConfig`` captures those knobs plus the few
+modelling parameters the Python simulator needs (clock, utilisation, DRAM
+bandwidth).  Named constructors give the two configurations used throughout
+the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import (
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+# 16-bit operands: two bytes per buffer word.
+BYTES_PER_WORD = 2
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Configuration of one accelerator instance.
+
+    Attributes
+    ----------
+    name:
+        Configuration label used in reports ("SparseTrain", "Dense baseline").
+    num_pes:
+        Total number of processing elements (168 in the paper).
+    pes_per_group:
+        PEs per PE group sharing one PPU (3 in the paper).
+    kernel_size:
+        Width of the PE's multiplier array / Reg-1 (K = 3, the dominant kernel
+        size of the evaluated models; larger kernels are processed in K-wide
+        slices).
+    clock_ghz:
+        Clock frequency used to convert cycles to seconds.
+    buffer_kib:
+        Global SRAM buffer capacity in KiB (386 KB in the paper).
+    dram_words_per_cycle:
+        Sustained DRAM bandwidth in 16-bit words per accelerator cycle.
+    pe_utilization:
+        Fraction of peak PE throughput sustained while a step runs; covers
+        load imbalance between sparse rows and pipeline fill/drain.  The
+        detailed PE-level simulator measures this effect exactly; the
+        layer-level model applies this factor.
+    sparse_dataflow:
+        Whether the architecture exploits sparsity (zero skipping, compressed
+        operands).  ``False`` models the dense Eyeriss-like baseline.
+    weight_reload_overhead:
+        Extra cycles per row operation for loading kernel rows into Reg-1,
+        expressed as a fraction of the kernel size (1.0 = a full K-cycle load
+        per row operation; lower values model weight-row reuse across output
+        rows scheduled back to back).
+    sync_cycles_per_layer:
+        Fixed controller/drain overhead added per (layer, step).
+    batch_size:
+        Training batch size used to amortise per-iteration DRAM traffic
+        (weight loads and weight-gradient write-back happen once per batch,
+        not once per sample).  The paper trains with standard mini-batches;
+        32 is used throughout the evaluation.
+    """
+
+    name: str = "SparseTrain"
+    num_pes: int = 168
+    pes_per_group: int = 3
+    kernel_size: int = 3
+    clock_ghz: float = 0.8
+    buffer_kib: int = 386
+    dram_words_per_cycle: float = 16.0
+    pe_utilization: float = 0.85
+    sparse_dataflow: bool = True
+    weight_reload_overhead: float = 0.1
+    sync_cycles_per_layer: int = 64
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        check_positive_int(self.pes_per_group, "pes_per_group")
+        check_positive_int(self.kernel_size, "kernel_size")
+        check_positive_float(self.clock_ghz, "clock_ghz")
+        check_positive_int(self.buffer_kib, "buffer_kib")
+        check_positive_float(self.dram_words_per_cycle, "dram_words_per_cycle")
+        check_probability(self.pe_utilization, "pe_utilization")
+        if self.pe_utilization == 0.0:
+            raise ValueError("pe_utilization must be > 0")
+        if self.weight_reload_overhead < 0.0:
+            raise ValueError("weight_reload_overhead must be >= 0")
+        if self.sync_cycles_per_layer < 0:
+            raise ValueError("sync_cycles_per_layer must be >= 0")
+        check_positive_int(self.batch_size, "batch_size")
+        if self.num_pes % self.pes_per_group != 0:
+            raise ValueError(
+                f"num_pes ({self.num_pes}) must be divisible by pes_per_group "
+                f"({self.pes_per_group})"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        """Number of PE groups (each with one PPU)."""
+        return self.num_pes // self.pes_per_group
+
+    @property
+    def buffer_words(self) -> int:
+        """Buffer capacity in 16-bit words."""
+        return self.buffer_kib * 1024 // BYTES_PER_WORD
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        """Peak MAC throughput of the whole array (K MACs per PE per cycle)."""
+        return self.num_pes * self.kernel_size
+
+    def with_pes(self, num_pes: int) -> "ArchConfig":
+        """Copy of this config with a different PE count (for sweeps)."""
+        return replace(self, num_pes=num_pes)
+
+    def with_buffer(self, buffer_kib: int) -> "ArchConfig":
+        """Copy of this config with a different buffer capacity."""
+        return replace(self, buffer_kib=buffer_kib)
+
+
+def sparsetrain_config(**overrides) -> ArchConfig:
+    """The proposed sparse-aware training architecture (paper Section V)."""
+    return ArchConfig(name="SparseTrain", sparse_dataflow=True, **overrides)
+
+
+def dense_baseline_config(**overrides) -> ArchConfig:
+    """The Eyeriss-like dense training baseline with matched resources.
+
+    Same PE count, same per-PE multiplier width, same buffer and clock — the
+    only difference is that it neither skips zero operands nor stores data in
+    compressed form, so the comparison isolates sparsity exploitation (the
+    quantity Fig. 8 / Fig. 9 report).  The dense dataflow is perfectly load
+    balanced, hence the slightly higher sustained utilisation.
+    """
+    overrides.setdefault("pe_utilization", 0.95)
+    return ArchConfig(name="Dense baseline (Eyeriss-like)", sparse_dataflow=False, **overrides)

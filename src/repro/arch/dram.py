@@ -1,0 +1,51 @@
+"""Off-chip DRAM model: traffic accounting and transfer-time estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_float
+
+
+@dataclass
+class DRAMStats:
+    """Accumulated DRAM activity in 16-bit words."""
+
+    read_words: float = 0.0
+    write_words: float = 0.0
+
+    @property
+    def total_words(self) -> float:
+        return self.read_words + self.write_words
+
+
+class DRAM:
+    """Bandwidth-limited DRAM interface.
+
+    The simulator overlaps DRAM transfers with computation (double buffering
+    in the global buffer), so a layer's latency is the maximum of its compute
+    cycles and its DRAM transfer cycles rather than the sum.
+    """
+
+    def __init__(self, words_per_cycle: float) -> None:
+        self.words_per_cycle = check_positive_float(words_per_cycle, "words_per_cycle")
+        self.stats = DRAMStats()
+
+    def record_reads(self, words: float) -> None:
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        self.stats.read_words += words
+
+    def record_writes(self, words: float) -> None:
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        self.stats.write_words += words
+
+    def transfer_cycles(self, words: float) -> float:
+        """Cycles needed to move ``words`` at the sustained bandwidth."""
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        return words / self.words_per_cycle
+
+    def reset(self) -> None:
+        self.stats = DRAMStats()

@@ -1,0 +1,104 @@
+"""Post Processing Unit model (the paper's Fig. 7b).
+
+One PPU serves the three PEs of a PE group.  It receives finished partial-sum
+rows, optionally applies ReLU, converts the result into the compressed format
+before it is written back to the global buffer, and — during the GTA step —
+accumulates both the sum and the absolute sum of every gradient that streams
+through it.  Those two running accumulators are exactly what the bias-gradient
+computation and the pruning-threshold determination need, which is why the
+paper can claim the pruning algorithm runs "with almost no overhead":
+no extra pass over the data is ever made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataflow.compressed import CompressedRow
+
+
+@dataclass
+class PPUStats:
+    """Event counts accumulated by one PPU."""
+
+    rows_processed: int = 0
+    values_processed: int = 0
+    relu_applied: int = 0
+    values_written: int = 0
+    accumulations: int = 0
+
+
+@dataclass
+class PPU:
+    """Post-processing unit: ReLU, format conversion and streaming accumulators."""
+
+    stats: PPUStats = field(default_factory=PPUStats)
+    gradient_sum: float = 0.0
+    gradient_abs_sum: float = 0.0
+    gradient_count: int = 0
+
+    def reset_accumulators(self) -> None:
+        """Clear the per-layer gradient accumulators (done at layer boundaries)."""
+        self.gradient_sum = 0.0
+        self.gradient_abs_sum = 0.0
+        self.gradient_count = 0
+
+    def process_row(
+        self,
+        row: np.ndarray,
+        apply_relu: bool = False,
+        accumulate_gradients: bool = False,
+    ) -> tuple[CompressedRow, int]:
+        """Post-process one finished row.
+
+        Parameters
+        ----------
+        row:
+            The dense partial-sum row produced by the PE group.
+        apply_relu:
+            Apply ``max(0, x)`` before compression (Forward step of a
+            Conv-ReLU structure).
+        accumulate_gradients:
+            Accumulate sum and absolute sum of the values (GTA step); feeds
+            bias gradients and threshold determination.
+
+        Returns
+        -------
+        (compressed_row, cycles)
+            The compressed result and the number of PPU cycles spent (one per
+            value streamed through, which overlaps with PE computation of the
+            next row in the real pipeline).
+        """
+        row = np.asarray(row, dtype=np.float64)
+        self.stats.rows_processed += 1
+        self.stats.values_processed += int(row.size)
+
+        if apply_relu:
+            row = np.maximum(row, 0.0)
+            self.stats.relu_applied += int(row.size)
+
+        if accumulate_gradients:
+            self.gradient_sum += float(row.sum())
+            self.gradient_abs_sum += float(np.abs(row).sum())
+            self.gradient_count += int(row.size)
+            self.stats.accumulations += int(row.size)
+
+        compressed = CompressedRow.from_dense(row)
+        self.stats.values_written += compressed.nnz
+        cycles = int(row.size)
+        return compressed, cycles
+
+    # ------------------------------------------------------------------
+    # Quantities derived from the streaming accumulators
+    # ------------------------------------------------------------------
+    def bias_gradient(self) -> float:
+        """Accumulated bias gradient of the rows streamed so far."""
+        return self.gradient_sum
+
+    def mean_abs_gradient(self) -> float:
+        """Mean absolute gradient, the input to threshold determination."""
+        if self.gradient_count == 0:
+            return 0.0
+        return self.gradient_abs_sum / self.gradient_count

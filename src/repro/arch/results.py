@@ -1,0 +1,146 @@
+"""Result containers produced by the architecture simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.energy import EnergyBreakdown, EventCounts
+from repro.dataflow.counts import StepKind
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Cycles and energy of one (layer, training step) on one architecture."""
+
+    layer_name: str
+    step: StepKind
+    compute_cycles: float
+    dram_cycles: float
+    cycles: float
+    events: EventCounts
+    energy: EnergyBreakdown
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one training iteration of one sample.
+
+    All quantities are per training *sample*; multiply by the batch size for
+    per-iteration numbers.  ``latency_us`` and ``energy_uj`` are the
+    quantities plotted in the paper's Fig. 8 and Fig. 9.
+    """
+
+    config_name: str
+    model_name: str
+    dataset: str
+    sparse: bool
+    clock_ghz: float
+    steps: list[StepResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(step.cycles for step in self.steps)
+
+    @property
+    def latency_us(self) -> float:
+        """Training latency per sample in microseconds."""
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        return self.total_cycles / (self.clock_ghz * 1e3)
+
+    @property
+    def total_energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for step in self.steps:
+            total.add(step.energy)
+        return total
+
+    @property
+    def energy_uj(self) -> float:
+        """Training energy per sample in microjoules."""
+        return self.total_energy.total_uj
+
+    @property
+    def total_macs(self) -> float:
+        return sum(step.events.macs for step in self.steps)
+
+    @property
+    def total_sram_words(self) -> float:
+        return sum(step.events.sram_words for step in self.steps)
+
+    @property
+    def total_dram_words(self) -> float:
+        return sum(step.events.dram_words for step in self.steps)
+
+    # ------------------------------------------------------------------
+    # Slicing helpers
+    # ------------------------------------------------------------------
+    def cycles_by_step(self) -> dict[StepKind, float]:
+        """Total cycles per training step kind."""
+        out: dict[StepKind, float] = {kind: 0.0 for kind in StepKind}
+        for step in self.steps:
+            out[step.step] += step.cycles
+        return out
+
+    def cycles_by_layer(self) -> dict[str, float]:
+        """Total cycles per layer."""
+        out: dict[str, float] = {}
+        for step in self.steps:
+            out[step.layer_name] = out.get(step.layer_name, 0.0) + step.cycles
+        return out
+
+    def energy_fractions(self) -> dict[str, float]:
+        """Fraction of total energy per component (Fig. 9 style)."""
+        total = self.total_energy
+        return {name: total.fraction(name) for name in ("combinational", "register", "sram", "dram", "leakage")}
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.config_name}: {self.model_name}/{self.dataset} "
+            f"{self.latency_us:.1f} us/sample, {self.energy_uj:.1f} uJ/sample, "
+            f"{self.total_macs / 1e9:.2f} GMAC"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """SparseTrain vs dense-baseline comparison for one workload."""
+
+    workload: str
+    sparsetrain: SimulationResult
+    baseline: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        """Baseline latency divided by SparseTrain latency (Fig. 8 metric)."""
+        if self.sparsetrain.total_cycles == 0:
+            return float("inf")
+        return self.baseline.total_cycles / self.sparsetrain.total_cycles
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Baseline energy divided by SparseTrain energy (Fig. 9 metric)."""
+        sparse_energy = self.sparsetrain.energy_uj
+        if sparse_energy == 0:
+            return float("inf")
+        return self.baseline.energy_uj / sparse_energy
+
+    @property
+    def sram_energy_reduction(self) -> float:
+        """Fractional reduction of SRAM energy vs the baseline."""
+        baseline_sram = self.baseline.total_energy.sram_pj
+        if baseline_sram == 0:
+            return 0.0
+        return 1.0 - self.sparsetrain.total_energy.sram_pj / baseline_sram
+
+    @property
+    def combinational_energy_reduction(self) -> float:
+        """Fractional reduction of combinational-logic energy vs the baseline."""
+        baseline_comb = self.baseline.total_energy.combinational_pj
+        if baseline_comb == 0:
+            return 0.0
+        return 1.0 - self.sparsetrain.total_energy.combinational_pj / baseline_comb

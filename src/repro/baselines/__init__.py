@@ -1,0 +1,5 @@
+"""Baseline architectures the paper compares against."""
+
+from repro.baselines.eyeriss import DenseBaselineSimulator, dense_training_cycles_roofline
+
+__all__ = ["DenseBaselineSimulator", "dense_training_cycles_roofline"]

@@ -1,0 +1,58 @@
+"""Dense training baseline (Eyeriss-like row-stationary architecture).
+
+The paper's baseline is Eyeriss [8] "modified to support the dense training
+process" with the same number of PEs (168) and the same global buffer.  The
+baseline therefore shares all of SparseTrain's machinery except the one thing
+the paper varies: it does not exploit sparsity.  Concretely:
+
+* every operand (zero or not) costs a PE cycle and a full K-wide MAC,
+* operands are stored and moved in dense (uncompressed) form,
+* no MSRC output skipping (the ReLU mask is not consulted),
+
+which is exactly what compiling a program with ``sparse=False`` and running
+it on a :func:`~repro.arch.config.dense_baseline_config` produces.  This
+module wraps that recipe in a convenient API and adds the pure roofline
+reference model used in sanity tests.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorSimulator
+from repro.arch.config import ArchConfig, dense_baseline_config
+from repro.arch.energy import EnergyModel
+from repro.arch.results import SimulationResult
+from repro.dataflow.compiler import compile_training_iteration
+from repro.models.spec import ModelSpec
+
+
+class DenseBaselineSimulator:
+    """Simulate the dense Eyeriss-like training baseline on a model."""
+
+    def __init__(
+        self,
+        config: ArchConfig | None = None,
+        energy_model: EnergyModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else dense_baseline_config()
+        if self.config.sparse_dataflow:
+            raise ValueError(
+                "DenseBaselineSimulator requires a config with sparse_dataflow=False"
+            )
+        self.energy_model = energy_model
+        self._simulator = AcceleratorSimulator(self.config, energy_model)
+
+    def run(self, spec: ModelSpec) -> SimulationResult:
+        """Simulate one dense training iteration (per sample) of ``spec``."""
+        program = compile_training_iteration(spec, densities=None, sparse=False)
+        return self._simulator.run_program(program)
+
+
+def dense_training_cycles_roofline(spec: ModelSpec, config: ArchConfig) -> float:
+    """Compute-roofline cycle count for dense training of ``spec``.
+
+    Every dense MAC is executed at the array's peak rate
+    (``num_pes * kernel_size`` MACs per cycle).  Real schedules cannot beat
+    this; tests assert the baseline simulator never reports fewer cycles.
+    """
+    total_macs = float(spec.conv_training_macs)
+    return total_macs / config.peak_macs_per_cycle

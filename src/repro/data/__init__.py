@@ -1,0 +1,15 @@
+"""Synthetic datasets standing in for CIFAR-10/100 and ImageNet."""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_blob_dataset,
+    make_cifar_like,
+    make_stripe_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "make_blob_dataset",
+    "make_stripe_dataset",
+    "make_cifar_like",
+]

@@ -1,0 +1,112 @@
+"""Compiler from model specifications to accelerator instruction streams.
+
+``compile_training_iteration`` lowers a :class:`~repro.models.spec.ModelSpec`
+into the instruction order a training iteration executes on the accelerator:
+
+1. Forward pass, first conv layer to last (SRC steps);
+2. Backward pass, last conv layer to first — for every layer the GTA step
+   (MSRC) followed by the GTW step (OSRC), matching the paper's Fig. 2 where
+   ``dO`` of a layer feeds both products.
+
+Per-layer operand densities come from a ``densities`` mapping (measured by the
+sparsity profiler or constructed analytically); layers missing from the map
+fall back to fully dense operands.  Compiling with ``sparse=False`` produces
+the dense-baseline programme: identical structure, densities forced to 1.0
+and no compression.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.dataflow.counts import LayerDensities, StepKind, gta_counts, gtw_counts, forward_counts
+from repro.dataflow.instructions import (
+    LoadWeightsInstruction,
+    Program,
+    StepInstruction,
+    StoreOutputInstruction,
+    SyncInstruction,
+)
+from repro.models.spec import ConvLayerSpec, ModelSpec
+
+DensityMap = Mapping[str, LayerDensities]
+
+
+def _densities_for(layer: ConvLayerSpec, densities: DensityMap | None) -> LayerDensities:
+    if densities is None:
+        return LayerDensities.dense()
+    return densities.get(layer.name, LayerDensities.dense())
+
+
+def compile_forward(
+    spec: ModelSpec, densities: DensityMap | None = None, sparse: bool = True
+) -> Program:
+    """Compile only the forward pass (useful for inference-style studies)."""
+    program = Program(model_name=spec.name, dataset=spec.dataset, sparse=sparse)
+    for layer in spec.conv_layers:
+        layer_densities = _densities_for(layer, densities)
+        counts = forward_counts(layer, layer_densities, sparse)
+        program.append(LoadWeightsInstruction(layer.name, layer.weight_count))
+        program.append(StepInstruction(layer.name, StepKind.FORWARD, layer, counts))
+        program.append(StoreOutputInstruction(layer.name, counts.dram_write_words))
+        program.append(SyncInstruction(f"{layer.name}/forward"))
+    return program
+
+
+def compile_training_iteration(
+    spec: ModelSpec, densities: DensityMap | None = None, sparse: bool = True
+) -> Program:
+    """Compile a full training iteration (Forward + GTA + GTW) for one sample."""
+    program = Program(model_name=spec.name, dataset=spec.dataset, sparse=sparse)
+
+    # Forward pass: input layer to output layer.
+    for layer in spec.conv_layers:
+        layer_densities = _densities_for(layer, densities)
+        counts = forward_counts(layer, layer_densities, sparse)
+        program.append(LoadWeightsInstruction(layer.name, layer.weight_count))
+        program.append(StepInstruction(layer.name, StepKind.FORWARD, layer, counts))
+        program.append(StoreOutputInstruction(layer.name, counts.dram_write_words))
+        program.append(SyncInstruction(f"{layer.name}/forward"))
+
+    # Backward pass: output layer back to input layer; GTA then GTW per layer.
+    for layer in reversed(spec.conv_layers):
+        layer_densities = _densities_for(layer, densities)
+        gta = gta_counts(layer, layer_densities, sparse)
+        gtw = gtw_counts(layer, layer_densities, sparse)
+        program.append(LoadWeightsInstruction(layer.name, layer.weight_count))
+        program.append(StepInstruction(layer.name, StepKind.GTA, layer, gta))
+        program.append(StoreOutputInstruction(layer.name, gta.dram_write_words))
+        program.append(StepInstruction(layer.name, StepKind.GTW, layer, gtw))
+        program.append(StoreOutputInstruction(layer.name, gtw.dram_write_words))
+        program.append(SyncInstruction(f"{layer.name}/backward"))
+    return program
+
+
+def uniform_densities(
+    spec: ModelSpec,
+    input_density: float = 1.0,
+    grad_output_density: float = 1.0,
+    mask_density: float = 1.0,
+    grad_input_density: float = 1.0,
+    output_density: float = 1.0,
+    dense_first_layer_input: bool = True,
+) -> dict[str, LayerDensities]:
+    """Build a density map applying the same densities to every conv layer.
+
+    The first convolution of a network reads the raw image, which is dense;
+    ``dense_first_layer_input`` keeps its input density at 1.0 (the paper's
+    AlexNet conv1 behaves the same way).
+    """
+    densities: dict[str, LayerDensities] = {}
+    for index, layer in enumerate(spec.conv_layers):
+        layer_input_density = input_density
+        if index == 0 and dense_first_layer_input:
+            layer_input_density = 1.0
+        densities[layer.name] = LayerDensities(
+            input_density=layer_input_density,
+            grad_output_density=grad_output_density,
+            mask_density=mask_density,
+            grad_input_density=grad_input_density,
+            output_density=output_density,
+        )
+    return densities

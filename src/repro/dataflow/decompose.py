@@ -1,0 +1,212 @@
+"""Decomposition of 2-D convolutions into row operations.
+
+Given the actual tensors of one convolution layer for one sample, these
+functions enumerate the SRC/MSRC/OSRC operations the accelerator would
+schedule.  They are used by the PE-level simulator and by the tests that
+prove the decomposition computes exactly the same numbers as the dense
+reference convolution.
+
+The enumeration is O(F * C * K * rows) Python objects, so it is only intended
+for the reduced layers used in tests/examples; the full-size Fig. 8 / Fig. 9
+evaluation uses the closed-form operation counts in
+:mod:`repro.dataflow.counts` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.compressed import CompressedRow
+from repro.dataflow.ops import MSRCOp, OSRCOp, SRCOp
+from repro.models.spec import ConvLayerSpec
+from repro.nn.functional import conv_output_size
+
+
+def _pad_sample(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def _check_sample(x: np.ndarray, name: str) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"{name} must be a (C, H, W) single-sample tensor, got {x.shape}")
+    return x
+
+
+def decompose_forward(
+    layer: ConvLayerSpec, x: np.ndarray, weight: np.ndarray
+) -> list[SRCOp]:
+    """Enumerate the SRC operations of the Forward step for one sample."""
+    x = _check_sample(x, "x")
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape != (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel):
+        raise ValueError(
+            f"weight shape {weight.shape} does not match layer spec "
+            f"({layer.out_channels}, {layer.in_channels}, {layer.kernel}, {layer.kernel})"
+        )
+    x_padded = _pad_sample(x, layer.padding)
+    out_h = layer.out_height
+    out_w = layer.out_width
+
+    ops: list[SRCOp] = []
+    for f in range(layer.out_channels):
+        for oh in range(out_h):
+            for c in range(layer.in_channels):
+                for kr in range(layer.kernel):
+                    input_row = x_padded[c, oh * layer.stride + kr]
+                    ops.append(
+                        SRCOp(
+                            kernel_row=weight[f, c, kr],
+                            input_row=CompressedRow.from_dense(input_row),
+                            stride=layer.stride,
+                            out_len=out_w,
+                            tag=f"{layer.name}/fwd/f{f}/oh{oh}/c{c}/kr{kr}",
+                        )
+                    )
+    return ops
+
+
+def decompose_gta(
+    layer: ConvLayerSpec,
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> list[MSRCOp]:
+    """Enumerate the MSRC operations of the GTA step for one sample.
+
+    ``mask`` is the forward ReLU/MaxPool non-zero mask over the layer's
+    *input* activations; when omitted, every output position is computed
+    (all-ones mask).  The enumeration works on the padded input-gradient rows
+    so a single scatter covers padding cleanly; masked positions inside the
+    padding margin are always skipped.
+    """
+    grad_out = _check_sample(grad_out, "grad_out")
+    weight = np.asarray(weight, dtype=np.float64)
+    padded_w = layer.in_width + 2 * layer.padding
+    padded_h = layer.in_height + 2 * layer.padding
+
+    if mask is None:
+        mask_arr = np.ones((layer.in_channels, layer.in_height, layer.in_width), dtype=bool)
+    else:
+        mask_arr = np.asarray(mask, dtype=bool)
+        if mask_arr.shape != (layer.in_channels, layer.in_height, layer.in_width):
+            raise ValueError(
+                f"mask shape {mask_arr.shape} does not match input shape "
+                f"({layer.in_channels}, {layer.in_height}, {layer.in_width})"
+            )
+    padded_mask = np.zeros((layer.in_channels, padded_h, padded_w), dtype=bool)
+    padded_mask[
+        :,
+        layer.padding : layer.padding + layer.in_height,
+        layer.padding : layer.padding + layer.in_width,
+    ] = mask_arr
+
+    out_h = layer.out_height
+    ops: list[MSRCOp] = []
+    for c in range(layer.in_channels):
+        for f in range(layer.out_channels):
+            for oh in range(out_h):
+                for kr in range(layer.kernel):
+                    ih = oh * layer.stride + kr
+                    ops.append(
+                        MSRCOp(
+                            kernel_row=weight[f, c, kr],
+                            grad_row=CompressedRow.from_dense(grad_out[f, oh]),
+                            output_mask=padded_mask[c, ih],
+                            stride=layer.stride,
+                            out_len=padded_w,
+                            tag=f"{layer.name}/gta/c{c}/f{f}/oh{oh}/kr{kr}",
+                        )
+                    )
+    return ops
+
+
+def decompose_gtw(
+    layer: ConvLayerSpec, grad_out: np.ndarray, x: np.ndarray
+) -> list[OSRCOp]:
+    """Enumerate the OSRC operations of the GTW step for one sample."""
+    grad_out = _check_sample(grad_out, "grad_out")
+    x = _check_sample(x, "x")
+    x_padded = _pad_sample(x, layer.padding)
+    out_h = layer.out_height
+
+    ops: list[OSRCOp] = []
+    for f in range(layer.out_channels):
+        for c in range(layer.in_channels):
+            for kr in range(layer.kernel):
+                for oh in range(out_h):
+                    input_row = x_padded[c, oh * layer.stride + kr]
+                    ops.append(
+                        OSRCOp(
+                            input_row=CompressedRow.from_dense(input_row),
+                            grad_row=CompressedRow.from_dense(grad_out[f, oh]),
+                            kernel_size=layer.kernel,
+                            stride=layer.stride,
+                            tag=f"{layer.name}/gtw/f{f}/c{c}/kr{kr}/oh{oh}",
+                        )
+                    )
+    return ops
+
+
+def accumulate_forward(layer: ConvLayerSpec, ops: list[SRCOp], results: list[np.ndarray],
+                       bias: np.ndarray | None = None) -> np.ndarray:
+    """Assemble per-op SRC results back into the (F, OH, OW) output tensor.
+
+    ``results[i]`` must be the partial-sum row produced for ``ops[i]`` (same
+    order as :func:`decompose_forward`).
+    """
+    if len(ops) != len(results):
+        raise ValueError("ops and results length mismatch")
+    out = np.zeros((layer.out_channels, layer.out_height, layer.out_width), dtype=np.float64)
+    index = 0
+    for f in range(layer.out_channels):
+        for oh in range(layer.out_height):
+            for _c in range(layer.in_channels):
+                for _kr in range(layer.kernel):
+                    out[f, oh] += results[index]
+                    index += 1
+            if bias is not None:
+                pass
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def accumulate_gta(layer: ConvLayerSpec, ops: list[MSRCOp], results: list[np.ndarray]) -> np.ndarray:
+    """Assemble per-op MSRC results into the (C, H, W) input-gradient tensor."""
+    if len(ops) != len(results):
+        raise ValueError("ops and results length mismatch")
+    padded_w = layer.in_width + 2 * layer.padding
+    padded_h = layer.in_height + 2 * layer.padding
+    grad_padded = np.zeros((layer.in_channels, padded_h, padded_w), dtype=np.float64)
+    index = 0
+    for c in range(layer.in_channels):
+        for _f in range(layer.out_channels):
+            for oh in range(layer.out_height):
+                for kr in range(layer.kernel):
+                    ih = oh * layer.stride + kr
+                    grad_padded[c, ih] += results[index]
+                    index += 1
+    pad = layer.padding
+    if pad == 0:
+        return grad_padded
+    return grad_padded[:, pad : pad + layer.in_height, pad : pad + layer.in_width]
+
+
+def accumulate_gtw(layer: ConvLayerSpec, ops: list[OSRCOp], results: list[np.ndarray]) -> np.ndarray:
+    """Assemble per-op OSRC results into the (F, C, K, K) weight-gradient tensor."""
+    if len(ops) != len(results):
+        raise ValueError("ops and results length mismatch")
+    grad_weight = np.zeros(
+        (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel), dtype=np.float64
+    )
+    index = 0
+    for f in range(layer.out_channels):
+        for c in range(layer.in_channels):
+            for kr in range(layer.kernel):
+                for _oh in range(layer.out_height):
+                    grad_weight[f, c, kr] += results[index]
+                    index += 1
+    return grad_weight

@@ -1,0 +1,110 @@
+"""Row-operation descriptors: SRC, MSRC and OSRC.
+
+These dataclasses are the unit of work the accelerator schedules onto PEs.
+Each carries the actual operand data (dense kernel rows, compressed sparse
+rows, output masks) so the PE model in :mod:`repro.arch.pe` can both compute
+the numerical result and count cycles/energy events exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.dataflow.compressed import CompressedRow
+
+
+class OpType(Enum):
+    """The three basic operations of the sparse training dataflow."""
+
+    SRC = "src"    # Sparse Row Convolution          (Forward step)
+    MSRC = "msrc"  # Masked Sparse Row Convolution   (GTA step)
+    OSRC = "osrc"  # Output Store Row Convolution    (GTW step)
+
+
+@dataclass(frozen=True)
+class SRCOp:
+    """Forward-step row convolution.
+
+    ``output[ow] += sum_k input_row[ow * stride + k] * kernel_row[k]``
+
+    Attributes
+    ----------
+    kernel_row:
+        Dense kernel row (length K), loaded into the PE's Reg-1 via Port-2.
+    input_row:
+        Compressed input-activation row, streamed through Port-1.
+    stride:
+        Convolution stride along the row.
+    out_len:
+        Length of the produced partial-sum row (accumulated into Reg-2).
+    tag:
+        Free-form identification (layer, output channel, row, ...).
+    """
+
+    kernel_row: np.ndarray
+    input_row: CompressedRow
+    stride: int
+    out_len: int
+    tag: str = ""
+
+    op_type: OpType = OpType.SRC
+
+    @property
+    def kernel_size(self) -> int:
+        return int(self.kernel_row.size)
+
+
+@dataclass(frozen=True)
+class MSRCOp:
+    """GTA-step row convolution with output masking.
+
+    Scatter form: every non-zero gradient value ``dO[ow]`` contributes to the
+    K consecutive positions ``ow * stride + k`` of the input-gradient row.
+    ``output_mask`` marks the positions that the following ReLU keeps; results
+    at masked-off positions are never needed and the corresponding work is
+    skipped.
+    """
+
+    kernel_row: np.ndarray
+    grad_row: CompressedRow
+    output_mask: np.ndarray  # boolean, length out_len
+    stride: int
+    out_len: int
+    tag: str = ""
+
+    op_type: OpType = OpType.MSRC
+
+    def __post_init__(self) -> None:
+        if self.output_mask.shape != (self.out_len,):
+            raise ValueError(
+                f"output_mask length {self.output_mask.shape} != out_len {self.out_len}"
+            )
+
+    @property
+    def kernel_size(self) -> int:
+        return int(self.kernel_row.size)
+
+
+@dataclass(frozen=True)
+class OSRCOp:
+    """GTW-step row correlation with a K-element output scratchpad.
+
+    ``dw[kw] += sum_ow grad_row[ow] * input_row[ow * stride + kw]``
+
+    Both operands are sparse; the K results stay in the PE's Reg-2 until the
+    whole row (and, across ops, the whole output-row loop) is finished.
+    """
+
+    input_row: CompressedRow
+    grad_row: CompressedRow
+    kernel_size: int
+    stride: int
+    tag: str = ""
+
+    op_type: OpType = OpType.OSRC
+
+
+RowOp = SRCOp | MSRCOp | OSRCOp

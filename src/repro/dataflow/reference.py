@@ -1,0 +1,171 @@
+"""Row-wise reference implementation of the 1-D convolution dataflow.
+
+The paper decomposes every 2-D convolution of the three training steps into
+1-D row convolutions (Fig. 6):
+
+* **Forward / SRC** — one output row is the sum of ``K`` 1-D convolutions of
+  (kernel row, input row) pairs, accumulated over input channels.
+* **GTA / MSRC** — one input-gradient row is the sum of 1-D convolutions of
+  (reversed kernel row, output-gradient row) pairs, accumulated over output
+  channels; positions masked off by the following ReLU can be skipped.
+* **GTW / OSRC** — one kernel row of ``dW`` is the length-``K`` correlation of
+  an input row with an output-gradient row, accumulated over output rows.
+
+These functions execute the decomposition numerically with explicit Python
+loops over rows.  They are intentionally simple and slow — their job is to
+*prove the decomposition is exact* (tests compare them against the im2col
+kernels in :mod:`repro.nn.functional`) and to provide the ground truth the
+PE-level cycle simulator validates against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size
+
+
+def _pad_input(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of a (C, H, W) tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def row_convolution(
+    input_row: np.ndarray, kernel_row: np.ndarray, stride: int, out_len: int
+) -> np.ndarray:
+    """The basic 1-D (strided, valid) convolution used by SRC operations.
+
+    ``out[ow] = sum_k input_row[ow * stride + k] * kernel_row[k]``
+    """
+    kernel_size = kernel_row.size
+    out = np.zeros(out_len, dtype=np.float64)
+    for ow in range(out_len):
+        start = ow * stride
+        out[ow] = float(np.dot(input_row[start : start + kernel_size], kernel_row))
+    return out
+
+
+def forward_by_rows(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: int, padding: int
+) -> np.ndarray:
+    """Forward convolution of a single sample via SRC row operations.
+
+    Parameters
+    ----------
+    x:
+        Input activations of shape (C, H, W).
+    weight:
+        Weights of shape (F, C, K, K).
+    bias:
+        Optional bias of shape (F,).
+    """
+    channels, height, width = x.shape
+    out_channels, _, kernel, _ = weight.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    x_padded = _pad_input(x, padding)
+
+    out = np.zeros((out_channels, out_h, out_w), dtype=np.float64)
+    for f in range(out_channels):
+        for oh in range(out_h):
+            acc = np.zeros(out_w, dtype=np.float64)
+            for c in range(channels):
+                for kr in range(kernel):
+                    input_row = x_padded[c, oh * stride + kr]
+                    kernel_row = weight[f, c, kr]
+                    acc += row_convolution(input_row, kernel_row, stride, out_w)
+            if bias is not None:
+                acc += bias[f]
+            out[f, oh] = acc
+    return out
+
+
+def gta_by_rows(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    in_shape: tuple[int, int, int],
+    stride: int,
+    padding: int,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """GTA step of a single sample via MSRC row operations.
+
+    Computes ``dI[c] = sum_f dO[f] (*) W+_{f,c}`` where ``W+`` is the kernel
+    rotated by 180 degrees.  When ``mask`` (same shape as the input) is given,
+    masked-off positions are skipped entirely — they stay exactly zero, which
+    is safe because the following ReLU backward would zero them anyway.
+    """
+    channels, height, width = in_shape
+    out_channels, _, kernel, _ = weight.shape
+    out_h, out_w = grad_out.shape[1], grad_out.shape[2]
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+
+    grad_padded = np.zeros((channels, padded_h, padded_w), dtype=np.float64)
+    for f in range(out_channels):
+        for oh in range(out_h):
+            for c in range(channels):
+                for kr in range(kernel):
+                    ih = oh * stride + kr
+                    row = grad_out[f, oh]
+                    kernel_row = weight[f, c, kr]
+                    # Scatter: each dO value contributes to K consecutive
+                    # positions of the padded dI row.
+                    for ow in range(out_w):
+                        value = row[ow]
+                        if value == 0.0:
+                            continue
+                        start = ow * stride
+                        grad_padded[c, ih, start : start + kernel] += value * kernel_row
+
+    grad_input = grad_padded[:, padding : padding + height, padding : padding + width]
+    if mask is not None:
+        if mask.shape != grad_input.shape:
+            raise ValueError(f"mask shape {mask.shape} != input shape {grad_input.shape}")
+        grad_input = grad_input * mask
+    return grad_input
+
+
+def gtw_by_rows(
+    grad_out: np.ndarray,
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """GTW step of a single sample via OSRC row operations.
+
+    Computes ``dW[f, c, kr, kw] = sum_{oh, ow} dO[f, oh, ow] *
+    I[c, oh*stride + kr - padding, ow*stride + kw - padding]``.  Each
+    (f, c, kr, oh) pair is one OSRC operation whose K results live in the
+    PE's scratchpad (Reg-2) for the duration of the row.
+    """
+    out_channels, out_h, out_w = grad_out.shape
+    channels = x.shape[0]
+    x_padded = _pad_input(x, padding)
+
+    grad_weight = np.zeros((out_channels, channels, kernel, kernel), dtype=np.float64)
+    for f in range(out_channels):
+        for c in range(channels):
+            for kr in range(kernel):
+                acc = np.zeros(kernel, dtype=np.float64)
+                for oh in range(out_h):
+                    input_row = x_padded[c, oh * stride + kr]
+                    grad_row = grad_out[f, oh]
+                    for kw in range(kernel):
+                        # Strided dot product between the gradient row and the
+                        # input row shifted by kw.
+                        segment = input_row[kw : kw + (out_w - 1) * stride + 1 : stride]
+                        acc[kw] += float(np.dot(grad_row, segment))
+                grad_weight[f, c, kr] = acc
+    return grad_weight
+
+
+def bias_gradient_by_rows(grad_out: np.ndarray) -> np.ndarray:
+    """Bias gradients: per-channel sum of the output activation gradients.
+
+    The paper computes these for free by accumulating gradients inside the
+    PPU while the GTA step streams them through.
+    """
+    return grad_out.sum(axis=(1, 2))

@@ -1,0 +1,194 @@
+"""Ablation studies (E-A1, E-A2) for the design choices the paper calls out.
+
+The paper motivates several design decisions without dedicating a figure to
+each; these harnesses quantify them so the claims can be checked:
+
+* **FIFO threshold prediction** (Section III-B) — the predicted threshold
+  should track the exact per-batch threshold closely, otherwise the realised
+  sparsity would drift from the target.  :func:`run_fifo_ablation` sweeps the
+  FIFO depth and reports the relative prediction error and realised density.
+* **Pruning-rate sweep** (Section VI) — how speedup and energy efficiency
+  scale with the target pruning rate p, using the closed-form expected
+  post-pruning density.  :func:`run_pruning_rate_sweep`.
+* **PE-count sweep** — how the speedup over the dense baseline behaves as the
+  array grows (it should be roughly constant: both architectures scale with
+  PE count until DRAM bandwidth dominates).  :func:`run_pe_sweep`.
+* **Energy-model sensitivity** — the Fig. 9 efficiency conclusion should not
+  hinge on the exact pJ constants.  :func:`run_energy_sensitivity` scales the
+  SRAM and DRAM costs and reports how the efficiency ratio moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import dense_baseline_config, sparsetrain_config
+from repro.arch.energy import EnergyModel
+from repro.dataflow.compiler import uniform_densities
+from repro.models.zoo import get_model_spec
+from repro.pruning.algorithm import AlgorithmTrace, prune_gradient_batches
+from repro.pruning.threshold import expected_density_after_pruning
+from repro.sim.runner import compare_workload
+from repro.utils.rng import new_rng
+
+
+# ---------------------------------------------------------------------------
+# E-A1: FIFO threshold prediction
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FifoAblationPoint:
+    """Result of running the pruning algorithm with one FIFO depth."""
+
+    fifo_depth: int
+    mean_prediction_error: float
+    max_prediction_error: float
+    mean_density_after: float
+    target_density: float
+
+
+def run_fifo_ablation(
+    fifo_depths: tuple[int, ...] = (1, 2, 5, 10, 20),
+    target_sparsity: float = 0.9,
+    num_batches: int = 64,
+    batch_elements: int = 4096,
+    sigma_drift: float = 0.02,
+    seed: int = 0,
+) -> list[FifoAblationPoint]:
+    """Sweep the FIFO depth on a synthetic stream of gradient batches.
+
+    The gradient scale drifts slowly from batch to batch (``sigma_drift``
+    relative change), mimicking the way gradient magnitudes evolve during
+    training; the FIFO has to track that drift.
+    """
+    rng = new_rng(seed)
+    sigmas = np.cumprod(1.0 + sigma_drift * rng.standard_normal(num_batches)) * 1e-3
+    batches = [rng.normal(0.0, sigma, size=batch_elements) for sigma in sigmas]
+
+    points: list[FifoAblationPoint] = []
+    for depth in fifo_depths:
+        trace = AlgorithmTrace()
+        pruned = prune_gradient_batches(
+            batches, target_sparsity, depth, rng=new_rng(seed + 1), trace=trace
+        )
+        errors = trace.prediction_errors
+        densities = [
+            float(np.count_nonzero(batch) / batch.size) for batch in pruned[depth:]
+        ]
+        points.append(
+            FifoAblationPoint(
+                fifo_depth=depth,
+                mean_prediction_error=float(np.mean(errors)) if errors else 0.0,
+                max_prediction_error=float(np.max(errors)) if errors else 0.0,
+                mean_density_after=float(np.mean(densities)) if densities else 1.0,
+                target_density=expected_density_after_pruning(target_sparsity),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# E-A2: pruning-rate, PE-count and energy-model sweeps
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a speedup/efficiency sweep."""
+
+    parameter: float
+    speedup: float
+    energy_efficiency: float
+
+
+def _alexnet_densities(spec, pruning_rate: float, natural_grad_density: float = 0.35):
+    """Analytic density map for sweep studies (no training required)."""
+    grad_density = expected_density_after_pruning(pruning_rate, natural_grad_density)
+    return uniform_densities(
+        spec,
+        input_density=0.45,
+        grad_output_density=grad_density,
+        mask_density=0.45,
+        grad_input_density=min(1.0, grad_density * 2.0),
+        output_density=0.45,
+    )
+
+
+def run_pruning_rate_sweep(
+    pruning_rates: tuple[float, ...] = (0.0, 0.5, 0.7, 0.8, 0.9, 0.99),
+    model: str = "AlexNet",
+    dataset: str = "CIFAR-10",
+) -> list[SweepPoint]:
+    """Speedup / efficiency vs target pruning rate, with analytic densities."""
+    spec = get_model_spec(model, dataset)
+    points: list[SweepPoint] = []
+    for rate in pruning_rates:
+        densities = _alexnet_densities(spec, rate)
+        result = compare_workload(spec, densities)
+        points.append(
+            SweepPoint(
+                parameter=rate,
+                speedup=result.speedup,
+                energy_efficiency=result.energy_efficiency,
+            )
+        )
+    return points
+
+
+def run_pe_sweep(
+    pe_counts: tuple[int, ...] = (42, 84, 168, 336),
+    model: str = "AlexNet",
+    dataset: str = "CIFAR-10",
+    pruning_rate: float = 0.9,
+) -> list[SweepPoint]:
+    """Speedup / efficiency vs PE count (both architectures scaled together)."""
+    spec = get_model_spec(model, dataset)
+    densities = _alexnet_densities(spec, pruning_rate)
+    points: list[SweepPoint] = []
+    for count in pe_counts:
+        result = compare_workload(
+            spec,
+            densities,
+            sparse_config=sparsetrain_config(num_pes=count),
+            baseline_config=dense_baseline_config(num_pes=count),
+        )
+        points.append(
+            SweepPoint(
+                parameter=float(count),
+                speedup=result.speedup,
+                energy_efficiency=result.energy_efficiency,
+            )
+        )
+    return points
+
+
+def run_energy_sensitivity(
+    scale_factors: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    component: str = "sram_pj",
+    model: str = "AlexNet",
+    dataset: str = "CIFAR-10",
+    pruning_rate: float = 0.9,
+) -> list[SweepPoint]:
+    """Energy-efficiency sensitivity to one energy-model constant.
+
+    ``component`` is an :class:`~repro.arch.energy.EnergyModel` field name
+    (``"sram_pj"``, ``"dram_pj"``, ``"mac_pj"``, ``"reg_pj"``).
+    """
+    base = EnergyModel()
+    if not hasattr(base, component):
+        raise ValueError(f"unknown energy-model component {component!r}")
+    spec = get_model_spec(model, dataset)
+    densities = _alexnet_densities(spec, pruning_rate)
+    points: list[SweepPoint] = []
+    for factor in scale_factors:
+        model_variant = base.with_overrides(**{component: getattr(base, component) * factor})
+        result = compare_workload(spec, densities, energy_model=model_variant)
+        points.append(
+            SweepPoint(
+                parameter=factor,
+                speedup=result.speedup,
+                energy_efficiency=result.energy_efficiency,
+            )
+        )
+    return points

@@ -1,0 +1,166 @@
+"""Experiment E-F8 — reproduce Fig. 8 (training latency per sample and speedup).
+
+The paper's Fig. 8 plots, for every (model, dataset) workload, the average
+training latency per sample of the dense baseline and of SparseTrain, and
+annotates the speedup: up to ~4.5x for AlexNet on CIFAR-10 and ~2.7x on
+average.
+
+Pipeline of this harness:
+
+1. *Measure densities* — train reduced AlexNet/ResNet models on synthetic data
+   with pruning enabled and profile the per-layer operand densities
+   (:mod:`repro.sim.trace`).
+2. *Map onto full-size specs* — assign the measured densities to the paper's
+   exact AlexNet/ResNet-18/34 layer geometries by relative depth.
+3. *Simulate* — compile sparse and dense programs, run them on the
+   SparseTrain and dense-baseline configurations (168 PEs, 386 KB buffer
+   each) and report per-sample latency and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.energy import EnergyModel
+from repro.dataflow.counts import LayerDensities
+from repro.eval.common import ExperimentScale, build_reduced_model, synthetic_dataset_for
+from repro.models.zoo import get_model_spec
+from repro.pruning.config import PruningConfig
+from repro.sim.report import format_latency_table
+from repro.sim.runner import WorkloadResult, compare_workload
+from repro.sim.trace import MeasuredDensities, map_densities_to_spec, profile_training_densities
+
+# The (model, dataset) grid of the paper's Fig. 8 / Fig. 9.
+PAPER_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("AlexNet", "CIFAR-10"),
+    ("AlexNet", "CIFAR-100"),
+    ("AlexNet", "ImageNet"),
+    ("ResNet-18", "CIFAR-10"),
+    ("ResNet-18", "CIFAR-100"),
+    ("ResNet-18", "ImageNet"),
+    ("ResNet-34", "CIFAR-10"),
+    ("ResNet-34", "CIFAR-100"),
+    ("ResNet-34", "ImageNet"),
+)
+
+# Fast subset used by the benchmark suite (covers both model families, both
+# dataset geometries).
+QUICK_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("AlexNet", "CIFAR-10"),
+    ("AlexNet", "ImageNet"),
+    ("ResNet-18", "CIFAR-10"),
+    ("ResNet-18", "ImageNet"),
+    ("ResNet-34", "CIFAR-10"),
+)
+
+
+@dataclass
+class Fig8Result:
+    """Latency/speedup results for a set of workloads."""
+
+    workloads: list[WorkloadResult] = field(default_factory=list)
+
+    @property
+    def speedups(self) -> dict[str, float]:
+        return {w.workload_name: w.speedup for w in self.workloads}
+
+    @property
+    def mean_speedup(self) -> float:
+        if not self.workloads:
+            return 0.0
+        return float(np.mean([w.speedup for w in self.workloads]))
+
+    @property
+    def max_speedup(self) -> float:
+        if not self.workloads:
+            return 0.0
+        return float(np.max([w.speedup for w in self.workloads]))
+
+    def workload(self, name: str) -> WorkloadResult:
+        for entry in self.workloads:
+            if entry.workload_name == name:
+                return entry
+        raise KeyError(f"no workload named {name!r}")
+
+    def format(self) -> str:
+        return format_latency_table(self.workloads)
+
+
+def measure_model_densities(
+    model_name: str,
+    pruning_rate: float = 0.9,
+    scale: ExperimentScale | None = None,
+) -> MeasuredDensities:
+    """Measure per-layer densities of one model family on synthetic data."""
+    scale = scale if scale is not None else ExperimentScale.quick()
+    train, _ = synthetic_dataset_for("CIFAR-10", scale)
+    model = build_reduced_model(model_name, train.num_classes, scale)
+    pruning = (
+        PruningConfig(target_sparsity=pruning_rate, fifo_depth=3, seed=scale.seed)
+        if pruning_rate > 0.0
+        else None
+    )
+    lr = 0.01 if model_name.lower() == "alexnet" else 0.05
+    return profile_training_densities(
+        model,
+        train,
+        pruning=pruning,
+        epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        lr=lr,
+        seed=scale.seed,
+    )
+
+
+def densities_for_workload(
+    model_name: str,
+    dataset_name: str,
+    measured: dict[str, MeasuredDensities],
+) -> dict[str, LayerDensities]:
+    """Map the measured densities of a model family onto a full-size spec."""
+    family = "AlexNet" if model_name.lower() == "alexnet" else "ResNet"
+    if family not in measured:
+        raise KeyError(f"no measured densities for model family {family!r}")
+    spec = get_model_spec(model_name, dataset_name)
+    return map_densities_to_spec(measured[family], spec)
+
+
+def run_fig8(
+    workloads: tuple[tuple[str, str], ...] = QUICK_FIG8_WORKLOADS,
+    pruning_rate: float = 0.9,
+    scale: ExperimentScale | None = None,
+    sparse_config: ArchConfig | None = None,
+    baseline_config: ArchConfig | None = None,
+    energy_model: EnergyModel | None = None,
+    measured: dict[str, MeasuredDensities] | None = None,
+) -> Fig8Result:
+    """Regenerate the Fig. 8 latency/speedup comparison.
+
+    ``measured`` can be passed to reuse density measurements across calls
+    (e.g. Fig. 9 reuses Fig. 8's measurements); otherwise one reduced AlexNet
+    and one reduced ResNet are trained and profiled here.
+    """
+    scale = scale if scale is not None else ExperimentScale.quick()
+    if measured is None:
+        measured = {
+            "AlexNet": measure_model_densities("AlexNet", pruning_rate, scale),
+            "ResNet": measure_model_densities("ResNet-18", pruning_rate, scale),
+        }
+
+    result = Fig8Result()
+    for model_name, dataset_name in workloads:
+        spec = get_model_spec(model_name, dataset_name)
+        densities = densities_for_workload(model_name, dataset_name, measured)
+        result.workloads.append(
+            compare_workload(
+                spec,
+                densities,
+                sparse_config=sparse_config,
+                baseline_config=baseline_config,
+                energy_model=energy_model,
+            )
+        )
+    return result

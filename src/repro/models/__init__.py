@@ -1,0 +1,31 @@
+"""Model zoo: runnable reduced models and full-size shape specifications."""
+
+from repro.models.alexnet import (
+    alexnet_cifar_spec,
+    alexnet_imagenet_spec,
+    build_alexnet,
+)
+from repro.models.resnet import build_resnet, resnet_spec, supported_depths
+from repro.models.spec import (
+    ConvLayerSpec,
+    ConvStructure,
+    LinearLayerSpec,
+    ModelSpec,
+)
+from repro.models.zoo import get_model_spec, paper_workloads, table2_workloads
+
+__all__ = [
+    "ConvLayerSpec",
+    "ConvStructure",
+    "LinearLayerSpec",
+    "ModelSpec",
+    "alexnet_cifar_spec",
+    "alexnet_imagenet_spec",
+    "build_alexnet",
+    "build_resnet",
+    "resnet_spec",
+    "supported_depths",
+    "get_model_spec",
+    "paper_workloads",
+    "table2_workloads",
+]

@@ -1,0 +1,135 @@
+"""AlexNet: full-size shape specs for the simulator and a runnable reduced model.
+
+Two faces of the same network:
+
+* :func:`alexnet_imagenet_spec` / :func:`alexnet_cifar_spec` describe the
+  exact convolution geometries used in the paper's evaluation so the
+  dataflow/architecture simulator works on realistic layer shapes.
+* :func:`build_alexnet` constructs a runnable (optionally width-reduced)
+  numpy model with the same Conv-ReLU-MaxPool structure, used for the
+  accuracy/density experiments on synthetic data.
+
+AlexNet has no batch-norm layers, so every convolution is a Conv-ReLU
+structure: the natural sparsity of ``dO`` comes straight from the ReLU mask
+and the pruning algorithm targets the propagated gradient ``dI`` (paper
+Fig. 4, left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.spec import ConvLayerSpec, ConvStructure, LinearLayerSpec, ModelSpec
+from repro.nn.layers import (
+    Conv2D,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import derive_rng
+
+
+def alexnet_imagenet_spec() -> ModelSpec:
+    """AlexNet convolution geometry for 3x224x224 inputs (torchvision layout)."""
+    conv = ConvStructure.CONV_RELU
+    layers = (
+        ConvLayerSpec("conv1", 3, 64, 11, 4, 2, 224, 224, conv),
+        ConvLayerSpec("conv2", 64, 192, 5, 1, 2, 27, 27, conv),
+        ConvLayerSpec("conv3", 192, 384, 3, 1, 1, 13, 13, conv),
+        ConvLayerSpec("conv4", 384, 256, 3, 1, 1, 13, 13, conv),
+        ConvLayerSpec("conv5", 256, 256, 3, 1, 1, 13, 13, conv),
+    )
+    linears = (
+        LinearLayerSpec("fc6", 256 * 6 * 6, 4096),
+        LinearLayerSpec("fc7", 4096, 4096),
+        LinearLayerSpec("fc8", 4096, 1000),
+    )
+    return ModelSpec("AlexNet", "ImageNet", (3, 224, 224), layers, linears)
+
+
+def alexnet_cifar_spec(num_classes: int = 10) -> ModelSpec:
+    """CIFAR-adapted AlexNet geometry for 3x32x32 inputs.
+
+    The adaptation follows the common practice of shrinking the stem kernel
+    and removing the aggressive stride so the feature maps survive five conv
+    stages on 32x32 inputs.
+    """
+    conv = ConvStructure.CONV_RELU
+    layers = (
+        ConvLayerSpec("conv1", 3, 64, 3, 1, 1, 32, 32, conv),
+        ConvLayerSpec("conv2", 64, 192, 3, 1, 1, 16, 16, conv),
+        ConvLayerSpec("conv3", 192, 384, 3, 1, 1, 8, 8, conv),
+        ConvLayerSpec("conv4", 384, 256, 3, 1, 1, 8, 8, conv),
+        ConvLayerSpec("conv5", 256, 256, 3, 1, 1, 8, 8, conv),
+    )
+    linears = (
+        LinearLayerSpec("fc6", 256 * 4 * 4, 1024),
+        LinearLayerSpec("fc7", 1024, 512),
+        LinearLayerSpec("fc8", 512, num_classes),
+    )
+    dataset = "CIFAR-10" if num_classes == 10 else f"CIFAR-{num_classes}"
+    return ModelSpec("AlexNet", dataset, (3, 32, 32), layers, linears)
+
+
+def build_alexnet(
+    num_classes: int = 4,
+    image_size: int = 16,
+    in_channels: int = 3,
+    width_scale: float = 0.25,
+    dropout: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a runnable (reduced) AlexNet-style numpy model.
+
+    Parameters
+    ----------
+    num_classes, image_size, in_channels:
+        Task geometry; the defaults match :func:`repro.data.make_cifar_like`.
+    width_scale:
+        Multiplier applied to every channel count.  ``1.0`` gives the CIFAR
+        AlexNet widths (64/192/384/256/256), the default ``0.25`` keeps numpy
+        training fast while preserving the layer structure.
+    dropout:
+        Dropout rate in the classifier head (0 disables dropout).
+    """
+    if image_size % 8 != 0:
+        raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+    rng = derive_rng(rng, seed=0)
+
+    def width(base: int) -> int:
+        return max(int(round(base * width_scale)), 4)
+
+    w1, w2, w3, w4, w5 = width(64), width(192), width(384), width(256), width(256)
+    final_spatial = image_size // 8
+    classifier_in = w5 * final_spatial * final_spatial
+    hidden = max(width(1024), 32)
+
+    layers = [
+        Conv2D(in_channels, w1, 3, stride=1, padding=1, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        MaxPool2D(2, name="pool1"),
+        Conv2D(w1, w2, 3, stride=1, padding=1, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(2, name="pool2"),
+        Conv2D(w2, w3, 3, stride=1, padding=1, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        Conv2D(w3, w4, 3, stride=1, padding=1, rng=rng, name="conv4"),
+        ReLU(name="relu4"),
+        Conv2D(w4, w5, 3, stride=1, padding=1, rng=rng, name="conv5"),
+        ReLU(name="relu5"),
+        MaxPool2D(2, name="pool5"),
+        Flatten(name="flatten"),
+    ]
+    if dropout > 0.0:
+        layers.append(Dropout(dropout, rng=rng, name="drop6"))
+    layers.extend(
+        [
+            Linear(classifier_in, hidden, rng=rng, name="fc6"),
+            ReLU(name="relu6"),
+            Linear(hidden, num_classes, rng=rng, name="fc8"),
+        ]
+    )
+    return Sequential(layers, name="AlexNet")

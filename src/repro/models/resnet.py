@@ -1,0 +1,216 @@
+"""ResNet: full-size shape specs (18/34/152) and a runnable reduced model.
+
+ResNet convolutions sit inside Conv-BN-ReLU structures (paper Fig. 4, right):
+batch norm re-densifies the backward gradient, so the pruning algorithm
+targets ``dO`` of every convolution.  The spec generators mark them
+accordingly so the dataflow compiler knows which operand densities apply.
+
+* :func:`resnet_spec` produces the exact convolution geometry of
+  ResNet-18/34 (basic blocks) and ResNet-152 (bottleneck blocks) for either
+  CIFAR (3x32x32, 3x3 stem) or ImageNet (3x224x224, 7x7 stem + maxpool)
+  inputs.
+* :func:`build_resnet` builds a runnable reduced basic-block ResNet in numpy
+  for the accuracy/density experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.spec import ConvLayerSpec, ConvStructure, LinearLayerSpec, ModelSpec
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    GlobalAvgPool2D,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.utils.rng import derive_rng
+
+# Stage configurations: depth -> (block type, blocks per stage)
+_RESNET_CONFIGS: dict[int, tuple[str, tuple[int, int, int, int]]] = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+    152: ("bottleneck", (3, 8, 36, 3)),
+}
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+_BOTTLENECK_EXPANSION = 4
+
+
+def supported_depths() -> tuple[int, ...]:
+    """Depths accepted by :func:`resnet_spec`."""
+    return tuple(sorted(_RESNET_CONFIGS))
+
+
+def _basic_block_specs(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    height: int,
+    width: int,
+) -> tuple[list[ConvLayerSpec], int, int, int]:
+    """Conv specs of one basic block; returns (specs, out_channels, out_h, out_w)."""
+    bn_relu = ConvStructure.CONV_BN_RELU
+    specs = [
+        ConvLayerSpec(f"{name}.conv1", in_channels, out_channels, 3, stride, 1, height, width, bn_relu),
+    ]
+    out_h, out_w = specs[0].out_height, specs[0].out_width
+    specs.append(
+        ConvLayerSpec(f"{name}.conv2", out_channels, out_channels, 3, 1, 1, out_h, out_w, bn_relu)
+    )
+    if stride != 1 or in_channels != out_channels:
+        specs.append(
+            ConvLayerSpec(
+                f"{name}.downsample", in_channels, out_channels, 1, stride, 0, height, width,
+                ConvStructure.CONV_ONLY,
+            )
+        )
+    return specs, out_channels, out_h, out_w
+
+
+def _bottleneck_block_specs(
+    name: str,
+    in_channels: int,
+    base_channels: int,
+    stride: int,
+    height: int,
+    width: int,
+) -> tuple[list[ConvLayerSpec], int, int, int]:
+    """Conv specs of one bottleneck block (1x1 reduce, 3x3, 1x1 expand)."""
+    bn_relu = ConvStructure.CONV_BN_RELU
+    out_channels = base_channels * _BOTTLENECK_EXPANSION
+    specs = [
+        ConvLayerSpec(f"{name}.conv1", in_channels, base_channels, 1, 1, 0, height, width, bn_relu),
+        ConvLayerSpec(f"{name}.conv2", base_channels, base_channels, 3, stride, 1, height, width, bn_relu),
+    ]
+    out_h, out_w = specs[1].out_height, specs[1].out_width
+    specs.append(
+        ConvLayerSpec(f"{name}.conv3", base_channels, out_channels, 1, 1, 0, out_h, out_w, bn_relu)
+    )
+    if stride != 1 or in_channels != out_channels:
+        specs.append(
+            ConvLayerSpec(
+                f"{name}.downsample", in_channels, out_channels, 1, stride, 0, height, width,
+                ConvStructure.CONV_ONLY,
+            )
+        )
+    return specs, out_channels, out_h, out_w
+
+
+def resnet_spec(depth: int, dataset: str = "CIFAR-10", num_classes: int | None = None) -> ModelSpec:
+    """Build the convolution geometry of a ResNet.
+
+    Parameters
+    ----------
+    depth:
+        One of 18, 34, 50, 101, 152.
+    dataset:
+        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"``; selects the input
+        geometry and the stem.
+    num_classes:
+        Overrides the classifier width (defaults follow the dataset).
+    """
+    if depth not in _RESNET_CONFIGS:
+        raise ValueError(f"unsupported ResNet depth {depth}; choose from {supported_depths()}")
+    block_type, blocks_per_stage = _RESNET_CONFIGS[depth]
+
+    dataset_key = dataset.lower()
+    if dataset_key.startswith("cifar"):
+        input_shape = (3, 32, 32)
+        default_classes = 100 if "100" in dataset_key else 10
+        stem = ConvLayerSpec("stem.conv", 3, 64, 3, 1, 1, 32, 32, ConvStructure.CONV_BN_RELU)
+        height = width = 32
+    elif dataset_key == "imagenet":
+        input_shape = (3, 224, 224)
+        default_classes = 1000
+        stem = ConvLayerSpec("stem.conv", 3, 64, 7, 2, 3, 224, 224, ConvStructure.CONV_BN_RELU)
+        # A 3x3/2 max-pool follows the stem on ImageNet.
+        height = width = (stem.out_height - 3) // 2 + 1
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}; expected CIFAR-10/CIFAR-100/ImageNet")
+    num_classes = num_classes if num_classes is not None else default_classes
+
+    conv_layers: list[ConvLayerSpec] = [stem]
+    channels = 64
+    for stage_index, (num_blocks, stage_channels) in enumerate(
+        zip(blocks_per_stage, _STAGE_CHANNELS)
+    ):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            name = f"stage{stage_index + 1}.block{block_index + 1}"
+            if block_type == "basic":
+                specs, channels, height, width = _basic_block_specs(
+                    name, channels, stage_channels, stride, height, width
+                )
+            else:
+                specs, channels, height, width = _bottleneck_block_specs(
+                    name, channels, stage_channels, stride, height, width
+                )
+            conv_layers.extend(specs)
+
+    linears = (LinearLayerSpec("fc", channels, num_classes),)
+    return ModelSpec(
+        name=f"ResNet-{depth}",
+        dataset=dataset,
+        input_shape=input_shape,
+        conv_layers=tuple(conv_layers),
+        linear_layers=linears,
+    )
+
+
+def build_resnet(
+    num_classes: int = 4,
+    image_size: int = 16,
+    in_channels: int = 3,
+    blocks_per_stage: tuple[int, ...] = (1, 1),
+    base_width: int = 16,
+    rng: np.random.Generator | None = None,
+    name: str | None = None,
+) -> Sequential:
+    """Build a runnable reduced basic-block ResNet.
+
+    The default configuration (two stages of one block each, width 16) trains
+    in seconds on the synthetic datasets while exercising the exact layer
+    structure the pruning algorithm cares about: every convolution sits in a
+    Conv-BN-ReLU structure with residual additions.
+    """
+    if not blocks_per_stage:
+        raise ValueError("blocks_per_stage must not be empty")
+    rng = derive_rng(rng, seed=0)
+
+    layers: list = [
+        Conv2D(in_channels, base_width, 3, stride=1, padding=1, bias=False, rng=rng, name="stem.conv"),
+        BatchNorm2D(base_width, name="stem.bn"),
+        ReLU(name="stem.relu"),
+    ]
+    channels = base_width
+    for stage_index, num_blocks in enumerate(blocks_per_stage):
+        stage_channels = base_width * (2**stage_index)
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            block_name = f"stage{stage_index + 1}.block{block_index + 1}"
+            layers.append(
+                ResidualBlock(channels, stage_channels, stride=stride, rng=rng, name=block_name)
+            )
+            channels = stage_channels
+    layers.extend(
+        [
+            GlobalAvgPool2D(name="gap"),
+            Linear(channels, num_classes, rng=rng, name="fc"),
+        ]
+    )
+    depth_name = name or f"ResNet-mini-{sum(blocks_per_stage) * 2 + 2}"
+    model = Sequential(layers, name=depth_name)
+    # MaxPool is not used in the reduced model; image_size only documents intent.
+    if image_size < 2 ** (len(blocks_per_stage) - 1) * 2:
+        raise ValueError(
+            f"image_size={image_size} too small for {len(blocks_per_stage)} stages"
+        )
+    return model

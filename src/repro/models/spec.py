@@ -1,0 +1,206 @@
+"""Shape-level model descriptions used by the dataflow compiler and simulator.
+
+Running full-size AlexNet/ResNet training in numpy is not feasible, but the
+architecture evaluation (Fig. 8 / Fig. 9) does not need trained weights — it
+needs the *shapes* of every convolution (channels, kernel, feature-map size)
+plus per-layer operand densities.  ``ConvLayerSpec``/``ModelSpec`` capture the
+shapes of the paper's exact models (AlexNet, ResNet-18/34/152, CIFAR and
+ImageNet geometries); densities are supplied separately, either measured from
+reduced numpy training runs or set analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+class ConvStructure(Enum):
+    """Structural class of a convolution (the paper's Fig. 4)."""
+
+    CONV_RELU = "conv_relu"        # AlexNet style — prune dI, mask available
+    CONV_BN_RELU = "conv_bn_relu"  # ResNet style — prune dO, mask available
+    CONV_ONLY = "conv_only"        # projection/shortcut conv — no ReLU mask
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Geometry of one convolution layer.
+
+    All sizes refer to a single sample (batch handling is the scheduler's
+    job).  ``in_height``/``in_width`` are the *input* feature-map size.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    padding: int
+    in_height: int
+    in_width: int
+    structure: ConvStructure = ConvStructure.CONV_RELU
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.in_channels, "in_channels")
+        check_positive_int(self.out_channels, "out_channels")
+        check_positive_int(self.kernel, "kernel")
+        check_positive_int(self.stride, "stride")
+        check_non_negative_int(self.padding, "padding")
+        check_positive_int(self.in_height, "in_height")
+        check_positive_int(self.in_width, "in_width")
+        if self.out_height <= 0 or self.out_width <= 0:
+            raise ValueError(f"layer {self.name}: non-positive output size")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weight values (K*K*C*F)."""
+        return self.kernel * self.kernel * self.in_channels * self.out_channels
+
+    @property
+    def input_size(self) -> int:
+        """Number of input activation values per sample (C*H*W)."""
+        return self.in_channels * self.in_height * self.in_width
+
+    @property
+    def output_size(self) -> int:
+        """Number of output activation values per sample (F*OH*OW)."""
+        return self.out_channels * self.out_height * self.out_width
+
+    # ------------------------------------------------------------------
+    # Dense operation counts (per sample)
+    # ------------------------------------------------------------------
+    @property
+    def forward_macs(self) -> int:
+        """Dense multiply-accumulates of the Forward step."""
+        return self.output_size * self.kernel * self.kernel * self.in_channels
+
+    @property
+    def gta_macs(self) -> int:
+        """Dense MACs of the GTA step (dI = dO * W+), same count as forward."""
+        return self.forward_macs
+
+    @property
+    def gtw_macs(self) -> int:
+        """Dense MACs of the GTW step (dW = dO * I), same count as forward."""
+        return self.forward_macs
+
+    @property
+    def training_macs(self) -> int:
+        """Total dense MACs for one training sample (forward + GTA + GTW)."""
+        return self.forward_macs + self.gta_macs + self.gtw_macs
+
+    @property
+    def has_relu_mask(self) -> bool:
+        """Whether a forward ReLU/MaxPool mask exists for MSRC skipping."""
+        return self.structure in (ConvStructure.CONV_RELU, ConvStructure.CONV_BN_RELU)
+
+
+@dataclass(frozen=True)
+class LinearLayerSpec:
+    """Geometry of a fully connected layer (treated as a 1x1x1 convolution)."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.in_features, "in_features")
+        check_positive_int(self.out_features, "out_features")
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def forward_macs(self) -> int:
+        return self.weight_count
+
+    @property
+    def training_macs(self) -> int:
+        return 3 * self.weight_count
+
+    def as_conv(self) -> ConvLayerSpec:
+        """View the linear layer as a 1x1 convolution over a 1x1 feature map."""
+        return ConvLayerSpec(
+            name=self.name,
+            in_channels=self.in_features,
+            out_channels=self.out_features,
+            kernel=1,
+            stride=1,
+            padding=0,
+            in_height=1,
+            in_width=1,
+            structure=ConvStructure.CONV_RELU,
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A whole model: ordered convolution layers plus the classifier head."""
+
+    name: str
+    dataset: str
+    input_shape: tuple[int, int, int]
+    conv_layers: tuple[ConvLayerSpec, ...]
+    linear_layers: tuple[LinearLayerSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.conv_layers:
+            raise ValueError(f"model {self.name} has no convolution layers")
+
+    @property
+    def num_conv_layers(self) -> int:
+        return len(self.conv_layers)
+
+    @property
+    def total_weights(self) -> int:
+        conv = sum(layer.weight_count for layer in self.conv_layers)
+        linear = sum(layer.weight_count for layer in self.linear_layers)
+        return conv + linear
+
+    @property
+    def total_training_macs(self) -> int:
+        """Dense training MACs per sample, conv plus classifier head."""
+        conv = sum(layer.training_macs for layer in self.conv_layers)
+        linear = sum(layer.training_macs for layer in self.linear_layers)
+        return conv + linear
+
+    @property
+    def conv_training_macs(self) -> int:
+        return sum(layer.training_macs for layer in self.conv_layers)
+
+    def layer_by_name(self, name: str) -> ConvLayerSpec:
+        for layer in self.conv_layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"model {self.name} has no conv layer named {name!r}")
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the model."""
+        lines = [
+            f"{self.name} ({self.dataset}), input {self.input_shape}",
+            f"  {self.num_conv_layers} conv layers, {len(self.linear_layers)} linear layers",
+            f"  {self.total_weights / 1e6:.2f}M weights, "
+            f"{self.total_training_macs / 1e9:.2f} GMAC per training sample (dense)",
+        ]
+        for layer in self.conv_layers:
+            lines.append(
+                f"    {layer.name}: {layer.in_channels}x{layer.in_height}x{layer.in_width}"
+                f" -> {layer.out_channels}x{layer.out_height}x{layer.out_width}"
+                f" k{layer.kernel} s{layer.stride} p{layer.padding} [{layer.structure.value}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Model zoo: the named model/dataset combinations evaluated in the paper.
+
+The paper's Fig. 8 / Fig. 9 sweep AlexNet and ResNet-18/34 over CIFAR-10,
+CIFAR-100 and ImageNet (Table II additionally includes ResNet-152 on CIFAR).
+``paper_workloads`` enumerates those combinations as :class:`ModelSpec`
+objects so the latency/energy harness can iterate over them.
+"""
+
+from __future__ import annotations
+
+from repro.models.alexnet import alexnet_cifar_spec, alexnet_imagenet_spec
+from repro.models.resnet import resnet_spec
+from repro.models.spec import ModelSpec
+
+
+def get_model_spec(model: str, dataset: str) -> ModelSpec:
+    """Look up a model/dataset combination by name.
+
+    Parameters
+    ----------
+    model:
+        ``"AlexNet"`` or ``"ResNet-<depth>"`` (depth in 18/34/50/101/152).
+    dataset:
+        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"``.
+    """
+    model_key = model.lower().replace("_", "-")
+    dataset_key = dataset.lower()
+    if model_key == "alexnet":
+        if dataset_key == "imagenet":
+            return alexnet_imagenet_spec()
+        if dataset_key in ("cifar-10", "cifar10"):
+            return alexnet_cifar_spec(10)
+        if dataset_key in ("cifar-100", "cifar100"):
+            return alexnet_cifar_spec(100)
+        raise ValueError(f"unknown dataset {dataset!r} for AlexNet")
+    if model_key.startswith("resnet-"):
+        try:
+            depth = int(model_key.split("-", 1)[1])
+        except ValueError as exc:
+            raise ValueError(f"cannot parse ResNet depth from {model!r}") from exc
+        return resnet_spec(depth, dataset)
+    raise ValueError(f"unknown model {model!r}; expected AlexNet or ResNet-<depth>")
+
+
+def paper_workloads(include_imagenet: bool = True) -> list[ModelSpec]:
+    """The model/dataset grid of the paper's Fig. 8 and Fig. 9."""
+    combinations = [
+        ("AlexNet", "CIFAR-10"),
+        ("AlexNet", "CIFAR-100"),
+        ("ResNet-18", "CIFAR-10"),
+        ("ResNet-18", "CIFAR-100"),
+        ("ResNet-34", "CIFAR-10"),
+        ("ResNet-34", "CIFAR-100"),
+    ]
+    if include_imagenet:
+        combinations.extend(
+            [
+                ("AlexNet", "ImageNet"),
+                ("ResNet-18", "ImageNet"),
+                ("ResNet-34", "ImageNet"),
+            ]
+        )
+    return [get_model_spec(model, dataset) for model, dataset in combinations]
+
+
+def table2_workloads() -> list[tuple[str, str]]:
+    """The (model, dataset) rows of the paper's Table II."""
+    rows: list[tuple[str, str]] = []
+    for dataset in ("CIFAR-10", "CIFAR-100", "ImageNet"):
+        models = ["AlexNet", "ResNet-18", "ResNet-34"]
+        if dataset.startswith("CIFAR"):
+            models.append("ResNet-152")
+        for model in models:
+            rows.append((model, dataset))
+    return rows

@@ -1,0 +1,60 @@
+"""A small, explicit numpy CNN training framework.
+
+This package is the training substrate the SparseTrain reproduction runs on:
+layers with explicit forward/backward, losses, optimisers and a mini-batch
+trainer with callback hooks.  The gradient-pruning algorithm from the paper
+plugs into it through layer gradient hooks (see :mod:`repro.pruning`).
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    Linear,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, StepLR
+from repro.nn.trainer import (
+    Callback,
+    EpochStats,
+    Trainer,
+    TrainingHistory,
+    accuracy,
+)
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Linear",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "ResidualBlock",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "Trainer",
+    "Callback",
+    "EpochStats",
+    "TrainingHistory",
+    "accuracy",
+]

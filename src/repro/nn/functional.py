@@ -1,0 +1,374 @@
+"""Functional numpy kernels for CNN training.
+
+These are the computational primitives used by the layer classes in
+:mod:`repro.nn.layers`.  Convolutions are implemented with an im2col
+transformation so both the forward pass and the two backward products (the
+GTA product ``dI = dO * W+`` and the GTW product ``dW = dO * I`` from the
+paper's Section II) reduce to dense matrix multiplications — fast enough in
+numpy to actually train the reduced models used for the Table II experiments.
+
+Shape conventions follow the paper: activations are ``(N, C, H, W)`` tensors
+(batch, channels, height, width) and convolution weights are
+``(F, C, K, K)`` tensors (output channels, input channels, kernel height,
+kernel width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding} gives non-positive output {out}"
+        )
+    return out
+
+
+def _im2col_indices(
+    in_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute the (k, i, j) gather indices for im2col."""
+    _, channels, height, width = in_shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into columns.
+
+    Returns an array of shape ``(C*KH*KW, N*OH*OW)`` where each column holds
+    the receptive field of one output position.
+    """
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    x_padded = np.pad(x, pad_width, mode="constant") if padding > 0 else x
+    k, i, j, _, _ = _im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    cols = x_padded[:, k, i, j]
+    cols = cols.transpose(1, 2, 0).reshape(kernel_h * kernel_w * x.shape[1], -1)
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    in_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold columns back into an (N, C, H, W) tensor, accumulating overlaps.
+
+    This is the adjoint of :func:`im2col` and is used to compute the gradient
+    with respect to the convolution input (the paper's GTA step).
+    """
+    batch, channels, height, width = in_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(in_shape, kernel_h, kernel_w, stride, padding)
+    cols_reshaped = cols.reshape(channels * kernel_h * kernel_w, -1, batch)
+    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward 2-D convolution.
+
+    Returns ``(output, x_cols)`` where ``x_cols`` is the im2col buffer cached
+    for the backward pass.
+    """
+    batch = x.shape[0]
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    out_h = conv_output_size(x.shape[2], kernel_h, stride, padding)
+    out_w = conv_output_size(x.shape[3], kernel_w, stride, padding)
+
+    x_cols = im2col(x, kernel_h, kernel_w, stride, padding)
+    w_rows = weight.reshape(out_channels, -1)
+    out = w_rows @ x_cols
+    if bias is not None:
+        out += bias.reshape(-1, 1)
+    out = out.reshape(out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+    return np.ascontiguousarray(out), x_cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    x_cols: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    need_input_grad: bool = True,
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Backward 2-D convolution.
+
+    Implements both backward products from the paper:
+
+    * GTA — gradient to input activations ``dI = sum_i dO_i * W+_{i,j}``.
+    * GTW — gradient to weights ``dW_{i,j} = dO_i * I_j``.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``; ``grad_input`` is
+    ``None`` when ``need_input_grad`` is ``False`` (first layer of a network).
+    """
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    grad_out_rows = grad_out.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+
+    grad_bias = grad_out.sum(axis=(0, 2, 3))
+    grad_weight = (grad_out_rows @ x_cols.T).reshape(weight.shape)
+
+    grad_input = None
+    if need_input_grad:
+        w_rows = weight.reshape(out_channels, -1)
+        grad_cols = w_rows.T @ grad_out_rows
+        grad_input = col2im(grad_cols, x_shape, kernel_h, kernel_w, stride, padding)
+    return grad_input, grad_weight, grad_bias
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward max pooling.
+
+    Returns ``(output, argmax)`` where ``argmax`` stores, for every output
+    element, the flat index of the winning element inside its window.  This is
+    the "mask recorded in the forward stage" that the paper's GTA step reuses.
+    """
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+
+    x_reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col(x_reshaped, kernel, kernel, stride, 0)
+    argmax = np.argmax(cols, axis=0)
+    out = cols[argmax, np.arange(cols.shape[1])]
+    out = out.reshape(out_h, out_w, batch, channels).transpose(2, 3, 0, 1)
+    return np.ascontiguousarray(out), argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    argmax: np.ndarray,
+    kernel: int,
+    stride: int | None = None,
+) -> np.ndarray:
+    """Backward max pooling: route gradients to the argmax positions."""
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x_shape
+    grad_flat = grad_out.transpose(2, 3, 0, 1).reshape(-1)
+    cols = np.zeros((kernel * kernel, grad_flat.size), dtype=grad_out.dtype)
+    cols[argmax, np.arange(grad_flat.size)] = grad_flat
+    grad_x = col2im(
+        cols, (batch * channels, 1, height, width), kernel, kernel, stride, 0
+    )
+    return grad_x.reshape(x_shape)
+
+
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Forward average pooling over non-overlapping or strided windows."""
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    x_reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col(x_reshaped, kernel, kernel, stride, 0)
+    out = cols.mean(axis=0)
+    out = out.reshape(out_h, out_w, batch, channels).transpose(2, 3, 0, 1)
+    return np.ascontiguousarray(out)
+
+
+def avgpool2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int | None = None,
+) -> np.ndarray:
+    """Backward average pooling: spread gradients uniformly over each window."""
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x_shape
+    grad_flat = grad_out.transpose(2, 3, 0, 1).reshape(-1)
+    cols = np.tile(grad_flat / (kernel * kernel), (kernel * kernel, 1))
+    grad_x = col2im(
+        cols, (batch * channels, 1, height, width), kernel, kernel, stride, 0
+    )
+    return grad_x.reshape(x_shape)
+
+
+# ---------------------------------------------------------------------------
+# Activations and normalisation
+# ---------------------------------------------------------------------------
+
+def relu_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """ReLU forward; returns ``(output, mask)`` with the non-zero mask."""
+    mask = x > 0
+    return x * mask, mask
+
+
+def relu_backward(grad_out: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """ReLU backward using the mask recorded in the forward pass."""
+    return grad_out * mask
+
+
+def batchnorm_forward(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    training: bool,
+    axes: tuple[int, ...],
+) -> tuple[np.ndarray, dict]:
+    """Batch normalisation forward over ``axes`` (e.g. ``(0, 2, 3)`` for NCHW).
+
+    Running statistics are updated in place when ``training`` is true.
+    Returns ``(output, cache)`` where ``cache`` feeds the backward pass.
+    """
+    shape = [1] * x.ndim
+    for axis in range(x.ndim):
+        if axis not in axes:
+            shape[axis] = x.shape[axis]
+
+    if training:
+        mean = x.mean(axis=axes)
+        var = x.var(axis=axes)
+        count = x.size / mean.size
+        # Unbiased variance for the running estimate, biased for normalisation
+        # (matches the convention used by mainstream frameworks).
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mean
+        running_var *= 1 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_b = mean.reshape(shape)
+    var_b = var.reshape(shape)
+    inv_std = 1.0 / np.sqrt(var_b + eps)
+    x_hat = (x - mean_b) * inv_std
+    out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+    cache = {
+        "x_hat": x_hat,
+        "inv_std": inv_std,
+        "gamma": gamma,
+        "shape": shape,
+        "axes": axes,
+    }
+    return out, cache
+
+
+def batchnorm_backward(
+    grad_out: np.ndarray, cache: dict
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch normalisation backward; returns ``(dx, dgamma, dbeta)``."""
+    x_hat = cache["x_hat"]
+    inv_std = cache["inv_std"]
+    gamma = cache["gamma"]
+    shape = cache["shape"]
+    axes = cache["axes"]
+
+    count = grad_out.size / gamma.size
+    dbeta = grad_out.sum(axis=axes)
+    dgamma = (grad_out * x_hat).sum(axis=axes)
+
+    gamma_b = gamma.reshape(shape)
+    dx_hat = grad_out * gamma_b
+    mean_dx_hat = dx_hat.mean(axis=axes).reshape(shape)
+    mean_dx_hat_xhat = (dx_hat * x_hat).mean(axis=axes).reshape(shape)
+    dx = inv_std * (dx_hat - mean_dx_hat - x_hat * mean_dx_hat_xhat)
+    # The training-mode backward divides by the per-feature count implicitly
+    # through the two means above, so no further scaling by ``count`` needed.
+    del count
+    return dx, dgamma, dbeta
+
+
+# ---------------------------------------------------------------------------
+# Linear / classifier head
+# ---------------------------------------------------------------------------
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+) -> np.ndarray:
+    """Affine transform ``y = x @ W.T + b`` for ``x`` of shape (N, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out += bias
+    return out
+
+
+def linear_backward(
+    grad_out: np.ndarray, x: np.ndarray, weight: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward affine transform; returns ``(dx, dW, db)``."""
+    grad_input = grad_out @ weight
+    grad_weight = grad_out.T @ x
+    grad_bias = grad_out.sum(axis=0)
+    return grad_input, grad_weight, grad_bias
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient with respect to the logits.
+
+    ``labels`` are integer class indices of shape (N,).
+    """
+    batch = logits.shape[0]
+    probs = softmax(logits)
+    eps = np.finfo(probs.dtype).tiny
+    loss = -np.log(probs[np.arange(batch), labels] + eps).mean()
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return float(loss), grad

@@ -1,0 +1,56 @@
+"""Weight initialisation schemes.
+
+Kaiming (He) initialisation is the default for convolution and linear layers
+feeding ReLU non-linearities, matching what the paper's AlexNet/ResNet
+training setups use in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """He-normal initialisation: ``N(0, sqrt(2 / fan_in))``."""
+    rng = derive_rng(rng)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """He-uniform initialisation: ``U(-bound, bound)`` with ``bound = sqrt(6/fan_in)``."""
+    rng = derive_rng(rng)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot-normal initialisation: ``N(0, sqrt(2 / (fan_in + fan_out)))``."""
+    rng = derive_rng(rng)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, BN beta)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (BN gamma)."""
+    return np.ones(shape, dtype=np.float64)

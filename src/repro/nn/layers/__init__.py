@@ -1,0 +1,27 @@
+"""Layer classes for the numpy CNN training framework."""
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.batchnorm import BatchNorm1D, BatchNorm2D
+from repro.nn.layers.container import ResidualBlock, Sequential
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.shape import Dropout, Flatten
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Linear",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "ResidualBlock",
+]

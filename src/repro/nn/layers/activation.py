@@ -1,0 +1,41 @@
+"""Activation layers (ReLU).
+
+ReLU is the source of the paper's *natural* sparsity: its forward pass zeroes
+negative activations (sparse ``I`` for the next CONV layer) and its backward
+pass applies the recorded mask to the incoming gradient (sparse ``dO`` for the
+preceding CONV layer in Conv-ReLU structures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Pointwise ``max(0, x)`` with mask recording for the backward pass."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._mask: np.ndarray | None = None
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        """Non-zero mask recorded during the last forward pass.
+
+        The accelerator's MSRC operation consumes exactly this mask to skip
+        computing gradient values that ReLU would zero anyway.
+        """
+        return self._mask
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out, mask = F.relu_forward(x)
+        self._mask = mask
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        return F.relu_backward(grad_out, self._mask)

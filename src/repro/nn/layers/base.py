@@ -1,0 +1,197 @@
+"""Layer and Parameter base classes for the numpy training framework.
+
+The framework is deliberately explicit: every layer caches whatever it needs
+during :meth:`Layer.forward` and consumes it in :meth:`Layer.backward`.  There
+is no autograd tape — CNN training as described in the SparseTrain paper is a
+fixed three-stage pipeline (Forward, GTA, GTW) and modelling it explicitly
+keeps the correspondence between the numpy reference and the accelerator
+dataflow obvious.
+
+Gradient *hooks* are the integration point for the paper's contribution: the
+stochastic activation-gradient pruning attaches to layers as a hook that
+rewrites the gradient tensor flowing out of (or into) a layer's backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+GradHook = Callable[[np.ndarray], np.ndarray]
+ForwardHook = Callable[["Layer", np.ndarray, np.ndarray], None]
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        Current parameter values.
+    grad:
+        Gradient of the loss with respect to ``data``; ``None`` until the
+        first backward pass, reset by the optimiser via :meth:`zero_grad`.
+    name:
+        Human-readable name used in reports and debugging.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient (creating it if absent)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`_forward` and :meth:`_backward`; the public
+    :meth:`forward`/:meth:`backward` wrappers apply registered gradient hooks
+    and keep book-keeping consistent.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__
+        self.training = True
+        self._grad_output_hooks: list[GradHook] = []
+        self._grad_input_hooks: list[GradHook] = []
+        self._forward_hooks: list[ForwardHook] = []
+
+    # ------------------------------------------------------------------
+    # Hook registration
+    # ------------------------------------------------------------------
+    def register_grad_output_hook(self, hook: GradHook) -> None:
+        """Register a hook applied to the gradient *entering* backward.
+
+        In the paper's terminology this is ``dO`` of the layer — the gradient
+        with respect to the layer's output.
+        """
+        self._grad_output_hooks.append(hook)
+
+    def register_grad_input_hook(self, hook: GradHook) -> None:
+        """Register a hook applied to the gradient *leaving* backward.
+
+        In the paper's terminology this is ``dI`` of the layer — the gradient
+        with respect to the layer's input, which is what gets propagated to
+        the previous layer.
+        """
+        self._grad_input_hooks.append(hook)
+
+    def register_forward_hook(self, hook: ForwardHook) -> None:
+        """Register an observer called as ``hook(layer, x, output)`` after forward.
+
+        Forward hooks are observational only (their return value is ignored);
+        the sparsity profiler uses them to measure activation densities
+        without touching the layers themselves.
+        """
+        self._forward_hooks.append(hook)
+
+    def clear_hooks(self) -> None:
+        """Remove all registered gradient and forward hooks."""
+        self._grad_output_hooks.clear()
+        self._grad_input_hooks.clear()
+        self._forward_hooks.clear()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self) -> "Layer":
+        """Put the layer (and sub-layers) in training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Layer":
+        """Put the layer (and sub-layers) in evaluation mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def children(self) -> Iterable["Layer"]:
+        """Yield immediate sub-layers; leaf layers yield nothing."""
+        return ()
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of the layer and its children."""
+        params: list[Parameter] = list(self._own_parameters())
+        for child in self.children():
+            params.extend(child.parameters())
+        return params
+
+    def _own_parameters(self) -> Iterable[Parameter]:
+        return ()
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter owned by this layer tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the forward pass (caching whatever backward needs)."""
+        x = np.asarray(x, dtype=np.float64)
+        out = self._forward(x)
+        for hook in self._forward_hooks:
+            hook(self, x, out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Run the backward pass, applying gradient hooks.
+
+        ``grad_out`` is the gradient of the loss with respect to this layer's
+        output; the return value is the gradient with respect to its input.
+        """
+        grad = np.asarray(grad_out, dtype=np.float64)
+        for hook in self._grad_output_hooks:
+            grad = hook(grad)
+        grad_in = self._backward(grad)
+        for hook in self._grad_input_hooks:
+            grad_in = hook(grad_in)
+        return grad_in
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # Subclass API -------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,89 @@
+"""Batch normalisation layers (2-D for NCHW feature maps, 1-D for vectors)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.validation import check_positive_float, check_positive_int
+
+
+class _BatchNorm(Layer):
+    """Shared implementation; subclasses fix the reduction axes."""
+
+    axes: tuple[int, ...] = (0,)
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.num_features = check_positive_int(num_features, "num_features")
+        self.momentum = check_positive_float(momentum, "momentum")
+        self.eps = check_positive_float(eps, "eps")
+        self.gamma = Parameter(init.ones((num_features,)), name=f"{self.name}.gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name=f"{self.name}.beta")
+        self.running_mean = np.zeros((num_features,), dtype=np.float64)
+        self.running_var = np.ones((num_features,), dtype=np.float64)
+        self._cache: dict | None = None
+
+    def _own_parameters(self):
+        return (self.gamma, self.beta)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        self._check_input(x)
+        out, cache = F.batchnorm_forward(
+            x,
+            self.gamma.data,
+            self.beta.data,
+            self.running_mean,
+            self.running_var,
+            self.momentum,
+            self.eps,
+            self.training,
+            self.axes,
+        )
+        self._cache = cache if self.training else None
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                f"{self.name}: backward requires a preceding training-mode forward"
+            )
+        grad_input, dgamma, dbeta = F.batchnorm_backward(grad_out, self._cache)
+        self.gamma.accumulate_grad(dgamma)
+        self.beta.accumulate_grad(dbeta)
+        return grad_input
+
+
+class BatchNorm2D(_BatchNorm):
+    """Batch normalisation over (N, C, H, W), normalising each channel."""
+
+    axes = (0, 2, 3)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected input (N, {self.num_features}, H, W), got {x.shape}"
+            )
+
+
+class BatchNorm1D(_BatchNorm):
+    """Batch normalisation over (N, C) feature vectors."""
+
+    axes = (0,)
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected input (N, {self.num_features}), got {x.shape}"
+            )

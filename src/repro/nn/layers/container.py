@@ -1,0 +1,139 @@
+"""Composite layers: Sequential containers and residual blocks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm2D
+from repro.nn.layers.conv import Conv2D
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order.
+
+    Backward runs the layers in reverse order, which is exactly the paper's
+    GTA sweep from the loss back to the input layer.
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.layers: list[Layer] = list(layers)
+        for index, layer in enumerate(self.layers):
+            if not isinstance(layer, Layer):
+                raise TypeError(
+                    f"{self.name}: element {index} is {type(layer).__name__}, expected Layer"
+                )
+
+    def children(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def append(self, layer: Layer) -> None:
+        """Append a layer to the end of the chain."""
+        if not isinstance(layer, Layer):
+            raise TypeError(f"expected Layer, got {type(layer).__name__}")
+        self.layers.append(layer)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class ResidualBlock(Layer):
+    """A basic ResNet block: Conv-BN-ReLU-Conv-BN plus identity/projection skip.
+
+    The block is the Conv-BN-ReLU structure from the paper's Fig. 4: the
+    gradient entering each internal convolution's backward (``dO``) is dense
+    after passing through the BN backward, which is exactly why the paper
+    prunes ``dO`` for this structure.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        prefix = self.name
+        self.conv1 = Conv2D(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False,
+            rng=rng, name=f"{prefix}.conv1",
+        )
+        self.bn1 = BatchNorm2D(out_channels, name=f"{prefix}.bn1")
+        self.relu1 = ReLU(name=f"{prefix}.relu1")
+        self.conv2 = Conv2D(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False,
+            rng=rng, name=f"{prefix}.conv2",
+        )
+        self.bn2 = BatchNorm2D(out_channels, name=f"{prefix}.bn2")
+        self.relu2 = ReLU(name=f"{prefix}.relu2")
+
+        self.downsample_conv: Conv2D | None = None
+        self.downsample_bn: BatchNorm2D | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample_conv = Conv2D(
+                in_channels, out_channels, 1, stride=stride, padding=0, bias=False,
+                rng=rng, name=f"{prefix}.down_conv",
+            )
+            self.downsample_bn = BatchNorm2D(out_channels, name=f"{prefix}.down_bn")
+
+    def children(self) -> Iterator[Layer]:
+        yield self.conv1
+        yield self.bn1
+        yield self.relu1
+        yield self.conv2
+        yield self.bn2
+        yield self.relu2
+        if self.downsample_conv is not None:
+            yield self.downsample_conv
+        if self.downsample_bn is not None:
+            yield self.downsample_bn
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.conv1.forward(x)
+        out = self.bn1.forward(out)
+        out = self.relu1.forward(out)
+        out = self.conv2.forward(out)
+        out = self.bn2.forward(out)
+        if self.downsample_conv is not None:
+            identity = self.downsample_conv.forward(x)
+            identity = self.downsample_bn.forward(identity)
+        else:
+            identity = x
+        return self.relu2.forward(out + identity)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_out)
+        # grad_sum splits into the residual branch and the skip branch.
+        grad_branch = self.bn2.backward(grad_sum)
+        grad_branch = self.conv2.backward(grad_branch)
+        grad_branch = self.relu1.backward(grad_branch)
+        grad_branch = self.bn1.backward(grad_branch)
+        grad_branch = self.conv1.backward(grad_branch)
+
+        if self.downsample_conv is not None:
+            grad_skip = self.downsample_bn.backward(grad_sum)
+            grad_skip = self.downsample_conv.backward(grad_skip)
+        else:
+            grad_skip = grad_sum
+        return grad_branch + grad_skip

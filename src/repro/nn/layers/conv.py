@@ -1,0 +1,97 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+class Conv2D(Layer):
+    """A standard 2-D convolution over NCHW activations.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts ``C`` and ``F`` in the paper's notation.
+    kernel_size:
+        Square kernel size ``K``.
+    stride, padding:
+        Spatial stride and zero padding.
+    bias:
+        Whether the layer carries a bias vector ``b``.
+    rng:
+        Generator used for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.in_channels = check_positive_int(in_channels, "in_channels")
+        self.out_channels = check_positive_int(out_channels, "out_channels")
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(stride, "stride")
+        self.padding = check_non_negative_int(padding, "padding")
+
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = init.kaiming_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+        )
+        self.weight = Parameter(weight, name=f"{self.name}.weight")
+        self.bias = Parameter(init.zeros((out_channels,)), name=f"{self.name}.bias") if bias else None
+
+        self._cache_x_shape: tuple[int, int, int, int] | None = None
+        self._cache_x_cols: np.ndarray | None = None
+
+    def _own_parameters(self):
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+    def output_shape(self, in_shape: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Compute the (C, H, W) output shape for a (C, H, W) input shape."""
+        _, height, width = in_shape
+        out_h = F.conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected input of shape (N, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        bias = self.bias.data if self.bias is not None else None
+        out, x_cols = F.conv2d_forward(x, self.weight.data, bias, self.stride, self.padding)
+        self._cache_x_shape = x.shape
+        self._cache_x_cols = x_cols
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x_cols is None or self._cache_x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        grad_input, grad_weight, grad_bias = F.conv2d_backward(
+            grad_out,
+            self._cache_x_shape,
+            self._cache_x_cols,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            need_input_grad=True,
+        )
+        self.weight.accumulate_grad(grad_weight)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_bias)
+        return grad_input

@@ -1,0 +1,57 @@
+"""Fully connected (linear) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers.base import Layer, Parameter
+from repro.utils.validation import check_positive_int
+
+
+class Linear(Layer):
+    """Affine layer ``y = x @ W.T + b`` over (N, in_features) inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        weight = init.kaiming_normal((out_features, in_features), in_features, rng)
+        self.weight = Parameter(weight, name=f"{self.name}.weight")
+        self.bias = (
+            Parameter(init.zeros((out_features,)), name=f"{self.name}.bias") if bias else None
+        )
+        self._cache_x: np.ndarray | None = None
+
+    def _own_parameters(self):
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_x = x
+        bias = self.bias.data if self.bias is not None else None
+        return F.linear_forward(x, self.weight.data, bias)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        grad_input, grad_weight, grad_bias = F.linear_backward(
+            grad_out, self._cache_x, self.weight.data
+        )
+        self.weight.accumulate_grad(grad_weight)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_bias)
+        return grad_input

@@ -1,0 +1,82 @@
+"""Pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+from repro.utils.validation import check_positive_int
+
+
+class MaxPool2D(Layer):
+    """Max pooling over square windows.
+
+    The argmax positions recorded in the forward pass are the "mask" the
+    paper's GTA step reuses: the backward pass only routes gradient to the
+    winning position of each window, all other positions are exactly zero.
+    """
+
+    def __init__(self, kernel: int, stride: int | None = None, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.kernel = check_positive_int(kernel, "kernel")
+        self.stride = check_positive_int(stride, "stride") if stride is not None else self.kernel
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def output_shape(self, in_shape: tuple[int, int, int]) -> tuple[int, int, int]:
+        channels, height, width = in_shape
+        out_h = F.conv_output_size(height, self.kernel, self.stride, 0)
+        out_w = F.conv_output_size(width, self.kernel, self.stride, 0)
+        return (channels, out_h, out_w)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out, argmax = F.maxpool2d_forward(x, self.kernel, self.stride)
+        self._argmax = argmax
+        self._x_shape = x.shape
+        return out
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        return F.maxpool2d_backward(grad_out, self._x_shape, self._argmax, self.kernel, self.stride)
+
+
+class AvgPool2D(Layer):
+    """Average pooling over square windows."""
+
+    def __init__(self, kernel: int, stride: int | None = None, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.kernel = check_positive_int(kernel, "kernel")
+        self.stride = check_positive_int(stride, "stride") if stride is not None else self.kernel
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return F.avgpool2d_forward(x, self.kernel, self.stride)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        return F.avgpool2d_backward(grad_out, self._x_shape, self.kernel, self.stride)
+
+
+class GlobalAvgPool2D(Layer):
+    """Average pooling over the full spatial extent, producing (N, C)."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        _, _, height, width = self._x_shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_out[:, :, None, None] * scale, self._x_shape
+        ).copy()

@@ -1,0 +1,54 @@
+"""Shape-manipulation layers (flatten) and dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+
+class Flatten(Layer):
+    """Flatten (N, C, H, W) feature maps into (N, C*H*W) vectors."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(
+        self,
+        rate: float = 0.5,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.rate = check_probability(rate, "rate")
+        self.rng = derive_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,69 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> loss`` and caches what it
+needs to later return the gradient with respect to the predictions from
+``backward()`` — the entry point of the paper's GTA sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class SoftmaxCrossEntropy:
+    """Softmax cross-entropy over integer class labels."""
+
+    def __init__(self) -> None:
+        self._grad: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Compute the mean loss and cache the gradient w.r.t. the logits."""
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("labels contain indices outside [0, num_classes)")
+        loss, grad = F.cross_entropy_loss(logits, labels)
+        self._grad = grad
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """Return the gradient of the loss with respect to the logits."""
+        if self._grad is None:
+            raise RuntimeError("backward called before forward")
+        return self._grad
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MeanSquaredError:
+    """Mean squared error between predictions and targets of equal shape."""
+
+    def __init__(self) -> None:
+        self._grad: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape}, targets {targets.shape}"
+            )
+        diff = predictions - targets
+        self._grad = 2.0 * diff / diff.size
+        return float(np.mean(diff * diff))
+
+    def backward(self) -> np.ndarray:
+        if self._grad is None:
+            raise RuntimeError("backward called before forward")
+        return self._grad
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

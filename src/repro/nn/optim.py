@@ -1,0 +1,142 @@
+"""Optimisers for the Weight Update stage (SGD with momentum, plus Adam).
+
+The paper uses plain SGD ("weights are updated according to a pre-set
+learning rate α") and notes that weight update is not the performance
+bottleneck; we still implement the standard momentum/weight-decay variants so
+the reduced Table II training runs converge in a reasonable number of epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+from repro.utils.validation import check_positive_float
+
+
+class Optimizer:
+    """Base class holding the parameter list and the zero-grad helper."""
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer created with an empty parameter list")
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = check_positive_float(lr, "lr")
+        if momentum < 0.0 or momentum >= 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[index] = velocity
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) — used by some ablation experiments."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = check_positive_float(lr, "lr")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = check_positive_float(eps, "eps")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.weight_decay = float(weight_decay)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        self._t += 1
+        beta1, beta2 = self.betas
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(index, np.zeros_like(param.data))
+            v = self._v.get(index, np.zeros_like(param.data))
+            m = beta1 * m + (1 - beta1) * grad
+            v = beta2 * v + (1 - beta2) * grad * grad
+            self._m[index] = m
+            self._v[index] = v
+            m_hat = m / (1 - beta1**self._t)
+            v_hat = v / (1 - beta2**self._t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Step learning-rate schedule: multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        if not hasattr(optimizer, "lr"):
+            raise TypeError("optimizer does not expose an lr attribute")
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and decay the learning rate if due."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

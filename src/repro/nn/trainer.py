@@ -1,0 +1,234 @@
+"""Training loop: batching, forward/backward/update, metrics and callbacks.
+
+The :class:`Trainer` drives the three stages the paper describes (Forward,
+Backward = GTA + GTW, Weight Update) over mini-batches.  Callbacks observe the
+loop at batch and epoch granularity; the gradient-pruning controller and the
+sparsity profiler are both implemented as callbacks so they compose freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Optimizer
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("trainer")
+
+
+class TrainerCallback(Protocol):
+    """Observer interface for the training loop.
+
+    All methods are optional in spirit; the default base class
+    :class:`Callback` provides no-op implementations to subclass.
+    """
+
+    def on_epoch_start(self, trainer: "Trainer", epoch: int) -> None: ...
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: "EpochStats") -> None: ...
+
+    def on_batch_start(self, trainer: "Trainer", step: int) -> None: ...
+
+    def on_batch_end(self, trainer: "Trainer", step: int, loss: float) -> None: ...
+
+
+class Callback:
+    """No-op base implementation of :class:`TrainerCallback`."""
+
+    def on_epoch_start(self, trainer: "Trainer", epoch: int) -> None:
+        return None
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, stats: "EpochStats") -> None:
+        return None
+
+    def on_batch_start(self, trainer: "Trainer", step: int) -> None:
+        return None
+
+    def on_batch_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        return None
+
+
+@dataclass
+class EpochStats:
+    """Aggregate statistics of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_loss: float | None = None
+    test_accuracy: float | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics for a whole training run."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_accuracy
+
+    @property
+    def final_test_accuracy(self) -> float | None:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].test_accuracy
+
+    @property
+    def best_test_accuracy(self) -> float | None:
+        accs = [e.test_accuracy for e in self.epochs if e.test_accuracy is not None]
+        return max(accs) if accs else None
+
+    def train_losses(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+    def train_accuracies(self) -> list[float]:
+        return [e.train_accuracy for e in self.epochs]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+class Trainer:
+    """Mini-batch trainer for classification models.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.layers.base.Layer` mapping images to logits.
+    optimizer:
+        Optimiser over ``model.parameters()``.
+    loss:
+        Loss object; defaults to softmax cross-entropy.
+    callbacks:
+        Observers invoked around batches and epochs (pruning controller,
+        sparsity profiler, custom logging...).
+    """
+
+    def __init__(
+        self,
+        model: Layer,
+        optimizer: Optimizer,
+        loss: SoftmaxCrossEntropy | None = None,
+        callbacks: list[Callback] | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.callbacks: list[Callback] = list(callbacks or [])
+        self.global_step = 0
+
+    def add_callback(self, callback: Callback) -> None:
+        """Register an additional callback."""
+        self.callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Single-batch primitives
+    # ------------------------------------------------------------------
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """Run Forward, GTA+GTW and Weight Update on one mini-batch.
+
+        Returns ``(loss, accuracy)`` for the batch.
+        """
+        for callback in self.callbacks:
+            callback.on_batch_start(self, self.global_step)
+
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model.forward(images)
+        loss_value = self.loss.forward(logits, labels)
+        grad = self.loss.backward()
+        self.model.backward(grad)
+        self.optimizer.step()
+
+        batch_accuracy = accuracy(logits, labels)
+        for callback in self.callbacks:
+            callback.on_batch_end(self, self.global_step, loss_value)
+        self.global_step += 1
+        return loss_value, batch_accuracy
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> tuple[float, float]:
+        """Evaluate the model on a held-out set; returns ``(loss, accuracy)``."""
+        self.model.eval()
+        losses: list[float] = []
+        correct = 0
+        total = 0
+        eval_loss = SoftmaxCrossEntropy()
+        for start in range(0, len(images), batch_size):
+            batch_x = images[start : start + batch_size]
+            batch_y = labels[start : start + batch_size]
+            logits = self.model.forward(batch_x)
+            losses.append(eval_loss.forward(logits, batch_y) * len(batch_x))
+            correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+            total += len(batch_x)
+        self.model.train()
+        return float(np.sum(losses) / max(total, 1)), correct / max(total, 1)
+
+    # ------------------------------------------------------------------
+    # Full run
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        epochs: int,
+        batch_size: int = 32,
+        test_images: np.ndarray | None = None,
+        test_labels: np.ndarray | None = None,
+        shuffle_rng: np.random.Generator | None = None,
+        scheduler=None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the per-epoch history."""
+        if len(train_images) != len(train_labels):
+            raise ValueError("train_images and train_labels length mismatch")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        rng = shuffle_rng if shuffle_rng is not None else np.random.default_rng(0)
+
+        history = TrainingHistory()
+        num_samples = len(train_images)
+        for epoch in range(epochs):
+            for callback in self.callbacks:
+                callback.on_epoch_start(self, epoch)
+
+            order = rng.permutation(num_samples)
+            epoch_losses: list[float] = []
+            epoch_accs: list[float] = []
+            for start in range(0, num_samples, batch_size):
+                idx = order[start : start + batch_size]
+                loss_value, batch_acc = self.train_step(train_images[idx], train_labels[idx])
+                epoch_losses.append(loss_value)
+                epoch_accs.append(batch_acc)
+
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(epoch_losses)),
+                train_accuracy=float(np.mean(epoch_accs)),
+            )
+            if test_images is not None and test_labels is not None:
+                stats.test_loss, stats.test_accuracy = self.evaluate(test_images, test_labels)
+            if scheduler is not None:
+                scheduler.step()
+
+            history.epochs.append(stats)
+            for callback in self.callbacks:
+                callback.on_epoch_end(self, epoch, stats)
+            _LOG.debug(
+                "epoch %d: train_loss=%.4f train_acc=%.4f test_acc=%s",
+                epoch,
+                stats.train_loss,
+                stats.train_accuracy,
+                stats.test_accuracy,
+            )
+        return history

@@ -1,0 +1,56 @@
+"""Layer-wise stochastic activation-gradient pruning (the paper's Section III)."""
+
+from repro.pruning.algorithm import (
+    AlgorithmTrace,
+    prune_gradient_batches,
+    prune_single_pass,
+)
+from repro.pruning.config import PruningConfig
+from repro.pruning.controller import (
+    DensityReport,
+    LayerDensityReport,
+    PruningController,
+)
+from repro.pruning.layer_pruner import LayerPruner, LayerPruningStats
+from repro.pruning.sites import PruneSide, PruningSite, find_pruning_sites
+from repro.pruning.stochastic import (
+    PruningResult,
+    density,
+    prune_with_stats,
+    stochastic_prune,
+)
+from repro.pruning.threshold import (
+    ThresholdFIFO,
+    ThresholdPredictor,
+    determine_threshold,
+    determine_threshold_from_abs_sum,
+    estimate_sigma,
+    expected_density_after_pruning,
+    quantile_factor,
+)
+
+__all__ = [
+    "PruningConfig",
+    "PruningController",
+    "DensityReport",
+    "LayerDensityReport",
+    "LayerPruner",
+    "LayerPruningStats",
+    "PruneSide",
+    "PruningSite",
+    "find_pruning_sites",
+    "PruningResult",
+    "density",
+    "prune_with_stats",
+    "stochastic_prune",
+    "ThresholdFIFO",
+    "ThresholdPredictor",
+    "determine_threshold",
+    "determine_threshold_from_abs_sum",
+    "estimate_sigma",
+    "expected_density_after_pruning",
+    "quantile_factor",
+    "AlgorithmTrace",
+    "prune_gradient_batches",
+    "prune_single_pass",
+]

@@ -1,0 +1,113 @@
+"""Reference implementation of the paper's Algorithm 1 (overall pruning scheme).
+
+This module is the literal, batch-sequence form of the algorithm: given the
+original activation gradients of ``N`` batches for one layer, produce the
+sparse gradients using a FIFO of depth ``NF`` for threshold prediction.  The
+hook-based :class:`~repro.pruning.controller.PruningController` is the
+integrated form used during real training; this reference form exists so the
+two can be cross-checked in tests and so the algorithm can be studied in
+isolation (ablation E-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pruning.stochastic import density, stochastic_prune
+from repro.pruning.threshold import ThresholdFIFO, determine_threshold
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass
+class AlgorithmTrace:
+    """Per-batch record of what Algorithm 1 did."""
+
+    predicted_thresholds: list[float | None] = field(default_factory=list)
+    exact_thresholds: list[float] = field(default_factory=list)
+    densities_before: list[float] = field(default_factory=list)
+    densities_after: list[float] = field(default_factory=list)
+
+    @property
+    def prediction_errors(self) -> list[float]:
+        """Absolute relative error of the predicted vs exact threshold."""
+        errors: list[float] = []
+        for predicted, exact in zip(self.predicted_thresholds, self.exact_thresholds):
+            if predicted is None or exact <= 0.0:
+                continue
+            errors.append(abs(predicted - exact) / exact)
+        return errors
+
+
+def prune_gradient_batches(
+    batches: list[np.ndarray],
+    target_sparsity: float,
+    fifo_depth: int,
+    rng: np.random.Generator | None = None,
+    trace: AlgorithmTrace | None = None,
+) -> list[np.ndarray]:
+    """Run Algorithm 1 over a sequence of per-batch gradient tensors.
+
+    Parameters
+    ----------
+    batches:
+        The original activation gradients ``[G_1, ..., G_N]`` of one layer.
+    target_sparsity:
+        Target pruning rate ``p``.
+    fifo_depth:
+        FIFO depth ``NF`` (must satisfy ``NF << N`` for prediction to engage).
+    rng:
+        Random generator for stochastic rounding.
+    trace:
+        Optional trace object filled with per-batch thresholds and densities.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        The sparse activation gradients ``[G_hat_1, ..., G_hat_N]``.
+    """
+    check_probability(target_sparsity, "target_sparsity")
+    check_positive_int(fifo_depth, "fifo_depth")
+    rng = derive_rng(rng)
+    fifo = ThresholdFIFO(fifo_depth)
+
+    pruned_batches: list[np.ndarray] = []
+    for gradients in batches:
+        gradients = np.asarray(gradients, dtype=np.float64)
+        predicted = fifo.predict()
+        if predicted is None or predicted <= 0.0:
+            pruned = gradients.copy()
+        else:
+            pruned = stochastic_prune(gradients, predicted, rng)
+        exact = determine_threshold(gradients, target_sparsity)
+        if np.isfinite(exact):
+            fifo.push(exact)
+        pruned_batches.append(pruned)
+
+        if trace is not None:
+            trace.predicted_thresholds.append(predicted)
+            trace.exact_thresholds.append(float(exact))
+            trace.densities_before.append(density(gradients))
+            trace.densities_after.append(density(pruned))
+    return pruned_batches
+
+
+def prune_single_pass(
+    gradients: np.ndarray,
+    target_sparsity: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Two-pass reference pruning of a single tensor (determine then prune).
+
+    This is the non-predictive scheme from [23]: exact threshold on the same
+    tensor that gets pruned.  Used as the oracle the FIFO prediction is
+    compared against.
+    """
+    check_probability(target_sparsity, "target_sparsity")
+    rng = derive_rng(rng)
+    threshold = determine_threshold(gradients, target_sparsity)
+    if not np.isfinite(threshold) or threshold <= 0.0:
+        return np.asarray(gradients, dtype=np.float64).copy()
+    return stochastic_prune(gradients, threshold, rng)

@@ -1,0 +1,53 @@
+"""Configuration of the gradient-pruning algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Hyper-parameters of the layer-wise gradient pruning.
+
+    Attributes
+    ----------
+    target_sparsity:
+        ``p`` in the paper: the fraction of gradient components the threshold
+        aims to prune (0.7, 0.8, 0.9, 0.99 in Table II).
+    fifo_depth:
+        ``NF``: number of past batch thresholds averaged by the predictor.
+    min_elements:
+        Tensors smaller than this are never pruned (pruning a handful of
+        values saves nothing and the normal-distribution assumption breaks
+        down); mirrors how the paper only targets CONV-layer gradients.
+    use_prediction:
+        When ``True`` (the hardware-friendly mode and the paper's default),
+        prune with the FIFO-predicted threshold.  When ``False``, determine
+        the exact threshold on the current batch and prune with it (the
+        two-pass reference scheme from [23] used for algorithm-only studies).
+    seed:
+        Base seed for the per-layer stochastic-rounding RNGs.
+    """
+
+    target_sparsity: float = 0.9
+    fifo_depth: int = 5
+    min_elements: int = 64
+    use_prediction: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_probability(self.target_sparsity, "target_sparsity")
+        check_positive_int(self.fifo_depth, "fifo_depth")
+        check_positive_int(self.min_elements, "min_elements")
+
+    def with_sparsity(self, target_sparsity: float) -> "PruningConfig":
+        """Return a copy with a different target sparsity."""
+        return PruningConfig(
+            target_sparsity=target_sparsity,
+            fifo_depth=self.fifo_depth,
+            min_elements=self.min_elements,
+            use_prediction=self.use_prediction,
+            seed=self.seed,
+        )

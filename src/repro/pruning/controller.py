@@ -1,0 +1,135 @@
+"""Model-level pruning controller.
+
+``PruningController`` wires a :class:`~repro.pruning.layer_pruner.LayerPruner`
+onto every pruning site of a model via the layer gradient hooks, and doubles
+as a :class:`~repro.nn.trainer.Callback` so it can be dropped straight into a
+``Trainer``.  It also aggregates the density statistics reported in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.trainer import Callback
+from repro.pruning.config import PruningConfig
+from repro.pruning.layer_pruner import LayerPruner
+from repro.pruning.sites import PruneSide, PruningSite, find_pruning_sites
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class LayerDensityReport:
+    """Density summary for one pruned layer."""
+
+    layer_name: str
+    side: str
+    mean_density_before: float
+    mean_density_after: float
+    batches_pruned: int
+
+
+@dataclass(frozen=True)
+class DensityReport:
+    """Model-wide density summary (drives the Table II reproduction)."""
+
+    layers: tuple[LayerDensityReport, ...]
+
+    @property
+    def mean_density_before(self) -> float:
+        if not self.layers:
+            return 0.0
+        return float(np.mean([l.mean_density_before for l in self.layers]))
+
+    @property
+    def mean_density_after(self) -> float:
+        if not self.layers:
+            return 0.0
+        return float(np.mean([l.mean_density_after for l in self.layers]))
+
+    @property
+    def density_reduction(self) -> float:
+        """How many times denser the unpruned gradients were (paper: 3x-10x)."""
+        after = self.mean_density_after
+        if after <= 0.0:
+            return float("inf")
+        return self.mean_density_before / after
+
+
+class PruningController(Callback):
+    """Attach layer-wise stochastic gradient pruning to a model.
+
+    Parameters
+    ----------
+    model:
+        The model to instrument.  Pruning sites are discovered automatically
+        (see :func:`repro.pruning.sites.find_pruning_sites`) unless ``sites``
+        is given explicitly.
+    config:
+        Pruning hyper-parameters.
+    sites:
+        Optional explicit list of sites, e.g. to prune only a subset of
+        layers in an ablation.
+    """
+
+    def __init__(
+        self,
+        model: Layer,
+        config: PruningConfig | None = None,
+        sites: list[PruningSite] | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else PruningConfig()
+        self.sites = sites if sites is not None else find_pruning_sites(model)
+        rngs = spawn_rngs(self.config.seed, max(len(self.sites), 1))
+        self.pruners: list[LayerPruner] = []
+        for site, rng in zip(self.sites, rngs):
+            pruner = LayerPruner(site.name, self.config, rng)
+            self.pruners.append(pruner)
+            if site.side is PruneSide.INPUT_GRAD:
+                site.layer.register_grad_input_hook(pruner)
+            else:
+                site.layer.register_grad_output_hook(pruner)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Enable pruning on every instrumented layer."""
+        for pruner in self.pruners:
+            pruner.enabled = True
+
+    def disable(self) -> None:
+        """Disable pruning (gradients pass through untouched, stats still kept)."""
+        for pruner in self.pruners:
+            pruner.enabled = False
+
+    def detach(self) -> None:
+        """Remove all hooks installed by this controller."""
+        for site in self.sites:
+            site.layer.clear_hooks()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def density_report(self) -> DensityReport:
+        """Aggregate per-layer density statistics collected so far."""
+        layers = tuple(
+            LayerDensityReport(
+                layer_name=pruner.name,
+                side=site.side.value,
+                mean_density_before=pruner.stats.mean_density_before,
+                mean_density_after=pruner.stats.mean_density_after,
+                batches_pruned=pruner.stats.batches_pruned,
+            )
+            for site, pruner in zip(self.sites, self.pruners)
+        )
+        return DensityReport(layers=layers)
+
+    def layer_densities(self) -> dict[str, float]:
+        """Mapping from layer name to mean post-pruning density."""
+        return {
+            pruner.name: pruner.stats.mean_density_after for pruner in self.pruners
+        }

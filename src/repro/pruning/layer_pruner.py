@@ -1,0 +1,95 @@
+"""Per-layer pruning state: predictor, RNG and running statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pruning.config import PruningConfig
+from repro.pruning.stochastic import density, stochastic_prune
+from repro.pruning.threshold import ThresholdPredictor, determine_threshold
+
+
+@dataclass
+class LayerPruningStats:
+    """Running statistics of one pruned gradient tensor (one layer)."""
+
+    batches_seen: int = 0
+    batches_pruned: int = 0
+    density_before_sum: float = 0.0
+    density_after_sum: float = 0.0
+    thresholds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_density_before(self) -> float:
+        """Average density of the gradient before pruning (natural sparsity)."""
+        if self.batches_seen == 0:
+            return 0.0
+        return self.density_before_sum / self.batches_seen
+
+    @property
+    def mean_density_after(self) -> float:
+        """Average density after pruning (the Table II ``rho_nnz``)."""
+        if self.batches_seen == 0:
+            return 0.0
+        return self.density_after_sum / self.batches_seen
+
+
+class LayerPruner:
+    """Prunes the activation gradient of one CONV layer batch after batch.
+
+    This is the software counterpart of what the PPU + controller do in
+    hardware: apply the predicted threshold while the gradient streams by,
+    accumulate ``sum(|g|)`` on the fly, and push the exact threshold for this
+    batch into the FIFO afterwards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: PruningConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.rng = rng
+        self.predictor = ThresholdPredictor(config.target_sparsity, config.fifo_depth)
+        self.stats = LayerPruningStats()
+        self.enabled = True
+
+    def __call__(self, gradients: np.ndarray) -> np.ndarray:
+        return self.prune(gradients)
+
+    def prune(self, gradients: np.ndarray) -> np.ndarray:
+        """Prune one batch worth of activation gradients.
+
+        Follows Algorithm 1: while the FIFO is warming up the gradients pass
+        through untouched; once full, the predicted threshold is applied with
+        stochastic rounding.  The exact threshold of the current batch is
+        always determined (single pass over ``|g|``) and pushed to the FIFO.
+        """
+        gradients = np.asarray(gradients, dtype=np.float64)
+        self.stats.batches_seen += 1
+        self.stats.density_before_sum += density(gradients)
+
+        if not self.enabled or gradients.size < self.config.min_elements:
+            self.stats.density_after_sum += density(gradients)
+            return gradients
+
+        if self.config.use_prediction:
+            threshold = self.predictor.current_threshold()
+        else:
+            threshold = determine_threshold(gradients, self.config.target_sparsity)
+
+        if threshold is None or not np.isfinite(threshold) or threshold <= 0.0:
+            pruned = gradients
+        else:
+            pruned = stochastic_prune(gradients, threshold, self.rng)
+            self.stats.batches_pruned += 1
+            self.stats.thresholds.append(float(threshold))
+
+        # Push this batch's exact threshold for future prediction.
+        self.predictor.observe(gradients)
+        self.stats.density_after_sum += density(pruned)
+        return pruned

@@ -1,0 +1,113 @@
+"""Selection of pruning positions inside a model (the paper's Fig. 4).
+
+Two structural cases:
+
+* **Conv-ReLU** (AlexNet style, no batch norm): the gradient flowing *out of*
+  the convolution's backward pass (``dI``, propagated to the previous layer)
+  is dense and symmetric around zero — that is the pruning target.  The
+  gradient entering the conv (``dO``) is already naturally sparse because it
+  just passed through a ReLU backward.
+* **Conv-BN-ReLU** (ResNet style): BN's backward re-densifies the gradient, so
+  the gradient entering the convolution's backward (``dO``) is dense — that is
+  the pruning target.
+
+``find_pruning_sites`` walks a model built from this library's layers and
+returns, for every convolution, which gradient (input-side or output-side)
+should be pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm2D
+from repro.nn.layers.container import ResidualBlock, Sequential
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.shape import Dropout
+
+
+class PruneSide(Enum):
+    """Which gradient of a convolution the pruner attaches to."""
+
+    INPUT_GRAD = "input_grad"    # dI — Conv-ReLU structures
+    OUTPUT_GRAD = "output_grad"  # dO — Conv-BN-ReLU structures
+
+
+@dataclass(frozen=True)
+class PruningSite:
+    """One convolution layer together with the gradient side to prune."""
+
+    layer: Conv2D
+    side: PruneSide
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+
+_TRANSPARENT = (MaxPool2D, AvgPool2D, GlobalAvgPool2D, Dropout)
+
+
+def _iter_sequential_sites(seq: Sequential) -> Iterator[PruningSite]:
+    layers = list(seq.layers)
+    for index, layer in enumerate(layers):
+        if isinstance(layer, (Sequential, ResidualBlock)):
+            yield from find_pruning_sites(layer)
+            continue
+        if not isinstance(layer, Conv2D):
+            continue
+        # Look ahead, skipping layers that do not change the structural class.
+        followed_by_bn = False
+        followed_by_relu = False
+        for successor in layers[index + 1 :]:
+            if isinstance(successor, BatchNorm2D):
+                followed_by_bn = True
+                continue
+            if isinstance(successor, ReLU):
+                followed_by_relu = True
+                break
+            if isinstance(successor, _TRANSPARENT):
+                continue
+            break
+        if followed_by_bn:
+            yield PruningSite(layer, PruneSide.OUTPUT_GRAD)
+        elif followed_by_relu:
+            yield PruningSite(layer, PruneSide.INPUT_GRAD)
+        else:
+            # Convolution not followed by a non-linearity (e.g. the last layer
+            # of a projection): still prune the propagated gradient dI, the
+            # conservative default from the paper's Fig. 1e.
+            yield PruningSite(layer, PruneSide.INPUT_GRAD)
+
+
+def _iter_residual_sites(block: ResidualBlock) -> Iterator[PruningSite]:
+    # Both convolutions in a basic block are Conv-BN(-ReLU) structures.
+    yield PruningSite(block.conv1, PruneSide.OUTPUT_GRAD)
+    yield PruningSite(block.conv2, PruneSide.OUTPUT_GRAD)
+    if block.downsample_conv is not None:
+        yield PruningSite(block.downsample_conv, PruneSide.OUTPUT_GRAD)
+
+
+def find_pruning_sites(model: Layer) -> list[PruningSite]:
+    """Return the pruning sites (conv layer + gradient side) of ``model``.
+
+    Supports arbitrarily nested :class:`Sequential` and
+    :class:`ResidualBlock` structures; bare convolutions passed directly are
+    treated as Conv-ReLU style (prune ``dI``).
+    """
+    if isinstance(model, Sequential):
+        return list(_iter_sequential_sites(model))
+    if isinstance(model, ResidualBlock):
+        return list(_iter_residual_sites(model))
+    if isinstance(model, Conv2D):
+        return [PruningSite(model, PruneSide.INPUT_GRAD)]
+    # Generic container: recurse into children in order.
+    sites: list[PruningSite] = []
+    for child in model.children():
+        sites.extend(find_pruning_sites(child))
+    return sites

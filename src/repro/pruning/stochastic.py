@@ -1,0 +1,97 @@
+"""Stochastic gradient pruning (the paper's Fig. 3).
+
+Given a threshold ``tau``, every gradient component ``g`` with ``|g| < tau``
+is stochastically rounded to either ``0`` or ``sign(g) * tau``:
+
+* with probability ``|g| / tau`` it becomes ``sign(g) * tau``;
+* with probability ``1 - |g| / tau`` it becomes ``0``.
+
+Components with ``|g| >= tau`` are left untouched.  The rounding is unbiased —
+``E[prune(g)] = g`` for every component — which is the property that lets the
+paper prune very aggressively (p up to 99%) without hurting convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class PruningResult:
+    """Outcome of pruning one gradient tensor."""
+
+    pruned: np.ndarray
+    threshold: float
+    density_before: float
+    density_after: float
+
+    @property
+    def sparsity_after(self) -> float:
+        """Fraction of exactly-zero components after pruning."""
+        return 1.0 - self.density_after
+
+
+def density(array: np.ndarray) -> float:
+    """Fraction of non-zero components (the paper's ``rho_nnz``)."""
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array) / array.size)
+
+
+def stochastic_prune(
+    gradients: np.ndarray,
+    threshold: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Apply unbiased stochastic pruning with the given threshold.
+
+    Parameters
+    ----------
+    gradients:
+        Gradient tensor of any shape; not modified in place.
+    threshold:
+        Pruning threshold ``tau``.  A non-positive threshold disables pruning
+        and returns a copy of the input.
+    rng:
+        Random generator for the stochastic rounding.
+
+    Returns
+    -------
+    numpy.ndarray
+        The pruned gradient tensor, same shape and dtype as the input.
+    """
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if threshold <= 0.0 or not np.isfinite(threshold):
+        return gradients.copy()
+    rng = derive_rng(rng)
+
+    magnitude = np.abs(gradients)
+    below = magnitude < threshold
+    # r ~ U[0, 1); keep (snap to +/- tau) when |g| > tau * r, i.e. with
+    # probability |g| / tau, otherwise set to zero.
+    random = rng.random(gradients.shape)
+    keep = magnitude > threshold * random
+    snapped = np.sign(gradients) * threshold
+    pruned = np.where(below, np.where(keep, snapped, 0.0), gradients)
+    return pruned
+
+
+def prune_with_stats(
+    gradients: np.ndarray,
+    threshold: float,
+    rng: np.random.Generator | None = None,
+) -> PruningResult:
+    """Prune and report before/after density in one call."""
+    gradients = np.asarray(gradients, dtype=np.float64)
+    before = density(gradients)
+    pruned = stochastic_prune(gradients, threshold, rng)
+    return PruningResult(
+        pruned=pruned,
+        threshold=float(max(threshold, 0.0)),
+        density_before=before,
+        density_after=density(pruned),
+    )

@@ -1,0 +1,70 @@
+"""Text reports for simulation results (Fig. 8 / Fig. 9 style tables)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.runner import WorkloadResult
+
+
+def format_latency_table(results: Sequence[WorkloadResult]) -> str:
+    """Fig. 8 style table: per-sample latency and speedup per workload."""
+    header = (
+        f"{'Workload':<26}{'Baseline us':>14}{'SparseTrain us':>16}{'Speedup':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.workload_name:<26}"
+            f"{result.comparison.baseline.latency_us:>14.1f}"
+            f"{result.comparison.sparsetrain.latency_us:>16.1f}"
+            f"{result.speedup:>9.2f}x"
+        )
+    if results:
+        mean_speedup = float(np.mean([r.speedup for r in results]))
+        lines.append("-" * len(header))
+        lines.append(f"{'Average speedup':<56}{mean_speedup:>9.2f}x")
+    return "\n".join(lines)
+
+
+def format_energy_table(results: Sequence[WorkloadResult]) -> str:
+    """Fig. 9 style table: per-sample energy breakdown and efficiency gain."""
+    header = (
+        f"{'Workload':<26}{'Base uJ':>10}{'Sparse uJ':>11}{'Effic.':>8}"
+        f"{'Base SRAM%':>12}{'SRAM red.':>11}{'Comb red.':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        comparison = result.comparison
+        baseline_sram_frac = comparison.baseline.total_energy.fraction("sram")
+        lines.append(
+            f"{result.workload_name:<26}"
+            f"{comparison.baseline.energy_uj:>10.1f}"
+            f"{comparison.sparsetrain.energy_uj:>11.1f}"
+            f"{comparison.energy_efficiency:>7.2f}x"
+            f"{100 * baseline_sram_frac:>11.1f}%"
+            f"{100 * comparison.sram_energy_reduction:>10.1f}%"
+            f"{100 * comparison.combinational_energy_reduction:>10.1f}%"
+        )
+    if results:
+        mean_eff = float(np.mean([r.energy_efficiency for r in results]))
+        lines.append("-" * len(header))
+        lines.append(f"{'Average energy efficiency':<56}{mean_eff:>9.2f}x")
+    return "\n".join(lines)
+
+
+def format_breakdown(result: WorkloadResult) -> str:
+    """Per-component energy breakdown of one workload (both architectures)."""
+    lines = [f"Energy breakdown — {result.workload_name}"]
+    for label, sim in (
+        ("Dense baseline", result.comparison.baseline),
+        ("SparseTrain", result.comparison.sparsetrain),
+    ):
+        fractions = sim.energy_fractions()
+        parts = ", ".join(
+            f"{name} {100 * frac:.1f}%" for name, frac in fractions.items()
+        )
+        lines.append(f"  {label:<16}{sim.energy_uj:>10.1f} uJ/sample  ({parts})")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Extracting per-layer operand densities from real (reduced) training runs.
+
+The architecture evaluation needs, for every convolution of the full-size
+models, the densities of its operands (I, dO, mask, dI, O).  Running full-size
+AlexNet/ResNet in numpy is not feasible, so the densities are *measured* on
+reduced-width models trained on synthetic data — the sparsity a ReLU or the
+pruning algorithm produces depends on the activation/gradient statistics, not
+on the layer width — and then mapped onto the full-size
+:class:`~repro.models.spec.ModelSpec` by relative depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.counts import LayerDensities
+from repro.data.synthetic import Dataset
+from repro.models.spec import ConvStructure, ModelSpec
+from repro.nn.layers.base import Layer
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+from repro.pruning.config import PruningConfig
+from repro.pruning.controller import PruningController
+from repro.sparsity.profiler import SparsityProfiler
+
+
+@dataclass(frozen=True)
+class MeasuredDensities:
+    """Ordered per-layer densities measured on a reduced model."""
+
+    layer_names: tuple[str, ...]
+    densities: dict[str, LayerDensities]
+
+    def __len__(self) -> int:
+        return len(self.layer_names)
+
+    def at_fraction(self, fraction: float) -> LayerDensities:
+        """Densities of the measured layer closest to a relative depth in [0, 1]."""
+        if not self.layer_names:
+            raise ValueError("no measured layers")
+        fraction = min(max(fraction, 0.0), 1.0)
+        index = int(round(fraction * (len(self.layer_names) - 1)))
+        return self.densities[self.layer_names[index]]
+
+
+def profile_training_densities(
+    model: Layer,
+    dataset: Dataset,
+    pruning: PruningConfig | None = None,
+    epochs: int = 1,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> MeasuredDensities:
+    """Train ``model`` briefly while measuring per-conv-layer densities.
+
+    The pruning controller (if any) is attached *before* the profiler so the
+    measured ``dO`` densities are the post-pruning densities the accelerator
+    would see.  Returns densities averaged over all profiled batches.
+    """
+    callbacks = []
+    controller = None
+    if pruning is not None:
+        controller = PruningController(model, pruning)
+        callbacks.append(controller)
+    profiler = SparsityProfiler(model)
+    callbacks.append(profiler)
+
+    trainer = Trainer(model, SGD(model.parameters(), lr=lr, momentum=momentum), callbacks=callbacks)
+    trainer.fit(
+        dataset.images,
+        dataset.labels,
+        epochs=epochs,
+        batch_size=batch_size,
+        shuffle_rng=np.random.default_rng(seed),
+    )
+
+    names = profiler.layer_names()
+    densities: dict[str, LayerDensities] = {}
+    for index, name in enumerate(names):
+        trace = profiler.trace_for(name)
+        input_density = trace.mean_input_density()
+        grad_output_density = trace.mean_grad_output_density()
+        grad_input_density = trace.mean_grad_input_density()
+        # The forward ReLU mask over this layer's input positions has the same
+        # density as the input activations themselves (they are the ReLU's
+        # output); the first layer reads the raw image and has no mask.
+        mask_density = input_density if index > 0 else 1.0
+        # The layer's output activations become the next layer's input.
+        if index + 1 < len(names):
+            next_trace = profiler.trace_for(names[index + 1])
+            output_density = next_trace.mean_input_density()
+        else:
+            output_density = 1.0
+        densities[name] = LayerDensities(
+            input_density=float(np.clip(input_density, 0.0, 1.0)),
+            grad_output_density=float(np.clip(grad_output_density, 0.0, 1.0)),
+            mask_density=float(np.clip(mask_density, 0.0, 1.0)),
+            grad_input_density=float(np.clip(grad_input_density, 0.0, 1.0)),
+            output_density=float(np.clip(output_density, 0.0, 1.0)),
+        )
+    return MeasuredDensities(layer_names=tuple(names), densities=densities)
+
+
+def map_densities_to_spec(measured: MeasuredDensities, spec: ModelSpec) -> dict[str, LayerDensities]:
+    """Assign measured densities to every conv layer of a full-size spec.
+
+    Layers are matched by relative depth: the spec's i-th convolution (out of
+    N) receives the densities measured at the same fractional depth of the
+    reduced model.  The first layer keeps a dense input (raw image), and
+    layers without a ReLU mask (projection shortcuts) get mask density 1.0.
+    """
+    num_layers = spec.num_conv_layers
+    mapped: dict[str, LayerDensities] = {}
+    for index, layer in enumerate(spec.conv_layers):
+        fraction = index / max(num_layers - 1, 1)
+        source = measured.at_fraction(fraction)
+        input_density = source.input_density if index > 0 else 1.0
+        mask_density = source.mask_density
+        if not layer.has_relu_mask:
+            mask_density = 1.0
+        if layer.structure is ConvStructure.CONV_ONLY:
+            # Shortcut convolutions still read sparse activations and sparse
+            # gradients, they just lack their own ReLU.
+            mask_density = 1.0
+        mapped[layer.name] = LayerDensities(
+            input_density=input_density,
+            grad_output_density=source.grad_output_density,
+            mask_density=mask_density,
+            grad_input_density=source.grad_input_density,
+            output_density=source.output_density,
+        )
+    return mapped

@@ -1,0 +1,35 @@
+"""Sparsity measurement, profiling and summaries."""
+
+from repro.sparsity.profiler import LayerSparsityTrace, SparsityProfiler, iter_convs
+from repro.sparsity.stats import (
+    TensorSparsityStats,
+    classify,
+    density,
+    nnz,
+    row_densities,
+    sparsity,
+    tensor_stats,
+)
+from repro.sparsity.summary import (
+    PAPER_TABLE1,
+    DataTypeSparsity,
+    format_table,
+    summarize_data_types,
+)
+
+__all__ = [
+    "density",
+    "sparsity",
+    "nnz",
+    "row_densities",
+    "classify",
+    "tensor_stats",
+    "TensorSparsityStats",
+    "SparsityProfiler",
+    "iter_convs",
+    "LayerSparsityTrace",
+    "DataTypeSparsity",
+    "summarize_data_types",
+    "format_table",
+    "PAPER_TABLE1",
+]

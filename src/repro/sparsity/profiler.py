@@ -1,0 +1,151 @@
+"""Per-layer, per-batch sparsity profiling of a training run.
+
+The profiler instruments every convolution of a model with
+
+* a forward hook measuring the density of the convolution's input activations
+  ``I`` (the natural sparsity produced by preceding ReLU/MaxPool layers), and
+* a gradient-output hook measuring the density of the gradient ``dO`` entering
+  the convolution's backward pass (after any pruning hooks that were attached
+  *before* the profiler), and
+* a gradient-input hook measuring the density of the propagated gradient
+  ``dI``.
+
+The resulting :class:`LayerSparsityTrace` objects feed the architecture
+simulator (which needs per-layer densities) and the Table I summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.trainer import Callback
+from repro.sparsity.stats import density
+
+
+@dataclass
+class LayerSparsityTrace:
+    """Densities observed for one convolution layer across training batches."""
+
+    layer_name: str
+    input_densities: list[float] = field(default_factory=list)
+    grad_output_densities: list[float] = field(default_factory=list)
+    grad_input_densities: list[float] = field(default_factory=list)
+    relu_mask_densities: list[float] = field(default_factory=list)
+
+    def mean_input_density(self) -> float:
+        """Average density of input activations ``I``."""
+        return float(np.mean(self.input_densities)) if self.input_densities else 1.0
+
+    def mean_grad_output_density(self) -> float:
+        """Average density of ``dO`` (post-pruning if pruning is attached)."""
+        return (
+            float(np.mean(self.grad_output_densities))
+            if self.grad_output_densities
+            else 1.0
+        )
+
+    def mean_grad_input_density(self) -> float:
+        """Average density of the propagated gradient ``dI``."""
+        return (
+            float(np.mean(self.grad_input_densities))
+            if self.grad_input_densities
+            else 1.0
+        )
+
+    def mean_relu_mask_density(self) -> float:
+        """Average density of the forward ReLU mask feeding MSRC skipping."""
+        return (
+            float(np.mean(self.relu_mask_densities))
+            if self.relu_mask_densities
+            else 1.0
+        )
+
+
+def iter_convs(model: Layer):
+    """Yield every convolution layer of a model tree, in structural order."""
+    if isinstance(model, Conv2D):
+        yield model
+    for child in model.children():
+        yield from iter_convs(child)
+
+
+# Backwards-compatible private alias.
+_iter_convs = iter_convs
+
+
+class SparsityProfiler(Callback):
+    """Collect per-convolution densities during training.
+
+    Attach the profiler *after* the :class:`~repro.pruning.PruningController`
+    so the recorded ``dO`` densities reflect the pruned gradients the
+    accelerator would actually see.
+    """
+
+    def __init__(self, model: Layer) -> None:
+        self.model = model
+        self.traces: dict[str, LayerSparsityTrace] = {}
+        for conv in iter_convs(model):
+            trace = LayerSparsityTrace(layer_name=conv.name)
+            self.traces[conv.name] = trace
+            conv.register_forward_hook(self._make_forward_hook(trace))
+            conv.register_grad_output_hook(self._make_grad_output_hook(trace))
+            conv.register_grad_input_hook(self._make_grad_input_hook(trace))
+
+    @staticmethod
+    def _make_forward_hook(trace: LayerSparsityTrace):
+        def hook(layer: Layer, x: np.ndarray, out: np.ndarray) -> None:
+            trace.input_densities.append(density(x))
+
+        return hook
+
+    @staticmethod
+    def _make_grad_output_hook(trace: LayerSparsityTrace):
+        def hook(grad: np.ndarray) -> np.ndarray:
+            trace.grad_output_densities.append(density(grad))
+            return grad
+
+        return hook
+
+    @staticmethod
+    def _make_grad_input_hook(trace: LayerSparsityTrace):
+        def hook(grad: np.ndarray) -> np.ndarray:
+            trace.grad_input_densities.append(density(grad))
+            return grad
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def layer_names(self) -> list[str]:
+        return list(self.traces.keys())
+
+    def trace_for(self, layer_name: str) -> LayerSparsityTrace:
+        if layer_name not in self.traces:
+            raise KeyError(f"no trace recorded for layer {layer_name!r}")
+        return self.traces[layer_name]
+
+    def mean_densities(self) -> dict[str, dict[str, float]]:
+        """Per-layer mean densities of I, dO and dI."""
+        return {
+            name: {
+                "input": trace.mean_input_density(),
+                "grad_output": trace.mean_grad_output_density(),
+                "grad_input": trace.mean_grad_input_density(),
+            }
+            for name, trace in self.traces.items()
+        }
+
+    def detach(self) -> None:
+        """Remove the profiler hooks from the model.
+
+        Note this clears *all* hooks of the instrumented convolutions,
+        including pruning hooks, so re-attach the pruning controller if you
+        need it afterwards.
+        """
+        for conv in iter_convs(self.model):
+            conv.clear_hooks()

@@ -1,0 +1,91 @@
+"""Sparsity statistics for tensors and per-row vectors.
+
+These helpers are shared by the pruning reports (Table II), the Table I
+summary and the dataflow/architecture simulators (which consume per-layer
+densities to decide how many operands a PE actually processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def density(array: np.ndarray) -> float:
+    """Fraction of non-zero elements (``rho_nnz`` in the paper)."""
+    array = np.asarray(array)
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array) / array.size)
+
+
+def sparsity(array: np.ndarray) -> float:
+    """Fraction of exactly-zero elements (``1 - density``)."""
+    return 1.0 - density(array)
+
+
+def nnz(array: np.ndarray) -> int:
+    """Number of non-zero elements."""
+    return int(np.count_nonzero(np.asarray(array)))
+
+
+@dataclass(frozen=True)
+class TensorSparsityStats:
+    """Summary statistics of one tensor's sparsity structure."""
+
+    shape: tuple[int, ...]
+    size: int
+    nnz: int
+    density: float
+    mean_abs: float
+    max_abs: float
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+
+def tensor_stats(array: np.ndarray) -> TensorSparsityStats:
+    """Compute :class:`TensorSparsityStats` for ``array``."""
+    array = np.asarray(array, dtype=np.float64)
+    count = int(np.count_nonzero(array))
+    abs_values = np.abs(array)
+    return TensorSparsityStats(
+        shape=tuple(array.shape),
+        size=int(array.size),
+        nnz=count,
+        density=count / array.size if array.size else 0.0,
+        mean_abs=float(abs_values.mean()) if array.size else 0.0,
+        max_abs=float(abs_values.max()) if array.size else 0.0,
+    )
+
+
+def row_densities(feature_map: np.ndarray) -> np.ndarray:
+    """Per-row densities of an activation/gradient tensor.
+
+    The SparseTrain dataflow operates on rows of feature maps (1-D
+    convolutions), so the distribution of *row* densities — not just the
+    scalar average — determines PE load balance.  Accepts tensors of shape
+    ``(..., W)``; every leading dimension indexes a row.
+    """
+    feature_map = np.asarray(feature_map)
+    if feature_map.ndim == 0:
+        raise ValueError("row_densities requires at least a 1-D array")
+    width = feature_map.shape[-1]
+    rows = feature_map.reshape(-1, width)
+    if width == 0:
+        return np.zeros(rows.shape[0])
+    return np.count_nonzero(rows, axis=1) / width
+
+
+def classify(density_value: float, dense_cutoff: float = 0.75) -> str:
+    """Classify a density value as 'dense' or 'sparse' (Table I style).
+
+    The cutoff is deliberately coarse: a tensor counts as *dense* when at
+    least three quarters of its values are non-zero (compression and zero
+    skipping would not pay off), and *sparse* otherwise.
+    """
+    if not 0.0 <= density_value <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density_value}")
+    return "dense" if density_value >= dense_cutoff else "sparse"

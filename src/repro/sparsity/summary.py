@@ -1,0 +1,87 @@
+"""Table I style summary: sparsity class of the six training data types.
+
+The paper's Table I states which of the six tensors involved in training a
+CONV layer (W, dW, I, dI, O, dO) are dense and which are sparse.  This module
+derives that classification from *measured* densities of a real training run
+rather than asserting it, so the reproduction can verify the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparsity.stats import classify
+
+
+# Expected classification from the paper's Table I.
+PAPER_TABLE1 = {
+    "W": "dense",
+    "dW": "dense",
+    "I": "sparse",
+    "dI": "dense",
+    "O": "dense",
+    "dO": "sparse",
+}
+
+
+@dataclass(frozen=True)
+class DataTypeSparsity:
+    """Measured density and derived class of one training data type."""
+
+    symbol: str
+    description: str
+    mean_density: float
+    classification: str
+    paper_classification: str
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.classification == self.paper_classification
+
+
+def summarize_data_types(
+    weight_density: float,
+    weight_grad_density: float,
+    input_density: float,
+    grad_input_density: float,
+    output_density: float,
+    grad_output_density: float,
+    dense_cutoff: float = 0.75,
+) -> list[DataTypeSparsity]:
+    """Build a Table I style summary from measured mean densities."""
+    rows = [
+        ("W", "Weights", weight_density),
+        ("dW", "Weight Gradients", weight_grad_density),
+        ("I", "Input Activations", input_density),
+        ("dI", "Gradients to Input Activations", grad_input_density),
+        ("O", "Output Activations", output_density),
+        ("dO", "Gradients to Output Activations", grad_output_density),
+    ]
+    summary: list[DataTypeSparsity] = []
+    for symbol, description, value in rows:
+        if not np.isfinite(value):
+            raise ValueError(f"density for {symbol} is not finite: {value}")
+        summary.append(
+            DataTypeSparsity(
+                symbol=symbol,
+                description=description,
+                mean_density=float(value),
+                classification=classify(value, dense_cutoff),
+                paper_classification=PAPER_TABLE1[symbol],
+            )
+        )
+    return summary
+
+
+def format_table(summary: list[DataTypeSparsity]) -> str:
+    """Render the summary as a fixed-width text table."""
+    header = f"{'Data Type':<34}{'Symbol':<8}{'Density':>9}  {'Class':<7}{'Paper':<7}"
+    lines = [header, "-" * len(header)]
+    for row in summary:
+        lines.append(
+            f"{row.description:<34}{row.symbol:<8}{row.mean_density:>9.3f}  "
+            f"{row.classification:<7}{row.paper_classification:<7}"
+        )
+    return "\n".join(lines)

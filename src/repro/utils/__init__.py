@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG handling, validation helpers, logging."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "check_positive_int",
+    "check_probability",
+    "check_shape",
+]

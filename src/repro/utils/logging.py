@@ -1,0 +1,55 @@
+"""Lightweight structured logging used by trainers and simulators.
+
+We avoid configuring the root logger so the library behaves well when
+embedded.  ``get_logger`` returns namespaced loggers; ``ProgressPrinter`` is a
+tiny helper for example scripts that want human-readable progress lines
+without pulling in a progress-bar dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a library-namespaced logger (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+class ProgressPrinter:
+    """Print periodic progress lines for long-running loops.
+
+    Parameters
+    ----------
+    total:
+        Total number of steps, used to print percentages.  ``None`` disables
+        percentage display.
+    every:
+        Minimum number of seconds between printed lines.
+    stream:
+        Output stream; defaults to stderr so stdout stays machine-parsable.
+    """
+
+    def __init__(self, total: int | None = None, every: float = 2.0, stream=None) -> None:
+        self.total = total
+        self.every = float(every)
+        self.stream = stream if stream is not None else sys.stderr
+        self._start = time.monotonic()
+        self._last = self._start
+
+    def update(self, step: int, message: str = "") -> None:
+        """Print a progress line for ``step`` if enough time has elapsed."""
+        now = time.monotonic()
+        if now - self._last < self.every and step != self.total:
+            return
+        self._last = now
+        elapsed = now - self._start
+        if self.total:
+            frac = 100.0 * step / self.total
+            prefix = f"[{step}/{self.total} {frac:5.1f}% {elapsed:7.1f}s]"
+        else:
+            prefix = f"[step {step} {elapsed:7.1f}s]"
+        line = f"{prefix} {message}" if message else prefix
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,60 @@
+"""Small argument-validation helpers used across the library.
+
+The simulator and NN substrate are configuration-heavy; failing early with a
+clear message is much cheaper than debugging a shape error three layers deep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive_float(value: float, name: str) -> float:
+    """Validate that ``value`` is a strictly positive finite float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_shape(array: np.ndarray, expected: Sequence[int | None], name: str) -> np.ndarray:
+    """Validate the shape of ``array``; ``None`` entries are wildcards."""
+    if array.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got shape {array.shape}"
+        )
+    for axis, (got, want) in enumerate(zip(array.shape, expected)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {tuple(expected)} "
+                f"(mismatch at axis {axis})"
+            )
+    return array

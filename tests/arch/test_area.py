@@ -1,0 +1,81 @@
+"""Tests for the first-order area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.area import AreaBreakdown, AreaModel, estimate_area, iso_area_pe_count
+from repro.arch.config import dense_baseline_config, sparsetrain_config
+
+
+class TestAreaModel:
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            AreaModel(mac_mm2=-1.0)
+
+
+class TestEstimateArea:
+    def test_total_is_sum_of_components(self):
+        breakdown = estimate_area(sparsetrain_config())
+        assert breakdown.total_mm2 == pytest.approx(
+            breakdown.pe_array_mm2
+            + breakdown.register_mm2
+            + breakdown.ppu_mm2
+            + breakdown.controller_mm2
+            + breakdown.sram_mm2
+        )
+
+    def test_fractions_sum_to_one(self):
+        breakdown = estimate_area(sparsetrain_config())
+        total = sum(
+            breakdown.fraction(c)
+            for c in ("pe_array", "register", "ppu", "controller", "sram")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_sram_is_a_large_share_at_386kb(self):
+        """With a 386 KB buffer the SRAM macro dominates the footprint."""
+        breakdown = estimate_area(sparsetrain_config())
+        assert breakdown.fraction("sram") > 0.5
+
+    def test_area_grows_with_pe_count_and_buffer(self):
+        base = estimate_area(sparsetrain_config())
+        more_pes = estimate_area(sparsetrain_config(num_pes=336))
+        bigger_buffer = estimate_area(sparsetrain_config(buffer_kib=772))
+        assert more_pes.total_mm2 > base.total_mm2
+        assert bigger_buffer.total_mm2 > base.total_mm2
+
+    def test_matched_configs_are_iso_area(self):
+        """SparseTrain and the dense baseline (same PEs, same buffer) occupy
+        the same estimated area — the comparison in Fig. 8/9 is iso-area."""
+        sparse = estimate_area(sparsetrain_config())
+        dense = estimate_area(dense_baseline_config())
+        assert sparse.total_mm2 == pytest.approx(dense.total_mm2, rel=1e-9)
+
+    def test_empty_breakdown_fraction(self):
+        empty = AreaBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+        assert empty.fraction("sram") == 0.0
+
+
+class TestIsoAreaPeCount:
+    def test_same_config_recovers_same_pe_count(self):
+        reference = sparsetrain_config()
+        count = iso_area_pe_count(reference, sparsetrain_config())
+        assert abs(count - reference.num_pes) <= reference.pes_per_group
+
+    def test_smaller_buffer_affords_more_pes(self):
+        reference = sparsetrain_config()
+        count = iso_area_pe_count(reference, sparsetrain_config(buffer_kib=128))
+        assert count > reference.num_pes
+
+    def test_bigger_buffer_affords_fewer_pes(self):
+        reference = sparsetrain_config()
+        count = iso_area_pe_count(reference, sparsetrain_config(buffer_kib=772))
+        assert count < reference.num_pes
+        assert count >= reference.pes_per_group
+        assert count % reference.pes_per_group == 0
+
+    def test_oversized_fixed_area_floors_at_one_group(self):
+        reference = sparsetrain_config(buffer_kib=1)
+        count = iso_area_pe_count(reference, sparsetrain_config(buffer_kib=4096))
+        assert count == sparsetrain_config().pes_per_group

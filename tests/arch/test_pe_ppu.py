@@ -1,0 +1,207 @@
+"""Tests for the PE and PPU cycle/event models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.pe import PE, PEOpStats
+from repro.arch.ppu import PPU
+from repro.dataflow.compressed import CompressedRow
+from repro.dataflow.ops import MSRCOp, OSRCOp, SRCOp
+from repro.pruning.threshold import determine_threshold_from_abs_sum
+
+
+def _src_op(row, kernel=(1.0, 1.0, 1.0), stride=1):
+    kernel = np.asarray(kernel, dtype=np.float64)
+    row = np.asarray(row, dtype=np.float64)
+    out_len = (row.size - kernel.size) // stride + 1
+    return SRCOp(
+        kernel_row=kernel,
+        input_row=CompressedRow.from_dense(row),
+        stride=stride,
+        out_len=out_len,
+    )
+
+
+class TestPESRC:
+    def test_cycles_are_kernel_load_plus_nnz(self):
+        pe = PE(zero_skipping=True)
+        row = np.array([0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0])
+        _, stats = pe.run(_src_op(row))
+        assert stats.processed_operands == 3
+        assert stats.cycles == 3 + 3  # K load + nnz
+        assert stats.macs == 3 * 3
+        assert stats.skipped_operands == 5
+
+    def test_dense_pe_processes_every_position(self):
+        pe = PE(zero_skipping=False)
+        row = np.array([0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0])
+        _, stats = pe.run(_src_op(row))
+        assert stats.processed_operands == row.size
+        assert stats.skipped_operands == 0
+
+    def test_sparse_and_dense_compute_identical_results(self, rng):
+        row = rng.normal(size=12) * (rng.random(12) < 0.5)
+        op = _src_op(row, kernel=rng.normal(size=3))
+        sparse_result, _ = PE(zero_skipping=True).run(op)
+        dense_result, _ = PE(zero_skipping=False).run(op)
+        np.testing.assert_allclose(sparse_result, dense_result, atol=1e-12)
+
+    def test_amortized_weight_load_removes_load_cycles(self):
+        row = np.array([1.0, 2.0, 3.0, 4.0])
+        with_load = PE(zero_skipping=True, amortize_weight_load=False)
+        without_load = PE(zero_skipping=True, amortize_weight_load=True)
+        _, stats_with = with_load.run(_src_op(row))
+        _, stats_without = without_load.run(_src_op(row))
+        assert stats_with.cycles == stats_without.cycles + 3
+
+    def test_total_stats_accumulate(self):
+        pe = PE()
+        row = np.array([1.0, 0.0, 2.0, 0.0, 0.0])
+        pe.run(_src_op(row))
+        pe.run(_src_op(row))
+        assert pe.total_stats.processed_operands == 4
+
+    def test_stats_addition(self):
+        a = PEOpStats(1, 2, 3, 4, 5, 6)
+        b = PEOpStats(10, 20, 30, 40, 50, 60)
+        total = a + b
+        assert total.cycles == 11 and total.reg_accesses == 66
+
+
+class TestPEMSRC:
+    def _msrc_op(self, grad, mask, kernel=(1.0, 1.0, 1.0), stride=1):
+        grad = np.asarray(grad, dtype=np.float64)
+        mask = np.asarray(mask, dtype=bool)
+        return MSRCOp(
+            kernel_row=np.asarray(kernel, dtype=np.float64),
+            grad_row=CompressedRow.from_dense(grad),
+            output_mask=mask,
+            stride=stride,
+            out_len=mask.size,
+        )
+
+    def test_fully_masked_operands_are_skipped_for_free(self):
+        grad = np.array([1.0, 0.0, 2.0, 0.0])
+        mask = np.zeros(6, dtype=bool)
+        _, stats = PE(zero_skipping=True).run(self._msrc_op(grad, mask))
+        assert stats.processed_operands == 0
+        assert stats.cycles == 3  # only the kernel-row load
+        assert stats.macs == 0
+
+    def test_partially_masked_counts_only_live_targets(self):
+        grad = np.array([1.0, 0.0, 0.0, 0.0])
+        mask = np.array([True, False, True, False, False, False])
+        _, stats = PE(zero_skipping=True).run(self._msrc_op(grad, mask))
+        assert stats.processed_operands == 1
+        assert stats.macs == 2  # positions 0 and 2 of the kernel window
+
+    def test_masked_result_is_zero_outside_mask(self, rng):
+        grad = rng.normal(size=5) * (rng.random(5) < 0.6)
+        mask = rng.random(7) < 0.5
+        result, _ = PE(zero_skipping=True).run(self._msrc_op(grad, mask))
+        assert np.all(result[~mask] == 0.0)
+
+    def test_dense_pe_ignores_mask(self, rng):
+        grad = rng.normal(size=5)
+        mask = np.zeros(7, dtype=bool)
+        result, stats = PE(zero_skipping=False).run(self._msrc_op(grad, mask))
+        assert stats.processed_operands == 5
+        assert np.any(result != 0.0)
+
+    def test_mask_length_validation(self):
+        with pytest.raises(ValueError):
+            MSRCOp(
+                kernel_row=np.ones(3),
+                grad_row=CompressedRow.from_dense(np.ones(4)),
+                output_mask=np.ones(3, dtype=bool),
+                stride=1,
+                out_len=6,
+            )
+
+
+class TestPEOSRC:
+    def _osrc_op(self, input_row, grad_row, kernel_size=3, stride=1):
+        return OSRCOp(
+            input_row=CompressedRow.from_dense(np.asarray(input_row, dtype=np.float64)),
+            grad_row=CompressedRow.from_dense(np.asarray(grad_row, dtype=np.float64)),
+            kernel_size=kernel_size,
+            stride=stride,
+        )
+
+    def test_result_is_row_correlation(self):
+        input_row = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        grad_row = np.array([1.0, 1.0, 1.0])
+        result, _ = PE(zero_skipping=True).run(self._osrc_op(input_row, grad_row))
+        # dw[kw] = sum_ow grad[ow] * input[ow + kw]
+        np.testing.assert_allclose(result, [6.0, 9.0, 12.0])
+
+    def test_both_sparsities_reduce_processing(self):
+        input_row = np.array([1.0, 0.0, 0.0, 0.0, 5.0])
+        grad_row = np.array([0.0, 0.0, 1.0])
+        _, stats = PE(zero_skipping=True).run(self._osrc_op(input_row, grad_row))
+        # Input position 0 pairs only with grad positions that are zero.
+        assert stats.processed_operands == 1
+        assert stats.skipped_operands >= 1
+
+    def test_dense_pe_processes_every_input_position(self):
+        input_row = np.array([1.0, 0.0, 0.0, 0.0, 5.0])
+        grad_row = np.array([0.0, 0.0, 1.0])
+        _, stats = PE(zero_skipping=False).run(self._osrc_op(input_row, grad_row))
+        assert stats.processed_operands == 5
+
+    def test_sparse_and_dense_agree_numerically(self, rng):
+        input_row = rng.normal(size=10) * (rng.random(10) < 0.5)
+        grad_row = rng.normal(size=8) * (rng.random(8) < 0.4)
+        op = self._osrc_op(input_row, grad_row)
+        sparse_result, _ = PE(zero_skipping=True).run(op)
+        dense_result, _ = PE(zero_skipping=False).run(op)
+        np.testing.assert_allclose(sparse_result, dense_result, atol=1e-12)
+
+
+class TestPPU:
+    def test_relu_and_compression(self):
+        ppu = PPU()
+        row = np.array([-1.0, 2.0, 0.0, -3.0, 4.0])
+        compressed, cycles = ppu.process_row(row, apply_relu=True)
+        np.testing.assert_array_equal(compressed.to_dense(), [0.0, 2.0, 0.0, 0.0, 4.0])
+        assert cycles == 5
+        assert ppu.stats.relu_applied == 5
+        assert ppu.stats.values_written == 2
+
+    def test_gradient_accumulators(self, rng):
+        ppu = PPU()
+        rows = [rng.normal(size=16) for _ in range(4)]
+        for row in rows:
+            ppu.process_row(row, accumulate_gradients=True)
+        stacked = np.concatenate(rows)
+        assert ppu.bias_gradient() == pytest.approx(stacked.sum())
+        assert ppu.mean_abs_gradient() == pytest.approx(np.abs(stacked).mean())
+
+    def test_threshold_from_ppu_accumulators_matches_reference(self, rng):
+        """The PPU's streaming statistics are sufficient for threshold determination."""
+        from repro.pruning.threshold import determine_threshold
+
+        ppu = PPU()
+        gradient = rng.normal(0.0, 1e-3, size=(8, 64))
+        for row in gradient:
+            ppu.process_row(row, accumulate_gradients=True)
+        streaming = determine_threshold_from_abs_sum(
+            ppu.gradient_abs_sum, ppu.gradient_count, 0.9
+        )
+        reference = determine_threshold(gradient, 0.9)
+        assert streaming == pytest.approx(reference, rel=1e-12)
+
+    def test_reset_accumulators(self, rng):
+        ppu = PPU()
+        ppu.process_row(rng.normal(size=8), accumulate_gradients=True)
+        ppu.reset_accumulators()
+        assert ppu.gradient_count == 0
+        assert ppu.mean_abs_gradient() == 0.0
+        assert ppu.bias_gradient() == 0.0
+
+    def test_no_accumulation_by_default(self, rng):
+        ppu = PPU()
+        ppu.process_row(rng.normal(size=8))
+        assert ppu.gradient_count == 0

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_cifar_like
+from repro.models.spec import ConvLayerSpec, ConvStructure
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, learnable synthetic dataset (160 samples, 3 classes, 8x8)."""
+    dataset = make_cifar_like(
+        num_samples=160, num_classes=4, image_size=8, rng=np.random.default_rng(0)
+    )
+    return dataset
+
+
+@pytest.fixture
+def small_conv_layer() -> ConvLayerSpec:
+    """A small convolution layer spec used across dataflow/arch tests."""
+    return ConvLayerSpec(
+        name="conv_test",
+        in_channels=3,
+        out_channels=4,
+        kernel=3,
+        stride=1,
+        padding=1,
+        in_height=8,
+        in_width=8,
+        structure=ConvStructure.CONV_RELU,
+    )
+
+
+@pytest.fixture
+def strided_conv_layer() -> ConvLayerSpec:
+    """A strided convolution layer spec (stride 2, odd input)."""
+    return ConvLayerSpec(
+        name="conv_strided",
+        in_channels=2,
+        out_channels=3,
+        kernel=3,
+        stride=2,
+        padding=1,
+        in_height=9,
+        in_width=9,
+        structure=ConvStructure.CONV_BN_RELU,
+    )
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+@pytest.fixture
+def num_grad():
+    """Expose the numerical-gradient helper as a fixture."""
+    return numerical_gradient

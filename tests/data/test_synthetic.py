@@ -1,0 +1,97 @@
+"""Tests for the synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    Dataset,
+    make_blob_dataset,
+    make_cifar_like,
+    make_stripe_dataset,
+)
+
+
+class TestDatasetContainer:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((4, 3, 8)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((4, 3, 8, 8)), np.zeros(5, dtype=int), 2)
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((4, 3, 8, 8)), np.zeros(4, dtype=int), 1)
+
+    def test_len_and_image_shape(self):
+        dataset = make_blob_dataset(num_samples=32, image_size=8)
+        assert len(dataset) == 32
+        assert dataset.image_shape == (3, 8, 8)
+
+    def test_split_fractions(self):
+        dataset = make_blob_dataset(num_samples=100)
+        train, test = dataset.split(0.75, np.random.default_rng(0))
+        assert len(train) == 75
+        assert len(test) == 25
+
+    def test_split_rejects_degenerate_fraction(self):
+        dataset = make_blob_dataset(num_samples=10)
+        with pytest.raises(ValueError):
+            dataset.split(0.0)
+
+    def test_batches_cover_all_samples(self):
+        dataset = make_blob_dataset(num_samples=50)
+        total = sum(len(labels) for _, labels in dataset.batches(16, shuffle=False))
+        assert total == 50
+
+    def test_batches_shuffle_changes_order(self):
+        dataset = make_blob_dataset(num_samples=64)
+        first_ordered = next(iter(dataset.batches(64, shuffle=False)))[1]
+        first_shuffled = next(iter(dataset.batches(64, rng=np.random.default_rng(3))))[1]
+        assert not np.array_equal(first_ordered, first_shuffled)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("factory", [make_blob_dataset, make_stripe_dataset, make_cifar_like])
+    def test_shapes_and_labels(self, factory):
+        dataset = factory(num_samples=40, num_classes=4, image_size=8)
+        assert dataset.images.shape == (40, 3, 8, 8)
+        assert dataset.labels.shape == (40,)
+        assert dataset.labels.min() >= 0
+        assert dataset.labels.max() < 4
+        assert dataset.num_classes == 4
+
+    @pytest.mark.parametrize("factory", [make_blob_dataset, make_stripe_dataset, make_cifar_like])
+    def test_deterministic_given_rng(self, factory):
+        a = factory(num_samples=16, rng=np.random.default_rng(5))
+        b = factory(num_samples=16, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @pytest.mark.parametrize("factory", [make_blob_dataset, make_stripe_dataset, make_cifar_like])
+    def test_normalised_statistics(self, factory):
+        dataset = factory(num_samples=64, image_size=8)
+        assert abs(dataset.images.mean()) < 1e-8
+        assert dataset.images.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_cifar_like_uses_all_classes(self):
+        dataset = make_cifar_like(num_samples=256, num_classes=6, image_size=8)
+        assert set(np.unique(dataset.labels)) == set(range(6))
+
+    def test_cifar_like_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            make_cifar_like(num_classes=1)
+
+    def test_blob_classes_are_separable_by_mean_position(self):
+        """Blob classes should be trivially separable - sanity of the task."""
+        dataset = make_blob_dataset(num_samples=200, num_classes=2, image_size=16, noise=0.1)
+        centroids = []
+        ys, xs = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        for label in (0, 1):
+            images = dataset.images[dataset.labels == label].mean(axis=(0, 1))
+            images = images - images.min()
+            weight = images / images.sum()
+            centroids.append((float((ys * weight).sum()), float((xs * weight).sum())))
+        distance = np.hypot(
+            centroids[0][0] - centroids[1][0], centroids[0][1] - centroids[1][1]
+        )
+        assert distance > 2.0

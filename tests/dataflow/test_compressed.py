@@ -1,0 +1,111 @@
+"""Tests for the compressed sparse row-vector format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataflow.compressed import (
+    CompressedFeatureMap,
+    CompressedRow,
+    compress_feature_map,
+    compression_ratio,
+)
+
+
+class TestCompressedRow:
+    def test_roundtrip(self, rng):
+        row = rng.normal(size=16) * (rng.random(16) < 0.4)
+        compressed = CompressedRow.from_dense(row)
+        np.testing.assert_array_equal(compressed.to_dense(), row)
+
+    def test_nnz_and_density(self):
+        row = np.array([0.0, 1.0, 0.0, 2.0])
+        compressed = CompressedRow.from_dense(row)
+        assert compressed.nnz == 2
+        assert compressed.density == pytest.approx(0.5)
+        assert compressed.length == 4
+
+    def test_all_zero_row(self):
+        compressed = CompressedRow.from_dense(np.zeros(8))
+        assert compressed.nnz == 0
+        assert compressed.density == 0.0
+        np.testing.assert_array_equal(compressed.to_dense(), np.zeros(8))
+
+    def test_storage_words(self):
+        row = np.array([1.0, 0.0, 2.0, 0.0, 3.0, 0.0])
+        compressed = CompressedRow.from_dense(row)
+        # 3 values + ceil(3/2) offset words = 5 words (< 6 dense words).
+        assert compressed.storage_words(offset_packing=2) == 5
+
+    def test_storage_words_invalid_packing(self):
+        with pytest.raises(ValueError):
+            CompressedRow.from_dense(np.ones(2)).storage_words(0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            CompressedRow.from_dense(np.zeros((2, 2)))
+
+    def test_rejects_inconsistent_construction(self):
+        with pytest.raises(ValueError):
+            CompressedRow(values=np.ones(2), offsets=np.array([0, 5]), length=3)
+        with pytest.raises(ValueError):
+            CompressedRow(values=np.ones(2), offsets=np.array([0]), length=4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        row=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(0, 64),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_property_roundtrip_and_storage_bound(self, row):
+        compressed = CompressedRow.from_dense(row)
+        np.testing.assert_array_equal(compressed.to_dense(), row)
+        assert compressed.nnz == np.count_nonzero(row)
+        assert compressed.storage_words() <= int(1.5 * compressed.nnz) + 1
+
+
+class TestCompressedFeatureMap:
+    def test_roundtrip(self, rng):
+        fmap = rng.normal(size=(3, 4, 5)) * (rng.random((3, 4, 5)) < 0.3)
+        compressed = compress_feature_map(fmap)
+        np.testing.assert_array_equal(compressed.to_dense(), fmap)
+        assert compressed.nnz == np.count_nonzero(fmap)
+
+    def test_density_and_words(self, rng):
+        fmap = np.zeros((2, 2, 4))
+        fmap[0, 0, 0] = 1.0
+        compressed = compress_feature_map(fmap)
+        assert compressed.dense_words == 16
+        assert compressed.density == pytest.approx(1 / 16)
+        assert compressed.storage_words() < compressed.dense_words
+
+    def test_row_access(self, rng):
+        fmap = rng.normal(size=(2, 3, 4))
+        compressed = compress_feature_map(fmap)
+        np.testing.assert_array_equal(compressed.row(1, 2).to_dense(), fmap[1, 2])
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            compress_feature_map(np.zeros((2, 2)))
+
+    def test_type(self, rng):
+        assert isinstance(compress_feature_map(rng.normal(size=(1, 2, 3))), CompressedFeatureMap)
+
+
+class TestCompressionRatio:
+    def test_sparse_map_compresses_well(self, rng):
+        fmap = rng.normal(size=(4, 8, 8)) * (rng.random((4, 8, 8)) < 0.1)
+        assert compression_ratio(fmap) > 2.0
+
+    def test_dense_map_does_not_compress(self, rng):
+        fmap = rng.normal(size=(4, 8, 8)) + 10.0
+        assert compression_ratio(fmap) < 1.0
+
+    def test_all_zero_map_is_infinite(self):
+        assert compression_ratio(np.zeros((1, 2, 2))) == float("inf")

@@ -1,0 +1,215 @@
+"""Exactness tests: row-wise dataflow == dense reference convolution.
+
+These tests establish the central dataflow claim of the paper — that Forward,
+GTA and GTW can be decomposed into 1-D row operations without changing the
+numerics — by comparing the row-wise reference and the decomposed-op +
+PE-execution paths against the im2col kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.pe import PE
+from repro.dataflow.decompose import (
+    accumulate_forward,
+    accumulate_gta,
+    accumulate_gtw,
+    decompose_forward,
+    decompose_gta,
+    decompose_gtw,
+)
+from repro.dataflow.reference import (
+    bias_gradient_by_rows,
+    forward_by_rows,
+    gta_by_rows,
+    gtw_by_rows,
+    row_convolution,
+)
+from repro.models.spec import ConvLayerSpec, ConvStructure
+from repro.nn import functional as F
+
+
+def _random_layer_tensors(layer: ConvLayerSpec, rng, input_density=0.5, grad_density=0.3):
+    x = rng.normal(size=(layer.in_channels, layer.in_height, layer.in_width))
+    x *= rng.random(x.shape) < input_density
+    w = rng.normal(size=(layer.out_channels, layer.in_channels, layer.kernel, layer.kernel))
+    grad_out = rng.normal(size=(layer.out_channels, layer.out_height, layer.out_width))
+    grad_out *= rng.random(grad_out.shape) < grad_density
+    mask = rng.random((layer.in_channels, layer.in_height, layer.in_width)) < 0.5
+    return x, w, grad_out, mask
+
+
+class TestRowConvolution:
+    def test_simple_case(self):
+        out = row_convolution(np.array([1.0, 2.0, 3.0, 4.0]), np.array([1.0, 1.0]), 1, 3)
+        np.testing.assert_array_equal(out, [3.0, 5.0, 7.0])
+
+    def test_strided(self):
+        out = row_convolution(np.array([1.0, 2.0, 3.0, 4.0, 5.0]), np.array([1.0, 0.0, 1.0]), 2, 2)
+        np.testing.assert_array_equal(out, [4.0, 8.0])
+
+
+class TestReferenceAgainstIm2col:
+    def test_forward_matches(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, _, _ = _random_layer_tensors(layer, rng)
+        bias = rng.normal(size=layer.out_channels)
+        expected, _ = F.conv2d_forward(x[None], w, bias, layer.stride, layer.padding)
+        result = forward_by_rows(x, w, bias, layer.stride, layer.padding)
+        np.testing.assert_allclose(result, expected[0], atol=1e-12)
+
+    def test_gta_matches(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, mask = _random_layer_tensors(layer, rng)
+        _, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        expected, _, _ = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        unmasked = gta_by_rows(grad_out, w, x.shape, layer.stride, layer.padding)
+        np.testing.assert_allclose(unmasked, expected[0], atol=1e-12)
+        masked = gta_by_rows(grad_out, w, x.shape, layer.stride, layer.padding, mask=mask)
+        np.testing.assert_allclose(masked, expected[0] * mask, atol=1e-12)
+
+    def test_gtw_matches(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        _, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        _, expected_dw, expected_db = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        np.testing.assert_allclose(
+            gtw_by_rows(grad_out, x, layer.kernel, layer.stride, layer.padding),
+            expected_dw,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(bias_gradient_by_rows(grad_out), expected_db, atol=1e-12)
+
+    def test_strided_layer_matches(self, strided_conv_layer, rng):
+        layer = strided_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        expected, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        np.testing.assert_allclose(
+            forward_by_rows(x, w, None, layer.stride, layer.padding), expected[0], atol=1e-12
+        )
+        expected_di, expected_dw, _ = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        np.testing.assert_allclose(
+            gta_by_rows(grad_out, w, x.shape, layer.stride, layer.padding),
+            expected_di[0],
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            gtw_by_rows(grad_out, x, layer.kernel, layer.stride, layer.padding),
+            expected_dw,
+            atol=1e-12,
+        )
+
+    def test_mask_shape_mismatch_rejected(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        with pytest.raises(ValueError):
+            gta_by_rows(grad_out, w, x.shape, 1, 1, mask=np.ones((1, 2, 3), dtype=bool))
+
+
+class TestDecomposeOpCounts:
+    def test_forward_op_count_formula(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, _, _ = _random_layer_tensors(layer, rng)
+        ops = decompose_forward(layer, x, w)
+        expected = layer.out_channels * layer.out_height * layer.in_channels * layer.kernel
+        assert len(ops) == expected
+
+    def test_gta_op_count_formula(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, mask = _random_layer_tensors(layer, rng)
+        ops = decompose_gta(layer, grad_out, w, mask)
+        expected = layer.in_channels * layer.out_channels * layer.out_height * layer.kernel
+        assert len(ops) == expected
+
+    def test_gtw_op_count_formula(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        ops = decompose_gtw(layer, grad_out, x)
+        expected = layer.out_channels * layer.in_channels * layer.kernel * layer.out_height
+        assert len(ops) == expected
+
+    def test_shape_validation(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        with pytest.raises(ValueError):
+            decompose_forward(layer, rng.normal(size=(1, 2, 3, 4)), rng.normal(size=(4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            decompose_forward(
+                layer, rng.normal(size=(3, 8, 8)), rng.normal(size=(4, 3, 5, 5))
+            )
+
+
+class TestPEExecutionExactness:
+    @pytest.mark.parametrize("zero_skipping", [True, False])
+    def test_forward_via_pe(self, small_conv_layer, rng, zero_skipping):
+        layer = small_conv_layer
+        x, w, _, _ = _random_layer_tensors(layer, rng)
+        bias = rng.normal(size=layer.out_channels)
+        expected, _ = F.conv2d_forward(x[None], w, bias, layer.stride, layer.padding)
+        pe = PE(zero_skipping=zero_skipping)
+        ops = decompose_forward(layer, x, w)
+        results = [pe.run(op)[0] for op in ops]
+        out = accumulate_forward(layer, ops, results, bias=bias)
+        np.testing.assert_allclose(out, expected[0], atol=1e-12)
+
+    def test_gta_via_pe_with_mask(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, mask = _random_layer_tensors(layer, rng)
+        _, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        expected, _, _ = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        pe = PE(zero_skipping=True)
+        ops = decompose_gta(layer, grad_out, w, mask)
+        results = [pe.run(op)[0] for op in ops]
+        grad_input = accumulate_gta(layer, ops, results)
+        np.testing.assert_allclose(grad_input, expected[0] * mask, atol=1e-12)
+
+    def test_gta_via_dense_pe_without_mask_skipping(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, mask = _random_layer_tensors(layer, rng)
+        _, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        expected, _, _ = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        pe = PE(zero_skipping=False)
+        ops = decompose_gta(layer, grad_out, w, mask)
+        results = [pe.run(op)[0] for op in ops]
+        grad_input = accumulate_gta(layer, ops, results)
+        # The dense PE ignores the mask: it computes the full gradient.
+        np.testing.assert_allclose(grad_input, expected[0], atol=1e-12)
+
+    def test_gtw_via_pe(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        _, cols = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        _, expected_dw, _ = F.conv2d_backward(
+            grad_out[None], (1, *x.shape), cols, w, layer.stride, layer.padding
+        )
+        pe = PE(zero_skipping=True)
+        ops = decompose_gtw(layer, grad_out, x)
+        results = [pe.run(op)[0] for op in ops]
+        np.testing.assert_allclose(accumulate_gtw(layer, ops, results), expected_dw, atol=1e-12)
+
+    def test_strided_layer_via_pe(self, strided_conv_layer, rng):
+        layer = strided_conv_layer
+        x, w, grad_out, _ = _random_layer_tensors(layer, rng)
+        expected, _ = F.conv2d_forward(x[None], w, None, layer.stride, layer.padding)
+        pe = PE(zero_skipping=True)
+        ops = decompose_forward(layer, x, w)
+        results = [pe.run(op)[0] for op in ops]
+        np.testing.assert_allclose(accumulate_forward(layer, ops, results), expected[0], atol=1e-12)
+
+    def test_accumulate_length_mismatch_rejected(self, small_conv_layer, rng):
+        layer = small_conv_layer
+        x, w, _, _ = _random_layer_tensors(layer, rng)
+        ops = decompose_forward(layer, x, w)
+        with pytest.raises(ValueError):
+            accumulate_forward(layer, ops, [])

@@ -1,0 +1,88 @@
+"""Tests for the runnable (reduced) AlexNet and ResNet numpy models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.alexnet import build_alexnet
+from repro.models.resnet import build_resnet
+from repro.utils.rng import new_rng
+
+
+class TestBuildAlexNet:
+    def test_forward_output_shape(self):
+        model = build_alexnet(num_classes=5, image_size=16, width_scale=0.2, rng=new_rng(0))
+        logits = model.forward(np.random.default_rng(0).normal(size=(3, 3, 16, 16)))
+        assert logits.shape == (3, 5)
+
+    def test_backward_produces_gradients(self):
+        model = build_alexnet(num_classes=4, image_size=8, width_scale=0.1, rng=new_rng(1))
+        logits = model.forward(np.random.default_rng(1).normal(size=(2, 3, 8, 8)))
+        model.backward(np.ones_like(logits))
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_width_scale_changes_parameter_count(self):
+        small = build_alexnet(width_scale=0.1, rng=new_rng(2))
+        large = build_alexnet(width_scale=0.3, rng=new_rng(2))
+        count = lambda m: sum(p.size for p in m.parameters())
+        assert count(large) > count(small)
+
+    def test_dropout_layer_optional(self):
+        with_dropout = build_alexnet(dropout=0.5, rng=new_rng(3))
+        without = build_alexnet(dropout=0.0, rng=new_rng(3))
+        assert len(with_dropout.layers) == len(without.layers) + 1
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            build_alexnet(image_size=12)
+
+    def test_five_convolutions_named_like_alexnet(self):
+        from repro.sparsity import iter_convs
+
+        model = build_alexnet(width_scale=0.1, rng=new_rng(4))
+        assert [c.name for c in iter_convs(model)] == [f"conv{i}" for i in range(1, 6)]
+
+
+class TestBuildResNet:
+    def test_forward_output_shape(self):
+        model = build_resnet(
+            num_classes=6, image_size=16, blocks_per_stage=(1, 1), base_width=8, rng=new_rng(0)
+        )
+        logits = model.forward(np.random.default_rng(0).normal(size=(2, 3, 16, 16)))
+        assert logits.shape == (2, 6)
+
+    def test_backward_produces_gradients(self):
+        model = build_resnet(blocks_per_stage=(1,), base_width=8, rng=new_rng(1))
+        logits = model.forward(np.random.default_rng(1).normal(size=(2, 3, 16, 16)))
+        model.backward(np.ones_like(logits))
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_stage_count_affects_depth(self):
+        shallow = build_resnet(blocks_per_stage=(1,), base_width=8, rng=new_rng(2))
+        deep = build_resnet(blocks_per_stage=(1, 1, 1), base_width=8, rng=new_rng(2))
+        from repro.sparsity import iter_convs
+
+        assert len(list(iter_convs(deep))) > len(list(iter_convs(shallow)))
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ValueError):
+            build_resnet(blocks_per_stage=())
+
+    def test_rejects_too_small_image(self):
+        with pytest.raises(ValueError):
+            build_resnet(image_size=2, blocks_per_stage=(1, 1, 1, 1, 1))
+
+    def test_gradient_check_tiny_resnet(self, num_grad):
+        model = build_resnet(
+            num_classes=2, image_size=8, blocks_per_stage=(1,), base_width=4, rng=new_rng(3)
+        )
+        x = np.random.default_rng(3).normal(size=(2, 3, 8, 8))
+        out = model.forward(x)
+        grad_out = np.random.default_rng(4).normal(size=out.shape)
+        grad_in = model.backward(grad_out)
+
+        def loss():
+            return float(np.sum(model.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-4)

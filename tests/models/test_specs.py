@@ -1,0 +1,173 @@
+"""Tests for model shape specifications (AlexNet, ResNet, zoo lookups)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.alexnet import alexnet_cifar_spec, alexnet_imagenet_spec
+from repro.models.resnet import resnet_spec, supported_depths
+from repro.models.spec import ConvLayerSpec, ConvStructure, LinearLayerSpec, ModelSpec
+from repro.models.zoo import get_model_spec, paper_workloads, table2_workloads
+
+
+class TestConvLayerSpec:
+    def test_output_geometry(self):
+        layer = ConvLayerSpec("c", 3, 64, 11, 4, 2, 224, 224)
+        assert layer.out_height == 55
+        assert layer.out_width == 55
+
+    def test_mac_counts(self):
+        layer = ConvLayerSpec("c", 3, 4, 3, 1, 1, 8, 8)
+        expected_forward = 4 * 8 * 8 * 3 * 3 * 3
+        assert layer.forward_macs == expected_forward
+        assert layer.gta_macs == expected_forward
+        assert layer.gtw_macs == expected_forward
+        assert layer.training_macs == 3 * expected_forward
+
+    def test_sizes(self):
+        layer = ConvLayerSpec("c", 3, 4, 3, 1, 1, 8, 8)
+        assert layer.weight_count == 3 * 4 * 9
+        assert layer.input_size == 3 * 64
+        assert layer.output_size == 4 * 64
+
+    def test_relu_mask_availability(self):
+        with_mask = ConvLayerSpec("a", 3, 4, 3, 1, 1, 8, 8, ConvStructure.CONV_RELU)
+        without = ConvLayerSpec("b", 3, 4, 3, 1, 1, 8, 8, ConvStructure.CONV_ONLY)
+        assert with_mask.has_relu_mask
+        assert not without.has_relu_mask
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ConvLayerSpec("c", 3, 4, 9, 1, 0, 4, 4)
+        with pytest.raises(ValueError):
+            ConvLayerSpec("c", 0, 4, 3, 1, 1, 8, 8)
+
+
+class TestLinearLayerSpec:
+    def test_counts_and_conv_view(self):
+        layer = LinearLayerSpec("fc", 100, 10)
+        assert layer.weight_count == 1000
+        assert layer.training_macs == 3000
+        conv_view = layer.as_conv()
+        assert conv_view.in_channels == 100
+        assert conv_view.out_channels == 10
+        assert conv_view.forward_macs == 1000
+
+
+class TestAlexNetSpecs:
+    def test_imagenet_geometry(self):
+        spec = alexnet_imagenet_spec()
+        assert spec.num_conv_layers == 5
+        conv1 = spec.conv_layers[0]
+        assert (conv1.out_height, conv1.out_width) == (55, 55)
+        # Total conv weights of AlexNet are ~2.3M.
+        conv_weights = sum(l.weight_count for l in spec.conv_layers)
+        assert 2.2e6 < conv_weights < 2.6e6
+
+    def test_cifar_geometry(self):
+        spec = alexnet_cifar_spec(10)
+        assert spec.input_shape == (3, 32, 32)
+        assert all(l.structure is ConvStructure.CONV_RELU for l in spec.conv_layers)
+
+    def test_describe_mentions_every_layer(self):
+        text = alexnet_cifar_spec().describe()
+        for layer in alexnet_cifar_spec().conv_layers:
+            assert layer.name in text
+
+
+class TestResNetSpecs:
+    def test_supported_depths(self):
+        assert set(supported_depths()) == {18, 34, 50, 101, 152}
+
+    def test_resnet18_imagenet_conv_count_and_weights(self):
+        spec = resnet_spec(18, "ImageNet")
+        # 1 stem + 16 block convs + 3 downsample convs = 20
+        assert spec.num_conv_layers == 20
+        conv_weights = sum(l.weight_count for l in spec.conv_layers)
+        # ResNet-18 has ~11.2M conv weights.
+        assert 10.5e6 < conv_weights < 12.0e6
+
+    def test_resnet34_has_more_layers_than_resnet18(self):
+        assert resnet_spec(34, "CIFAR-10").num_conv_layers > resnet_spec(18, "CIFAR-10").num_conv_layers
+
+    def test_resnet152_uses_bottlenecks(self):
+        spec = resnet_spec(152, "ImageNet")
+        # 1 stem + (3+8+36+3) * 3 convs + 4 downsample convs = 155
+        assert spec.num_conv_layers == 155
+        conv_weights = sum(l.weight_count for l in spec.conv_layers)
+        assert 55e6 < conv_weights < 62e6
+
+    def test_imagenet_spatial_sizes_shrink_to_seven(self):
+        spec = resnet_spec(18, "ImageNet")
+        last = spec.conv_layers[-1]
+        assert last.out_height == 7 and last.out_width == 7
+
+    def test_cifar_spatial_sizes_shrink_to_four(self):
+        spec = resnet_spec(18, "CIFAR-10")
+        last = spec.conv_layers[-1]
+        assert last.out_height == 4 and last.out_width == 4
+
+    def test_all_block_convs_are_conv_bn_relu(self):
+        spec = resnet_spec(18, "CIFAR-10")
+        block_convs = [l for l in spec.conv_layers if "downsample" not in l.name]
+        assert all(l.structure is ConvStructure.CONV_BN_RELU for l in block_convs)
+
+    def test_downsample_convs_marked_conv_only(self):
+        spec = resnet_spec(18, "CIFAR-10")
+        downsamples = [l for l in spec.conv_layers if "downsample" in l.name]
+        assert len(downsamples) == 3
+        assert all(l.structure is ConvStructure.CONV_ONLY for l in downsamples)
+
+    def test_unknown_depth_and_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            resnet_spec(19, "CIFAR-10")
+        with pytest.raises(ValueError):
+            resnet_spec(18, "MNIST")
+
+    def test_classifier_widths(self):
+        assert resnet_spec(18, "CIFAR-100").linear_layers[0].out_features == 100
+        assert resnet_spec(18, "ImageNet").linear_layers[0].out_features == 1000
+        assert resnet_spec(50, "CIFAR-10").linear_layers[0].in_features == 2048
+
+
+class TestModelSpecAggregates:
+    def test_total_macs_consistency(self):
+        spec = alexnet_cifar_spec()
+        assert spec.total_training_macs == spec.conv_training_macs + sum(
+            l.training_macs for l in spec.linear_layers
+        )
+
+    def test_layer_by_name(self):
+        spec = alexnet_cifar_spec()
+        assert spec.layer_by_name("conv3").out_channels == 384
+        with pytest.raises(KeyError):
+            spec.layer_by_name("missing")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec("empty", "CIFAR-10", (3, 32, 32), tuple())
+
+
+class TestZoo:
+    def test_get_model_spec_known_combinations(self):
+        assert get_model_spec("AlexNet", "ImageNet").dataset == "ImageNet"
+        assert get_model_spec("resnet-34", "cifar-100").name == "ResNet-34"
+
+    def test_get_model_spec_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_model_spec("VGG-16", "CIFAR-10")
+        with pytest.raises(ValueError):
+            get_model_spec("AlexNet", "MNIST")
+        with pytest.raises(ValueError):
+            get_model_spec("ResNet-abc", "CIFAR-10")
+
+    def test_paper_workloads_grid(self):
+        specs = paper_workloads(include_imagenet=True)
+        assert len(specs) == 9
+        assert len(paper_workloads(include_imagenet=False)) == 6
+
+    def test_table2_workload_rows(self):
+        rows = table2_workloads()
+        assert ("ResNet-152", "CIFAR-10") in rows
+        assert ("ResNet-152", "ImageNet") not in rows
+        assert len(rows) == 11

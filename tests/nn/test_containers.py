@@ -1,0 +1,146 @@
+"""Tests for Sequential and ResidualBlock composite layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Flatten,
+    Linear,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+
+
+class TestSequential:
+    def _small_model(self, rng):
+        return Sequential(
+            [
+                Conv2D(1, 2, 3, padding=1, rng=rng, name="c1"),
+                ReLU(),
+                Flatten(),
+                Linear(2 * 4 * 4, 3, rng=rng, name="fc"),
+            ]
+        )
+
+    def test_forward_backward_shapes(self, rng):
+        model = self._small_model(rng)
+        x = rng.normal(size=(2, 1, 4, 4))
+        out = model.forward(x)
+        assert out.shape == (2, 3)
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_parameters_collected_from_children(self, rng):
+        model = self._small_model(rng)
+        # conv weight+bias, linear weight+bias
+        assert len(model.parameters()) == 4
+
+    def test_zero_grad_clears_all(self, rng):
+        model = self._small_model(rng)
+        x = rng.normal(size=(1, 1, 4, 4))
+        model.backward(np.ones_like(model.forward(x)))
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        model = self._small_model(rng)
+        model.eval()
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert all(layer.training for layer in model.layers)
+
+    def test_indexing_and_len(self, rng):
+        model = self._small_model(rng)
+        assert len(model) == 4
+        assert isinstance(model[0], Conv2D)
+
+    def test_append(self, rng):
+        model = self._small_model(rng)
+        model.append(ReLU())
+        assert len(model) == 5
+
+    def test_append_rejects_non_layer(self, rng):
+        with pytest.raises(TypeError):
+            self._small_model(rng).append("not a layer")
+
+    def test_rejects_non_layer_elements(self):
+        with pytest.raises(TypeError):
+            Sequential([ReLU(), 42])
+
+    def test_whole_model_gradient_check(self, rng, num_grad):
+        model = self._small_model(rng)
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = model.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = model.backward(grad_out)
+
+        def loss():
+            return float(np.sum(model.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-6)
+
+
+class TestResidualBlock:
+    def test_identity_skip_forward_shape(self, rng):
+        block = ResidualBlock(4, 4, stride=1, rng=rng)
+        x = rng.normal(size=(2, 4, 8, 8))
+        assert block.forward(x).shape == (2, 4, 8, 8)
+        assert block.downsample_conv is None
+
+    def test_projection_skip_when_shape_changes(self, rng):
+        block = ResidualBlock(4, 8, stride=2, rng=rng)
+        x = rng.normal(size=(2, 4, 8, 8))
+        assert block.forward(x).shape == (2, 8, 4, 4)
+        assert block.downsample_conv is not None
+        assert block.downsample_bn is not None
+
+    def test_backward_shapes(self, rng):
+        block = ResidualBlock(4, 8, stride=2, rng=rng)
+        x = rng.normal(size=(2, 4, 8, 8))
+        out = block.forward(x)
+        grad_in = block.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_parameter_count_identity_block(self, rng):
+        block = ResidualBlock(4, 4, rng=rng)
+        # conv1 (no bias), bn1 gamma+beta, conv2, bn2 gamma+beta = 6 parameters
+        assert len(block.parameters()) == 6
+
+    def test_parameter_count_projection_block(self, rng):
+        block = ResidualBlock(4, 8, stride=2, rng=rng)
+        # plus downsample conv + downsample bn gamma/beta = 9 parameters
+        assert len(block.parameters()) == 9
+
+    def test_gradient_check_identity_block(self, rng, num_grad):
+        block = ResidualBlock(2, 2, rng=rng)
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = block.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = block.backward(grad_out)
+
+        def loss():
+            return float(np.sum(block.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-5)
+
+    def test_gradient_check_projection_block(self, rng, num_grad):
+        block = ResidualBlock(2, 4, stride=2, rng=rng)
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = block.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = block.backward(grad_out)
+
+        def loss():
+            return float(np.sum(block.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-5)
+
+    def test_children_enumeration(self, rng):
+        block = ResidualBlock(2, 4, stride=2, rng=rng)
+        children = list(block.children())
+        assert len(children) == 8  # conv1 bn1 relu1 conv2 bn2 relu2 + downsample conv/bn

@@ -1,0 +1,213 @@
+"""Gradient and shape tests for the numpy functional kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+class TestIm2col:
+    def test_roundtrip_is_adjoint(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, 3, 3, stride=1, padding=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * c))
+        rhs = float(np.sum(x * F.col2im(c, x.shape, 3, 3, 1, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, 3, 3, stride=1, padding=0)
+        assert cols.shape == (3 * 3 * 3, 2 * 6 * 6)
+
+    def test_conv_output_size(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(224, 11, 4, 2) == 55
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_conv_output_size_invalid(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_matches_direct_convolution(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        out, _ = F.conv2d_forward(x, w, b, stride, padding)
+        out_h = F.conv_output_size(7, 3, stride, padding)
+        assert out.shape == (2, 4, out_h, out_h)
+        # Direct computation of one output element.
+        n, f, oh, ow = 1, 2, 1, 1
+        x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        patch = x_padded[n, :, oh * stride : oh * stride + 3, ow * stride : ow * stride + 3]
+        expected = float(np.sum(patch * w[f]) + b[f])
+        assert out[n, f, oh, ow] == pytest.approx(expected, rel=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1)])
+    def test_backward_matches_numerical_gradient(self, rng, num_grad, stride, padding):
+        x = rng.normal(size=(2, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=(3,))
+        out, cols = F.conv2d_forward(x, w, b, stride, padding)
+        grad_out = rng.normal(size=out.shape)
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_out, x.shape, cols, w, stride, padding
+        )
+
+        def loss():
+            return float(np.sum(F.conv2d_forward(x, w, b, stride, padding)[0] * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_x, atol=1e-6)
+        np.testing.assert_allclose(num_grad(loss, w), grad_w, atol=1e-6)
+        np.testing.assert_allclose(num_grad(loss, b), grad_b, atol=1e-6)
+
+    def test_backward_without_input_grad(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        out, cols = F.conv2d_forward(x, w, None, 1, 1)
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            np.ones_like(out), x.shape, cols, w, 1, 1, need_input_grad=False
+        )
+        assert grad_x is None
+        assert grad_w.shape == w.shape
+
+
+class TestPooling:
+    def test_maxpool_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, _ = F.maxpool2d_forward(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self, rng, num_grad):
+        x = rng.normal(size=(2, 2, 4, 4))
+        out, argmax = F.maxpool2d_forward(x, 2)
+        grad_out = rng.normal(size=out.shape)
+        grad_x = F.maxpool2d_backward(grad_out, x.shape, argmax, 2)
+
+        def loss():
+            return float(np.sum(F.maxpool2d_forward(x, 2)[0] * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_x, atol=1e-7)
+
+    def test_avgpool_forward_and_backward(self, rng, num_grad):
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = F.avgpool2d_forward(x, 2)
+        assert out.shape == (1, 2, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx(x[0, 0, :2, :2].mean())
+        grad_out = rng.normal(size=out.shape)
+        grad_x = F.avgpool2d_backward(grad_out, x.shape, 2)
+
+        def loss():
+            return float(np.sum(F.avgpool2d_forward(x, 2) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_x, atol=1e-7)
+
+
+class TestReLU:
+    def test_forward_zeroes_negatives_and_records_mask(self):
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        out, mask = F.relu_forward(x)
+        np.testing.assert_array_equal(out, [[0.0, 2.0], [0.0, 0.0]])
+        np.testing.assert_array_equal(mask, [[False, True], [False, False]])
+
+    def test_backward_applies_mask(self):
+        grad = np.ones((2, 2))
+        mask = np.array([[True, False], [False, True]])
+        np.testing.assert_array_equal(F.relu_backward(grad, mask), mask.astype(float))
+
+
+class TestBatchNorm:
+    def test_forward_normalises_in_training(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(16, 4, 5, 5))
+        gamma, beta = np.ones(4), np.zeros(4)
+        running_mean, running_var = np.zeros(4), np.ones(4)
+        out, _ = F.batchnorm_forward(
+            x, gamma, beta, running_mean, running_var, 0.1, 1e-5, True, (0, 2, 3)
+        )
+        assert abs(out.mean()) < 1e-7
+        assert out.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_running_stats_updated_only_in_training(self, rng):
+        x = rng.normal(size=(8, 3, 4, 4))
+        gamma, beta = np.ones(3), np.zeros(3)
+        running_mean, running_var = np.zeros(3), np.ones(3)
+        F.batchnorm_forward(x, gamma, beta, running_mean, running_var, 0.5, 1e-5, True, (0, 2, 3))
+        assert not np.allclose(running_mean, 0.0)
+        frozen_mean = running_mean.copy()
+        F.batchnorm_forward(x, gamma, beta, running_mean, running_var, 0.5, 1e-5, False, (0, 2, 3))
+        np.testing.assert_array_equal(running_mean, frozen_mean)
+
+    def test_backward_matches_numerical_gradient(self, rng, num_grad):
+        x = rng.normal(size=(6, 3, 4, 4))
+        gamma = rng.normal(size=3) + 1.0
+        beta = rng.normal(size=3)
+
+        def forward():
+            running_mean, running_var = np.zeros(3), np.ones(3)
+            out, cache = F.batchnorm_forward(
+                x, gamma, beta, running_mean, running_var, 0.1, 1e-5, True, (0, 2, 3)
+            )
+            return out, cache
+
+        out, cache = forward()
+        grad_out = rng.normal(size=out.shape)
+        dx, dgamma, dbeta = F.batchnorm_backward(grad_out, cache)
+
+        def loss():
+            return float(np.sum(forward()[0] * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), dx, atol=1e-5)
+        np.testing.assert_allclose(num_grad(loss, gamma), dgamma, atol=1e-5)
+        np.testing.assert_allclose(num_grad(loss, beta), dbeta, atol=1e-5)
+
+
+class TestLinearAndLoss:
+    def test_linear_backward_matches_numerical(self, rng, num_grad):
+        x = rng.normal(size=(4, 5))
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=(3,))
+        out = F.linear_forward(x, w, b)
+        grad_out = rng.normal(size=out.shape)
+        dx, dw, db = F.linear_backward(grad_out, x, w)
+
+        def loss():
+            return float(np.sum(F.linear_forward(x, w, b) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), dx, atol=1e-7)
+        np.testing.assert_allclose(num_grad(loss, w), dw, atol=1e-7)
+        np.testing.assert_allclose(num_grad(loss, b), db, atol=1e-7)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(6, 10)) * 50
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), atol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        loss, grad = F.cross_entropy_loss(logits, labels)
+        assert loss < 1e-6
+        assert np.abs(grad).max() < 1e-6
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng, num_grad):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, grad = F.cross_entropy_loss(logits, labels)
+
+        def loss():
+            return F.cross_entropy_loss(logits, labels)[0]
+
+        np.testing.assert_allclose(num_grad(loss, logits), grad, atol=1e-6)
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = np.zeros((3, 4))
+        labels = np.array([0, 1, 2])
+        loss, _ = F.cross_entropy_loss(logits, labels)
+        assert loss == pytest.approx(np.log(4), rel=1e-9)

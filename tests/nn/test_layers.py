@@ -1,0 +1,283 @@
+"""Tests for the layer classes (shapes, gradients, hooks, modes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Linear,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+)
+
+
+class TestParameter:
+    def test_accumulate_grad_creates_then_adds(self):
+        param = Parameter(np.zeros((2, 2)), name="w")
+        param.accumulate_grad(np.ones((2, 2)))
+        param.accumulate_grad(np.ones((2, 2)))
+        np.testing.assert_array_equal(param.grad, 2 * np.ones((2, 2)))
+
+    def test_accumulate_grad_shape_mismatch(self):
+        param = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            param.accumulate_grad(np.ones((3,)))
+
+    def test_zero_grad(self):
+        param = Parameter(np.zeros(3))
+        param.accumulate_grad(np.ones(3))
+        param.zero_grad()
+        assert param.grad is None
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((4, 5)))
+        assert param.shape == (4, 5)
+        assert param.size == 20
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        conv = Conv2D(3, 8, 3, stride=1, padding=1, rng=rng)
+        out = conv.forward(rng.normal(size=(2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_output_shape_helper(self, rng):
+        conv = Conv2D(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert conv.output_shape((3, 32, 32)) == (8, 16, 16)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(1, 2, 8, 8)))
+
+    def test_backward_before_forward_raises(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 4, 6, 6)))
+
+    def test_backward_accumulates_parameter_grads(self, rng):
+        conv = Conv2D(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = conv.forward(x)
+        grad_in = conv.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+    def test_no_bias_configuration(self, rng):
+        conv = Conv2D(2, 3, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_full_layer_gradient_check(self, rng, num_grad):
+        conv = Conv2D(2, 2, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = conv.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = conv.backward(grad_out)
+
+        def loss():
+            return float(np.sum(conv.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-6)
+        np.testing.assert_allclose(num_grad(loss, conv.weight.data), conv.weight.grad, atol=1e-6)
+
+    @pytest.mark.parametrize("bad", [{"in_channels": 0}, {"kernel_size": -1}, {"stride": 0}])
+    def test_invalid_construction(self, bad):
+        kwargs = dict(in_channels=3, out_channels=4, kernel_size=3, stride=1, padding=0)
+        kwargs.update(bad)
+        with pytest.raises((ValueError, TypeError)):
+            Conv2D(**kwargs)
+
+
+class TestLinear:
+    def test_forward_backward_shapes(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(5, 6))
+        out = layer.forward(x)
+        assert out.shape == (5, 4)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.weight.grad.shape == (4, 6)
+
+    def test_rejects_wrong_feature_count(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 7)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(3, 2, rng=rng).backward(np.zeros((1, 2)))
+
+
+class TestReLULayer:
+    def test_mask_recorded(self, rng):
+        relu = ReLU()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = relu.forward(x)
+        assert relu.mask is not None
+        np.testing.assert_array_equal(out > 0, relu.mask)
+
+    def test_backward_uses_mask(self, rng):
+        relu = ReLU()
+        x = rng.normal(size=(2, 3))
+        relu.forward(x)
+        grad = relu.backward(np.ones((2, 3)))
+        np.testing.assert_array_equal(grad, (x > 0).astype(float))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 1)))
+
+
+class TestPoolingLayers:
+    def test_maxpool_shapes_and_output_shape_helper(self, rng):
+        pool = MaxPool2D(2)
+        out = pool.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 3, 4, 4)
+        assert pool.output_shape((3, 8, 8)) == (3, 4, 4)
+
+    def test_maxpool_backward_shape(self, rng):
+        pool = MaxPool2D(2)
+        x = rng.normal(size=(1, 2, 6, 6))
+        out = pool.forward(x)
+        assert pool.backward(np.ones_like(out)).shape == x.shape
+
+    def test_avgpool_mean_value(self):
+        pool = AvgPool2D(2)
+        x = np.ones((1, 1, 4, 4))
+        np.testing.assert_allclose(pool.forward(x), np.ones((1, 1, 2, 2)))
+
+    def test_global_avgpool_forward_backward(self, rng, num_grad):
+        pool = GlobalAvgPool2D()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = pool.forward(x)
+        assert out.shape == (2, 3)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = pool.backward(grad_out)
+
+        def loss():
+            return float(np.sum(pool.forward(x) * grad_out))
+
+        np.testing.assert_allclose(num_grad(loss, x), grad_in, atol=1e-8)
+
+
+class TestBatchNormLayers:
+    def test_bn2d_train_vs_eval(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.normal(loc=2.0, size=(8, 3, 4, 4))
+        out_train = bn.forward(x)
+        assert abs(out_train.mean()) < 1e-6
+        bn.eval()
+        out_eval = bn.forward(x)
+        # Eval uses running stats (partially updated), so not exactly normalised.
+        assert out_eval.shape == x.shape
+
+    def test_bn2d_backward_requires_training_forward(self, rng):
+        bn = BatchNorm2D(3)
+        bn.eval()
+        bn.forward(rng.normal(size=(4, 3, 2, 2)))
+        with pytest.raises(RuntimeError):
+            bn.backward(np.ones((4, 3, 2, 2)))
+
+    def test_bn1d_shapes(self, rng):
+        bn = BatchNorm1D(5)
+        x = rng.normal(size=(10, 5))
+        out = bn.forward(x)
+        assert out.shape == x.shape
+        assert bn.backward(np.ones_like(out)).shape == x.shape
+
+    def test_bn_rejects_wrong_shape(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2D(3).forward(rng.normal(size=(4, 4, 2, 2)))
+        with pytest.raises(ValueError):
+            BatchNorm1D(3).forward(rng.normal(size=(4, 4)))
+
+    def test_bn_parameters(self):
+        bn = BatchNorm2D(6)
+        params = bn.parameters()
+        assert len(params) == 2
+        assert {p.data.shape for p in params} == {(6,)}
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        flatten = Flatten()
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = flatten.forward(x)
+        assert out.shape == (3, 32)
+        np.testing.assert_array_equal(flatten.backward(out), x)
+
+    def test_dropout_inactive_in_eval(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(drop.forward(x), x)
+
+    def test_dropout_scales_in_training(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000,))
+        out = drop.forward(x)
+        # Inverted dropout: surviving values are scaled by 1/keep.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_dropout_backward_uses_same_mask(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((100,))
+        out = drop.forward(x)
+        grad = drop.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_dropout_rate_zero_is_identity(self, rng):
+        drop = Dropout(0.0)
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_array_equal(drop.forward(x), x)
+
+
+class TestHooks:
+    def test_grad_output_hook_applied_before_backward(self, rng):
+        relu = ReLU()
+        x = rng.normal(size=(2, 2))
+        relu.forward(x)
+        relu.register_grad_output_hook(lambda g: g * 0.0)
+        grad = relu.backward(np.ones((2, 2)))
+        np.testing.assert_array_equal(grad, np.zeros((2, 2)))
+
+    def test_grad_input_hook_applied_after_backward(self, rng):
+        relu = ReLU()
+        x = np.abs(rng.normal(size=(2, 2))) + 0.1  # all positive -> mask all ones
+        relu.forward(x)
+        relu.register_grad_input_hook(lambda g: g + 5.0)
+        grad = relu.backward(np.ones((2, 2)))
+        np.testing.assert_array_equal(grad, 6.0 * np.ones((2, 2)))
+
+    def test_forward_hook_observes_input_and_output(self, rng):
+        conv = Conv2D(1, 1, 3, padding=1, rng=rng)
+        seen = {}
+
+        def hook(layer, x, out):
+            seen["in_shape"] = x.shape
+            seen["out_shape"] = out.shape
+
+        conv.register_forward_hook(hook)
+        conv.forward(rng.normal(size=(1, 1, 4, 4)))
+        assert seen == {"in_shape": (1, 1, 4, 4), "out_shape": (1, 1, 4, 4)}
+
+    def test_clear_hooks(self, rng):
+        relu = ReLU()
+        relu.register_grad_output_hook(lambda g: g * 0.0)
+        relu.register_forward_hook(lambda l, x, o: None)
+        relu.clear_hooks()
+        relu.forward(np.ones((2, 2)))
+        grad = relu.backward(np.ones((2, 2)))
+        np.testing.assert_array_equal(grad, np.ones((2, 2)))

@@ -1,0 +1,161 @@
+"""Tests for losses, optimisers and the LR scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, StepLR
+
+
+class TestSoftmaxCrossEntropy:
+    def test_forward_and_backward_shapes(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        value = loss.forward(logits, labels)
+        assert np.isfinite(value) and value > 0
+        grad = loss.backward()
+        assert grad.shape == logits.shape
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        loss.forward(logits, labels)
+        np.testing.assert_allclose(loss.backward().sum(axis=1), np.zeros(5), atol=1e-12)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_rejects_bad_shapes_and_labels(self, rng):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(rng.normal(size=(3,)), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            loss.forward(rng.normal(size=(3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            loss.forward(rng.normal(size=(2, 2)), np.array([0, 5]))
+
+    def test_callable_interface(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(2, 2))
+        assert loss(logits, np.array([0, 1])) == pytest.approx(
+            SoftmaxCrossEntropy().forward(logits, np.array([0, 1]))
+        )
+
+
+class TestMeanSquaredError:
+    def test_zero_loss_for_identical_inputs(self, rng):
+        loss = MeanSquaredError()
+        x = rng.normal(size=(4, 4))
+        assert loss.forward(x, x.copy()) == pytest.approx(0.0)
+
+    def test_gradient_matches_analytic(self, rng):
+        loss = MeanSquaredError()
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        loss.forward(pred, target)
+        np.testing.assert_allclose(loss.backward(), 2 * (pred - target) / pred.size)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(rng.normal(size=(2, 2)), rng.normal(size=(3,)))
+
+
+class TestSGD:
+    def _param(self, value=1.0):
+        param = Parameter(np.array([value]))
+        param.accumulate_grad(np.array([0.5]))
+        return param
+
+    def test_basic_update(self):
+        param = self._param()
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = SGD([param], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            param.grad = np.array([1.0])
+            optimizer.step()
+        # Updates: v1 = 1 -> -1; v2 = 0.9 + 1 = 1.9 -> total -2.9
+        np.testing.assert_allclose(param.data, [-2.9])
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([10.0]))
+        param.accumulate_grad(np.array([0.0]))
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(param.data, [10.0 - 0.1 * 0.5 * 10.0])
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_zero_grad(self):
+        param = self._param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"momentum": 1.5}, {"weight_decay": -1.0}])
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], **{"lr": 0.1, **kwargs})
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_minimises_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            param.grad = 2 * param.data  # d/dx x^2
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-3
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.grad = 2 * param.data
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_step_without_grad_is_noop(self):
+        param = Parameter(np.array([1.0]))
+        Adam([param]).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+
+class TestStepLR:
+    def test_decays_at_step_size(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_invalid_arguments(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=1, gamma=0.0)

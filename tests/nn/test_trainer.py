@@ -1,0 +1,152 @@
+"""Tests for the training loop, callbacks and history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.alexnet import build_alexnet
+from repro.nn import SGD, Callback, Trainer, accuracy
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential
+
+
+def _linear_model(rng, num_classes=4, image_size=8, channels=3):
+    return Sequential(
+        [
+            Flatten(),
+            Linear(channels * image_size * image_size, 32, rng=rng),
+            ReLU(),
+            Linear(32, num_classes, rng=rng),
+        ]
+    )
+
+
+class RecordingCallback(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_epoch_start(self, trainer, epoch):
+        self.events.append(("epoch_start", epoch))
+
+    def on_epoch_end(self, trainer, epoch, stats):
+        self.events.append(("epoch_end", epoch))
+
+    def on_batch_start(self, trainer, step):
+        self.events.append(("batch_start", step))
+
+    def on_batch_end(self, trainer, step, loss):
+        self.events.append(("batch_end", step))
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1, momentum=0.9))
+        history = trainer.fit(
+            tiny_dataset.images, tiny_dataset.labels, epochs=5, batch_size=32
+        )
+        losses = history.train_losses()
+        assert losses[-1] < losses[0]
+        assert history.final_train_accuracy > 0.5
+
+    def test_cnn_learns_synthetic_task(self, tiny_dataset):
+        model = build_alexnet(
+            num_classes=tiny_dataset.num_classes,
+            image_size=8,
+            width_scale=0.1,
+            rng=np.random.default_rng(0),
+        )
+        train, test = tiny_dataset.split(0.8, np.random.default_rng(1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01, momentum=0.9))
+        history = trainer.fit(
+            train.images,
+            train.labels,
+            epochs=4,
+            batch_size=32,
+            test_images=test.images,
+            test_labels=test.labels,
+        )
+        # 4 classes -> chance is 0.25; the model must beat chance clearly.
+        assert history.best_test_accuracy > 0.4
+
+    def test_callbacks_invoked_in_order(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        callback = RecordingCallback()
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), callbacks=[callback])
+        trainer.fit(tiny_dataset.images[:64], tiny_dataset.labels[:64], epochs=1, batch_size=32)
+        kinds = [kind for kind, _ in callback.events]
+        assert kinds[0] == "epoch_start"
+        assert kinds[-1] == "epoch_end"
+        assert kinds.count("batch_start") == 2
+        assert kinds.count("batch_end") == 2
+
+    def test_history_records_test_metrics(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        history = trainer.fit(
+            tiny_dataset.images[:96],
+            tiny_dataset.labels[:96],
+            epochs=2,
+            batch_size=32,
+            test_images=tiny_dataset.images[96:128],
+            test_labels=tiny_dataset.labels[96:128],
+        )
+        assert all(e.test_accuracy is not None for e in history.epochs)
+        assert history.best_test_accuracy is not None
+
+    def test_global_step_increments(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        trainer.fit(tiny_dataset.images[:64], tiny_dataset.labels[:64], epochs=2, batch_size=32)
+        assert trainer.global_step == 4
+
+    def test_evaluate_returns_loss_and_accuracy(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        loss, acc = trainer.evaluate(tiny_dataset.images[:32], tiny_dataset.labels[:32])
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+    def test_fit_rejects_bad_arguments(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_dataset.images, tiny_dataset.labels[:10], epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_dataset.images, tiny_dataset.labels, epochs=0)
+
+    def test_add_callback(self, rng, tiny_dataset):
+        model = _linear_model(rng, num_classes=tiny_dataset.num_classes)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        callback = RecordingCallback()
+        trainer.add_callback(callback)
+        trainer.train_step(tiny_dataset.images[:8], tiny_dataset.labels[:8])
+        assert callback.events
+
+    def test_deterministic_given_seeds(self, tiny_dataset):
+        results = []
+        for _ in range(2):
+            model = _linear_model(np.random.default_rng(3), num_classes=tiny_dataset.num_classes)
+            trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+            history = trainer.fit(
+                tiny_dataset.images[:64],
+                tiny_dataset.labels[:64],
+                epochs=1,
+                batch_size=16,
+                shuffle_rng=np.random.default_rng(0),
+            )
+            results.append(history.train_losses())
+        np.testing.assert_allclose(results[0], results[1])
+
+    def test_empty_history_raises(self):
+        from repro.nn.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final_train_accuracy

@@ -1,0 +1,87 @@
+"""Tests for the reference Algorithm 1 implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pruning.algorithm import (
+    AlgorithmTrace,
+    prune_gradient_batches,
+    prune_single_pass,
+)
+from repro.pruning.stochastic import density
+
+
+def _make_batches(rng, count=12, size=4096, sigma=1e-3):
+    return [rng.normal(0.0, sigma, size=size) for _ in range(count)]
+
+
+class TestPruneGradientBatches:
+    def test_warm_up_batches_pass_through(self, rng):
+        batches = _make_batches(rng, count=6)
+        pruned = prune_gradient_batches(batches, 0.9, fifo_depth=3, rng=rng)
+        for original, result in zip(batches[:3], pruned[:3]):
+            np.testing.assert_array_equal(original, result)
+
+    def test_post_warm_up_batches_are_pruned(self, rng):
+        batches = _make_batches(rng, count=10)
+        pruned = prune_gradient_batches(batches, 0.9, fifo_depth=3, rng=rng)
+        for result in pruned[3:]:
+            assert density(result) < 0.6
+
+    def test_output_length_matches_input(self, rng):
+        batches = _make_batches(rng, count=5)
+        assert len(prune_gradient_batches(batches, 0.8, 2, rng)) == 5
+
+    def test_trace_records_thresholds_and_densities(self, rng):
+        batches = _make_batches(rng, count=8)
+        trace = AlgorithmTrace()
+        prune_gradient_batches(batches, 0.9, 3, rng, trace=trace)
+        assert len(trace.exact_thresholds) == 8
+        assert len(trace.predicted_thresholds) == 8
+        assert trace.predicted_thresholds[0] is None
+        assert trace.predicted_thresholds[-1] is not None
+        assert len(trace.densities_after) == 8
+
+    def test_prediction_error_small_for_stationary_stream(self, rng):
+        batches = _make_batches(rng, count=24, size=8192)
+        trace = AlgorithmTrace()
+        prune_gradient_batches(batches, 0.9, 5, rng, trace=trace)
+        errors = trace.prediction_errors
+        assert errors
+        assert float(np.mean(errors)) < 0.1
+
+    def test_realised_density_close_to_expected(self, rng):
+        from repro.pruning.threshold import expected_density_after_pruning
+
+        batches = _make_batches(rng, count=20, size=16384)
+        pruned = prune_gradient_batches(batches, 0.9, 4, rng)
+        realised = float(np.mean([density(b) for b in pruned[4:]]))
+        assert realised == pytest.approx(expected_density_after_pruning(0.9), abs=0.05)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            prune_gradient_batches([np.zeros(4)], 1.5, 2, rng)
+        with pytest.raises(ValueError):
+            prune_gradient_batches([np.zeros(4)], 0.5, 0, rng)
+
+
+class TestPruneSinglePass:
+    def test_density_reduced(self, rng):
+        gradients = rng.normal(0.0, 1e-3, size=8192)
+        pruned = prune_single_pass(gradients, 0.9, rng)
+        assert density(pruned) < 0.6
+
+    def test_zero_target_is_identity(self, rng):
+        gradients = rng.normal(size=512)
+        np.testing.assert_array_equal(prune_single_pass(gradients, 0.0, rng), gradients)
+
+    def test_matches_fifo_scheme_in_expectation(self, rng):
+        """The FIFO-predicted scheme should prune about as much as the exact scheme."""
+        batches = _make_batches(rng, count=30, size=8192)
+        fifo_pruned = prune_gradient_batches(batches, 0.9, 5, np.random.default_rng(0))
+        exact_pruned = [prune_single_pass(b, 0.9, np.random.default_rng(1)) for b in batches]
+        fifo_density = float(np.mean([density(b) for b in fifo_pruned[5:]]))
+        exact_density = float(np.mean([density(b) for b in exact_pruned[5:]]))
+        assert fifo_density == pytest.approx(exact_density, abs=0.05)

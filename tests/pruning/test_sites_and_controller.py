@@ -1,0 +1,179 @@
+"""Tests for pruning-site detection and the model-level controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.alexnet import build_alexnet
+from repro.models.resnet import build_resnet
+from repro.nn import SGD, Trainer
+from repro.nn.layers import BatchNorm2D, Conv2D, MaxPool2D, ReLU, Sequential
+from repro.pruning import (
+    PruneSide,
+    PruningConfig,
+    PruningController,
+    find_pruning_sites,
+)
+from repro.pruning.layer_pruner import LayerPruner
+from repro.utils.rng import new_rng
+
+
+class TestFindPruningSites:
+    def test_conv_relu_structure_prunes_input_gradient(self, rng):
+        model = Sequential([Conv2D(3, 4, 3, rng=rng, name="c1"), ReLU()])
+        sites = find_pruning_sites(model)
+        assert len(sites) == 1
+        assert sites[0].side is PruneSide.INPUT_GRAD
+
+    def test_conv_bn_relu_structure_prunes_output_gradient(self, rng):
+        model = Sequential(
+            [Conv2D(3, 4, 3, rng=rng, name="c1"), BatchNorm2D(4), ReLU()]
+        )
+        sites = find_pruning_sites(model)
+        assert sites[0].side is PruneSide.OUTPUT_GRAD
+
+    def test_pooling_between_conv_and_relu_is_transparent(self, rng):
+        model = Sequential(
+            [Conv2D(3, 4, 3, rng=rng, name="c1"), MaxPool2D(2), ReLU()]
+        )
+        sites = find_pruning_sites(model)
+        assert sites[0].side is PruneSide.INPUT_GRAD
+
+    def test_alexnet_sites_are_all_input_grad(self):
+        model = build_alexnet(width_scale=0.1, rng=new_rng(0))
+        sites = find_pruning_sites(model)
+        assert len(sites) == 5
+        assert all(site.side is PruneSide.INPUT_GRAD for site in sites)
+
+    def test_resnet_sites_are_all_output_grad(self):
+        model = build_resnet(blocks_per_stage=(1, 1), base_width=8, rng=new_rng(0))
+        sites = find_pruning_sites(model)
+        # stem + 2 blocks x 2 convs + 1 downsample conv = 6 sites
+        assert len(sites) == 6
+        conv_names = {site.name for site in sites}
+        assert "stem.conv" in conv_names
+        non_stem = [s for s in sites if s.name != "stem.conv"]
+        assert all(site.side is PruneSide.OUTPUT_GRAD for site in non_stem)
+
+    def test_bare_conv_layer(self, rng):
+        conv = Conv2D(3, 4, 3, rng=rng)
+        sites = find_pruning_sites(conv)
+        assert len(sites) == 1 and sites[0].layer is conv
+
+
+class TestLayerPruner:
+    def test_warm_up_then_pruning(self, rng):
+        config = PruningConfig(target_sparsity=0.9, fifo_depth=2, min_elements=1)
+        pruner = LayerPruner("test", config, rng)
+        batches = [rng.normal(0.0, 1e-3, size=2048) for _ in range(6)]
+        results = [pruner.prune(b) for b in batches]
+        # First two batches pass through unchanged (FIFO warm-up).
+        np.testing.assert_array_equal(results[0], batches[0])
+        np.testing.assert_array_equal(results[1], batches[1])
+        # Later batches are pruned.
+        assert np.count_nonzero(results[-1]) < 0.6 * batches[-1].size
+        assert pruner.stats.batches_pruned == 4
+
+    def test_small_tensors_skipped(self, rng):
+        config = PruningConfig(target_sparsity=0.9, fifo_depth=1, min_elements=1000)
+        pruner = LayerPruner("test", config, rng)
+        small = rng.normal(size=10)
+        np.testing.assert_array_equal(pruner.prune(small), small)
+        assert pruner.stats.batches_pruned == 0
+
+    def test_disabled_pruner_is_identity(self, rng):
+        config = PruningConfig(target_sparsity=0.9, fifo_depth=1, min_elements=1)
+        pruner = LayerPruner("test", config, rng)
+        pruner.enabled = False
+        data = rng.normal(size=2048)
+        np.testing.assert_array_equal(pruner.prune(data), data)
+
+    def test_non_predictive_mode_prunes_first_batch(self, rng):
+        config = PruningConfig(
+            target_sparsity=0.9, fifo_depth=5, min_elements=1, use_prediction=False
+        )
+        pruner = LayerPruner("test", config, rng)
+        batch = rng.normal(0.0, 1e-3, size=4096)
+        pruned = pruner.prune(batch)
+        assert np.count_nonzero(pruned) < 0.6 * batch.size
+
+
+class TestPruningConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PruningConfig(target_sparsity=1.5)
+        with pytest.raises(ValueError):
+            PruningConfig(fifo_depth=0)
+
+    def test_with_sparsity(self):
+        config = PruningConfig(target_sparsity=0.7, fifo_depth=9)
+        updated = config.with_sparsity(0.99)
+        assert updated.target_sparsity == 0.99
+        assert updated.fifo_depth == 9
+
+
+class TestPruningController:
+    def _train(self, model, dataset, controller, epochs=2, lr=0.05):
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=lr, momentum=0.9), callbacks=[controller]
+        )
+        return trainer.fit(
+            dataset.images, dataset.labels, epochs=epochs, batch_size=32,
+            shuffle_rng=np.random.default_rng(0),
+        )
+
+    def test_reduces_gradient_density_on_resnet(self, tiny_dataset):
+        model = build_resnet(
+            num_classes=tiny_dataset.num_classes, image_size=8,
+            blocks_per_stage=(1,), base_width=8, rng=new_rng(0),
+        )
+        controller = PruningController(model, PruningConfig(target_sparsity=0.9, fifo_depth=2))
+        self._train(model, tiny_dataset, controller)
+        report = controller.density_report()
+        assert report.mean_density_before > 0.9  # BN makes dO dense
+        assert report.mean_density_after < 0.6
+        assert report.density_reduction > 1.5
+
+    def test_training_still_converges_with_pruning(self, tiny_dataset):
+        model = build_resnet(
+            num_classes=tiny_dataset.num_classes, image_size=8,
+            blocks_per_stage=(1,), base_width=8, rng=new_rng(1),
+        )
+        controller = PruningController(model, PruningConfig(target_sparsity=0.9, fifo_depth=2))
+        history = self._train(model, tiny_dataset, controller, epochs=4, lr=0.1)
+        assert history.final_train_accuracy > 0.5
+
+    def test_disable_enable(self, tiny_dataset, rng):
+        model = build_resnet(
+            num_classes=tiny_dataset.num_classes, image_size=8,
+            blocks_per_stage=(1,), base_width=8, rng=new_rng(2),
+        )
+        controller = PruningController(model, PruningConfig(target_sparsity=0.9, fifo_depth=1))
+        controller.disable()
+        assert all(not p.enabled for p in controller.pruners)
+        controller.enable()
+        assert all(p.enabled for p in controller.pruners)
+
+    def test_layer_densities_mapping(self, tiny_dataset):
+        model = build_alexnet(
+            num_classes=tiny_dataset.num_classes, image_size=8, width_scale=0.1, rng=new_rng(3)
+        )
+        controller = PruningController(model, PruningConfig(target_sparsity=0.9, fifo_depth=2))
+        self._train(model, tiny_dataset, controller, epochs=1, lr=0.01)
+        densities = controller.layer_densities()
+        assert set(densities) == {"conv1", "conv2", "conv3", "conv4", "conv5"}
+        assert all(0.0 <= v <= 1.0 for v in densities.values())
+
+    def test_detach_removes_hooks(self, rng):
+        model = Sequential([Conv2D(3, 4, 3, rng=rng, name="c1"), ReLU()])
+        controller = PruningController(model, PruningConfig())
+        assert model.layers[0]._grad_input_hooks
+        controller.detach()
+        assert not model.layers[0]._grad_input_hooks
+
+    def test_explicit_sites_subset(self, rng):
+        model = build_alexnet(width_scale=0.1, rng=new_rng(4))
+        all_sites = find_pruning_sites(model)
+        controller = PruningController(model, PruningConfig(), sites=all_sites[:2])
+        assert len(controller.pruners) == 2

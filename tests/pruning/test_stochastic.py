@@ -1,0 +1,140 @@
+"""Tests for stochastic pruning, including property-based unbiasedness checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.stochastic import (
+    PruningResult,
+    density,
+    prune_with_stats,
+    stochastic_prune,
+)
+
+
+class TestDensity:
+    def test_density_of_mixed_array(self):
+        assert density(np.array([0.0, 1.0, 0.0, 2.0])) == pytest.approx(0.5)
+
+    def test_density_of_empty_array(self):
+        assert density(np.array([])) == 0.0
+
+    def test_density_of_all_zeros(self):
+        assert density(np.zeros((3, 3))) == 0.0
+
+
+class TestStochasticPrune:
+    def test_values_above_threshold_untouched(self, rng):
+        gradients = np.array([1.0, -2.0, 0.5, -0.6])
+        pruned = stochastic_prune(gradients, threshold=0.4, rng=rng)
+        np.testing.assert_array_equal(pruned, gradients)
+
+    def test_values_below_threshold_become_zero_or_threshold(self, rng):
+        gradients = rng.uniform(-0.1, 0.1, size=1000)
+        threshold = 0.5
+        pruned = stochastic_prune(gradients, threshold, rng)
+        unique_magnitudes = set(np.round(np.abs(pruned[pruned != 0.0]), 12))
+        assert unique_magnitudes.issubset({threshold})
+
+    def test_sign_preserved_when_snapped(self, rng):
+        gradients = np.array([0.01, -0.01] * 500)
+        pruned = stochastic_prune(gradients, 1.0, rng)
+        assert np.all(pruned[::2] >= 0.0)
+        assert np.all(pruned[1::2] <= 0.0)
+
+    def test_zero_threshold_disables_pruning(self, rng):
+        gradients = rng.normal(size=100)
+        np.testing.assert_array_equal(stochastic_prune(gradients, 0.0, rng), gradients)
+
+    def test_negative_and_nonfinite_threshold_disable_pruning(self, rng):
+        gradients = rng.normal(size=10)
+        np.testing.assert_array_equal(stochastic_prune(gradients, -1.0, rng), gradients)
+        np.testing.assert_array_equal(
+            stochastic_prune(gradients, float("nan"), rng), gradients
+        )
+
+    def test_input_not_modified(self, rng):
+        gradients = rng.normal(size=50)
+        original = gradients.copy()
+        stochastic_prune(gradients, 1.0, rng)
+        np.testing.assert_array_equal(gradients, original)
+
+    def test_exact_zeros_stay_zero(self, rng):
+        gradients = np.zeros(100)
+        pruned = stochastic_prune(gradients, 0.5, rng)
+        np.testing.assert_array_equal(pruned, gradients)
+
+    def test_shape_and_dtype_preserved(self, rng):
+        gradients = rng.normal(size=(3, 4, 5))
+        pruned = stochastic_prune(gradients, 0.1, rng)
+        assert pruned.shape == gradients.shape
+        assert pruned.dtype == np.float64
+
+    def test_expectation_preserved(self):
+        """The core property: E[prune(g)] == g componentwise."""
+        rng = np.random.default_rng(0)
+        value = 0.3
+        threshold = 1.0
+        samples = np.array(
+            [stochastic_prune(np.array([value]), threshold, rng)[0] for _ in range(4000)]
+        )
+        assert samples.mean() == pytest.approx(value, abs=0.03)
+
+    def test_keep_probability_matches_magnitude(self):
+        rng = np.random.default_rng(1)
+        value, threshold = 0.25, 1.0
+        kept = [
+            stochastic_prune(np.array([value]), threshold, rng)[0] != 0.0
+            for _ in range(4000)
+        ]
+        assert np.mean(kept) == pytest.approx(value / threshold, abs=0.03)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        threshold=st.floats(0.05, 5.0),
+        scale=st.floats(0.01, 10.0),
+    )
+    def test_property_magnitudes_never_decrease_below_zero_or_exceed_original(
+        self, seed, threshold, scale
+    ):
+        """Pruned values are either 0, +/-tau, or the original value."""
+        rng = np.random.default_rng(seed)
+        gradients = rng.normal(0.0, scale, size=256)
+        pruned = stochastic_prune(gradients, threshold, np.random.default_rng(seed + 1))
+        below = np.abs(gradients) < threshold
+        # Above-threshold entries unchanged.
+        np.testing.assert_array_equal(pruned[~below], gradients[~below])
+        # Below-threshold entries are 0 or +/- tau with the original sign.
+        snapped = pruned[below]
+        zero_or_tau = np.isclose(np.abs(snapped), threshold) | (snapped == 0.0)
+        assert np.all(zero_or_tau)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_property_mean_preserved_for_batches(self, seed):
+        """Sum of pruned gradients stays close to the original sum."""
+        rng = np.random.default_rng(seed)
+        gradients = rng.normal(0.0, 1e-3, size=20_000)
+        threshold = 2e-3
+        pruned = stochastic_prune(gradients, threshold, np.random.default_rng(seed + 7))
+        # Standard error of the stochastic rounding is ~tau/sqrt(n).
+        tolerance = 6 * threshold * np.sqrt(gradients.size)
+        assert abs(pruned.sum() - gradients.sum()) < tolerance
+
+
+class TestPruneWithStats:
+    def test_reports_density_reduction(self, rng):
+        gradients = rng.normal(0.0, 1.0, size=2000)
+        result = prune_with_stats(gradients, threshold=1.0, rng=rng)
+        assert isinstance(result, PruningResult)
+        assert result.density_before == pytest.approx(1.0)
+        assert result.density_after < result.density_before
+        assert result.sparsity_after == pytest.approx(1.0 - result.density_after)
+
+    def test_threshold_recorded(self, rng):
+        result = prune_with_stats(rng.normal(size=10), threshold=0.5, rng=rng)
+        assert result.threshold == pytest.approx(0.5)

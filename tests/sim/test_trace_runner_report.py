@@ -1,0 +1,149 @@
+"""Tests for density measurement/mapping, workload comparison and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_cifar_like
+from repro.dataflow.compiler import uniform_densities
+from repro.models.alexnet import alexnet_cifar_spec, build_alexnet
+from repro.models.resnet import resnet_spec
+from repro.models.zoo import get_model_spec
+from repro.pruning import PruningConfig
+from repro.sim.report import format_breakdown, format_energy_table, format_latency_table
+from repro.sim.runner import WorkloadResult, compare_workload, simulate_baseline, simulate_sparsetrain
+from repro.sim.trace import MeasuredDensities, map_densities_to_spec, profile_training_densities
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def measured_alexnet_densities():
+    dataset = make_cifar_like(num_samples=128, num_classes=4, image_size=8, rng=np.random.default_rng(0))
+    model = build_alexnet(num_classes=4, image_size=8, width_scale=0.1, rng=new_rng(0))
+    return profile_training_densities(
+        model,
+        dataset,
+        pruning=PruningConfig(target_sparsity=0.9, fifo_depth=1),
+        epochs=1,
+        batch_size=32,
+        lr=0.01,
+    )
+
+
+class TestProfileTrainingDensities:
+    def test_layers_and_ranges(self, measured_alexnet_densities):
+        measured = measured_alexnet_densities
+        assert len(measured) == 5
+        for name in measured.layer_names:
+            densities = measured.densities[name]
+            for field in (
+                "input_density",
+                "grad_output_density",
+                "mask_density",
+                "grad_input_density",
+                "output_density",
+            ):
+                value = getattr(densities, field)
+                assert 0.0 <= value <= 1.0
+
+    def test_first_layer_has_dense_mask(self, measured_alexnet_densities):
+        first = measured_alexnet_densities.densities[measured_alexnet_densities.layer_names[0]]
+        assert first.mask_density == 1.0
+
+    def test_pruning_produces_sparse_grad_output(self, measured_alexnet_densities):
+        measured = measured_alexnet_densities
+        grad_densities = [
+            measured.densities[name].grad_output_density for name in measured.layer_names
+        ]
+        assert min(grad_densities) < 0.6
+
+    def test_at_fraction_endpoints(self, measured_alexnet_densities):
+        measured = measured_alexnet_densities
+        assert measured.at_fraction(0.0) == measured.densities[measured.layer_names[0]]
+        assert measured.at_fraction(1.0) == measured.densities[measured.layer_names[-1]]
+        assert measured.at_fraction(-0.5) == measured.at_fraction(0.0)
+
+    def test_empty_measurement_rejected(self):
+        empty = MeasuredDensities(layer_names=tuple(), densities={})
+        with pytest.raises(ValueError):
+            empty.at_fraction(0.5)
+
+
+class TestMapDensitiesToSpec:
+    def test_covers_every_spec_layer(self, measured_alexnet_densities):
+        spec = resnet_spec(18, "CIFAR-10")
+        mapped = map_densities_to_spec(measured_alexnet_densities, spec)
+        assert set(mapped) == {layer.name for layer in spec.conv_layers}
+
+    def test_first_layer_input_forced_dense(self, measured_alexnet_densities):
+        spec = alexnet_cifar_spec()
+        mapped = map_densities_to_spec(measured_alexnet_densities, spec)
+        assert mapped[spec.conv_layers[0].name].input_density == 1.0
+
+    def test_shortcut_convs_have_dense_mask(self, measured_alexnet_densities):
+        spec = resnet_spec(18, "CIFAR-10")
+        mapped = map_densities_to_spec(measured_alexnet_densities, spec)
+        for layer in spec.conv_layers:
+            if "downsample" in layer.name:
+                assert mapped[layer.name].mask_density == 1.0
+
+
+class TestRunnerAndReports:
+    @pytest.fixture(scope="class")
+    def workload_result(self) -> WorkloadResult:
+        spec = alexnet_cifar_spec()
+        densities = uniform_densities(
+            spec, input_density=0.4, grad_output_density=0.1, mask_density=0.4,
+            grad_input_density=0.3, output_density=0.4,
+        )
+        return compare_workload(spec, densities)
+
+    def test_comparison_speedup_and_efficiency(self, workload_result):
+        assert workload_result.speedup > 1.5
+        assert workload_result.energy_efficiency > 1.2
+        assert workload_result.workload_name == "AlexNet/CIFAR-10"
+
+    def test_simulate_helpers_agree_with_compare(self, workload_result):
+        spec = workload_result.spec
+        densities = workload_result.densities
+        sparse = simulate_sparsetrain(spec, densities)
+        baseline = simulate_baseline(spec)
+        assert sparse.total_cycles == pytest.approx(
+            workload_result.comparison.sparsetrain.total_cycles
+        )
+        assert baseline.total_cycles == pytest.approx(
+            workload_result.comparison.baseline.total_cycles
+        )
+
+    def test_latency_table_formatting(self, workload_result):
+        text = format_latency_table([workload_result])
+        assert "AlexNet/CIFAR-10" in text
+        assert "Average speedup" in text
+        assert "x" in text
+
+    def test_energy_table_formatting(self, workload_result):
+        text = format_energy_table([workload_result])
+        assert "SRAM" in text
+        assert "AlexNet/CIFAR-10" in text
+
+    def test_breakdown_formatting(self, workload_result):
+        text = format_breakdown(workload_result)
+        assert "Dense baseline" in text
+        assert "SparseTrain" in text
+        assert "sram" in text
+
+    def test_empty_tables(self):
+        assert "Workload" in format_latency_table([])
+        assert "Workload" in format_energy_table([])
+
+    def test_imagenet_workload_latency_larger_than_cifar(self):
+        densities_kwargs = dict(
+            input_density=0.45, grad_output_density=0.3, mask_density=0.45,
+            grad_input_density=0.45, output_density=0.45,
+        )
+        cifar_spec = get_model_spec("ResNet-18", "CIFAR-10")
+        imagenet_spec = get_model_spec("ResNet-18", "ImageNet")
+        cifar = compare_workload(cifar_spec, uniform_densities(cifar_spec, **densities_kwargs))
+        imagenet = compare_workload(imagenet_spec, uniform_densities(imagenet_spec, **densities_kwargs))
+        assert imagenet.comparison.sparsetrain.latency_us > cifar.comparison.sparsetrain.latency_us

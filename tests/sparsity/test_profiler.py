@@ -1,0 +1,94 @@
+"""Tests for the per-layer sparsity profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.alexnet import build_alexnet
+from repro.nn import SGD, Trainer
+from repro.pruning import PruningConfig, PruningController
+from repro.sparsity import SparsityProfiler, iter_convs
+from repro.utils.rng import new_rng
+
+
+class TestIterConvs:
+    def test_finds_all_alexnet_convs_in_order(self):
+        model = build_alexnet(width_scale=0.1, rng=new_rng(0))
+        names = [conv.name for conv in iter_convs(model)]
+        assert names == ["conv1", "conv2", "conv3", "conv4", "conv5"]
+
+
+class TestSparsityProfiler:
+    def _run(self, tiny_dataset, with_pruning: bool):
+        model = build_alexnet(
+            num_classes=tiny_dataset.num_classes, image_size=8, width_scale=0.1,
+            rng=new_rng(1),
+        )
+        callbacks = []
+        if with_pruning:
+            callbacks.append(
+                PruningController(model, PruningConfig(target_sparsity=0.9, fifo_depth=1))
+            )
+        profiler = SparsityProfiler(model)
+        callbacks.append(profiler)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01, momentum=0.9), callbacks=callbacks)
+        trainer.fit(
+            tiny_dataset.images, tiny_dataset.labels, epochs=1, batch_size=32,
+            shuffle_rng=np.random.default_rng(0),
+        )
+        return profiler
+
+    def test_records_every_conv_layer(self, tiny_dataset):
+        profiler = self._run(tiny_dataset, with_pruning=False)
+        assert len(profiler.layer_names()) == 5
+        for name in profiler.layer_names():
+            trace = profiler.trace_for(name)
+            assert len(trace.input_densities) == 5  # 160 samples / 32 per batch
+            assert len(trace.grad_output_densities) == 5
+            assert len(trace.grad_input_densities) == 5
+
+    def test_densities_in_unit_interval(self, tiny_dataset):
+        profiler = self._run(tiny_dataset, with_pruning=False)
+        for stats in profiler.mean_densities().values():
+            for value in stats.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_first_layer_input_is_dense_image(self, tiny_dataset):
+        profiler = self._run(tiny_dataset, with_pruning=False)
+        assert profiler.mean_densities()["conv1"]["input"] > 0.95
+
+    def test_inner_layer_inputs_are_sparse_after_relu(self, tiny_dataset):
+        profiler = self._run(tiny_dataset, with_pruning=False)
+        means = profiler.mean_densities()
+        inner = [means[name]["input"] for name in ("conv3", "conv4", "conv5")]
+        assert all(value < 0.95 for value in inner)
+
+    def test_pruning_lowers_recorded_grad_input_density(self, tiny_dataset):
+        without = self._run(tiny_dataset, with_pruning=False)
+        with_pruning = self._run(tiny_dataset, with_pruning=True)
+        mean_without = np.mean(
+            [v["grad_input"] for v in without.mean_densities().values()]
+        )
+        mean_with = np.mean(
+            [v["grad_input"] for v in with_pruning.mean_densities().values()]
+        )
+        assert mean_with < mean_without
+
+    def test_trace_for_unknown_layer_raises(self, tiny_dataset):
+        profiler = self._run(tiny_dataset, with_pruning=False)
+        try:
+            profiler.trace_for("missing")
+        except KeyError:
+            return
+        raise AssertionError("expected KeyError")
+
+    def test_detach_removes_hooks(self, tiny_dataset):
+        model = build_alexnet(
+            num_classes=tiny_dataset.num_classes, image_size=8, width_scale=0.1,
+            rng=new_rng(2),
+        )
+        profiler = SparsityProfiler(model)
+        profiler.detach()
+        for conv in iter_convs(model):
+            assert not conv._forward_hooks
+            assert not conv._grad_output_hooks

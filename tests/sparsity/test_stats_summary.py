@@ -1,0 +1,115 @@
+"""Tests for sparsity statistics, classification and the Table I summary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparsity.stats import (
+    classify,
+    density,
+    nnz,
+    row_densities,
+    sparsity,
+    tensor_stats,
+)
+from repro.sparsity.summary import (
+    PAPER_TABLE1,
+    format_table,
+    summarize_data_types,
+)
+
+
+class TestStats:
+    def test_density_and_sparsity_complementary(self, rng):
+        array = rng.normal(size=(8, 8)) * (rng.random((8, 8)) < 0.3)
+        assert density(array) + sparsity(array) == pytest.approx(1.0)
+
+    def test_nnz(self):
+        assert nnz(np.array([0.0, 1.0, 2.0, 0.0])) == 2
+
+    def test_density_empty(self):
+        assert density(np.array([])) == 0.0
+
+    def test_tensor_stats_fields(self, rng):
+        array = np.array([[0.0, -2.0], [1.0, 0.0]])
+        stats = tensor_stats(array)
+        assert stats.shape == (2, 2)
+        assert stats.size == 4
+        assert stats.nnz == 2
+        assert stats.density == pytest.approx(0.5)
+        assert stats.sparsity == pytest.approx(0.5)
+        assert stats.mean_abs == pytest.approx(0.75)
+        assert stats.max_abs == pytest.approx(2.0)
+
+    def test_row_densities_shape_and_values(self):
+        feature_map = np.zeros((2, 3, 4))
+        feature_map[0, 0, :2] = 1.0
+        densities = row_densities(feature_map)
+        assert densities.shape == (6,)
+        assert densities[0] == pytest.approx(0.5)
+        assert densities[1:].sum() == 0.0
+
+    def test_row_densities_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            row_densities(np.float64(3.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        array=hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_property_density_bounds(self, array):
+        value = density(array)
+        assert 0.0 <= value <= 1.0
+        assert nnz(array) == int(round(value * array.size))
+
+
+class TestClassify:
+    def test_dense_and_sparse(self):
+        assert classify(1.0) == "dense"
+        assert classify(0.8) == "dense"
+        assert classify(0.3) == "sparse"
+
+    def test_custom_cutoff(self):
+        assert classify(0.6, dense_cutoff=0.5) == "dense"
+        assert classify(0.6, dense_cutoff=0.7) == "sparse"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            classify(1.5)
+
+
+class TestSummary:
+    def _summary(self):
+        return summarize_data_types(
+            weight_density=1.0,
+            weight_grad_density=0.98,
+            input_density=0.4,
+            grad_input_density=0.9,
+            output_density=1.0,
+            grad_output_density=0.2,
+        )
+
+    def test_classifications_match_paper(self):
+        rows = self._summary()
+        assert all(row.matches_paper for row in rows)
+
+    def test_symbols_cover_all_six_types(self):
+        rows = self._summary()
+        assert {row.symbol for row in rows} == set(PAPER_TABLE1)
+
+    def test_format_table_contains_all_rows(self):
+        text = format_table(self._summary())
+        for symbol in PAPER_TABLE1:
+            assert symbol in text
+
+    def test_rejects_non_finite_density(self):
+        with pytest.raises(ValueError):
+            summarize_data_types(1.0, float("nan"), 0.4, 0.9, 1.0, 0.2)

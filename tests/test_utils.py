@@ -1,0 +1,135 @@
+"""Tests for repro.utils: RNG helpers, validation, logging."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import ProgressPrinter, get_logger
+from repro.utils.rng import derive_rng, new_rng, spawn_rngs, stable_hash_seed
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_shape,
+)
+
+
+class TestRng:
+    def test_new_rng_is_deterministic_for_same_seed(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_new_rng_differs_for_different_seeds(self):
+        assert not np.allclose(new_rng(1).random(5), new_rng(2).random(5))
+
+    def test_spawn_rngs_count_and_independence(self):
+        rngs = spawn_rngs(7, 4)
+        assert len(rngs) == 4
+        draws = [r.random(8) for r in rngs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_spawn_rngs_reproducible(self):
+        a = [r.random(3) for r in spawn_rngs(3, 2)]
+        b = [r.random(3) for r in spawn_rngs(3, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_rngs_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_rng_passthrough(self):
+        rng = new_rng(0)
+        assert derive_rng(rng) is rng
+
+    def test_derive_rng_creates_new(self):
+        assert isinstance(derive_rng(None, 5), np.random.Generator)
+
+    def test_stable_hash_seed_deterministic(self):
+        assert stable_hash_seed("a", 1, 2.5) == stable_hash_seed("a", 1, 2.5)
+
+    def test_stable_hash_seed_differs(self):
+        assert stable_hash_seed("a") != stable_hash_seed("b")
+
+    def test_stable_hash_seed_fits_32_bits(self):
+        assert 0 <= stable_hash_seed("model", "dataset", 99) < 2**32
+
+
+class TestValidation:
+    def test_check_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_check_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_check_positive_int_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "x")
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_check_positive_int_rejects_wrong_type(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "x")
+
+    def test_check_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_check_non_negative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-2, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_check_positive_float_rejects_zero_and_nan(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive_float(float("nan"), "x")
+
+    def test_check_shape_accepts_wildcards(self):
+        array = np.zeros((2, 3, 4))
+        assert check_shape(array, (2, None, 4), "x") is array
+
+    def test_check_shape_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((2, 3)), (2, 3, 1), "x")
+
+    def test_check_shape_rejects_wrong_axis(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((2, 3)), (2, 4), "x")
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        logger = get_logger("trainer")
+        assert isinstance(logger, logging.Logger)
+        assert logger.name == "repro.trainer"
+
+    def test_progress_printer_respects_interval(self, capsys):
+        printer = ProgressPrinter(total=10, every=1000.0)
+        printer.update(1, "working")
+        # Interval not elapsed and step != total: nothing printed.
+        assert capsys.readouterr().err == ""
+        printer.update(10, "done")
+        assert "10/10" in capsys.readouterr().err
+
+    def test_progress_printer_without_total(self, capsys):
+        printer = ProgressPrinter(every=0.0)
+        printer.update(3, "msg")
+        err = capsys.readouterr().err
+        assert "step 3" in err and "msg" in err
