@@ -19,11 +19,26 @@ substrate they depend on:
   algorithm experiments run on.
 * :mod:`repro.sim` and :mod:`repro.eval` — end-to-end workload simulation and
   the harnesses regenerating the paper's Table I, Table II, Fig. 8 and Fig. 9.
+* :mod:`repro.explore` — design-space exploration over the simulator:
+  declarative sweep spaces, a parallel cached evaluation engine, Pareto
+  analysis and the ``python -m repro`` command line (:mod:`repro.cli`).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro import arch, baselines, data, dataflow, models, nn, pruning, sim, sparsity, utils
+from repro import (
+    arch,
+    baselines,
+    data,
+    dataflow,
+    explore,
+    models,
+    nn,
+    pruning,
+    sim,
+    sparsity,
+    utils,
+)
 
 __all__ = [
     "__version__",
@@ -36,5 +51,6 @@ __all__ = [
     "arch",
     "baselines",
     "sim",
+    "explore",
     "utils",
 ]

@@ -120,7 +120,7 @@ def iso_area_pe_count(
     """
     model = model if model is not None else AreaModel()
     reference_area = estimate_area(reference, model).total_mm2
-    fixed = estimate_area(candidate.with_pes(candidate.pes_per_group), model)
+    fixed = estimate_area(candidate.evolve(num_pes=candidate.pes_per_group), model)
     per_pe = (
         model.mac_mm2 * candidate.kernel_size
         + model.register_word_mm2

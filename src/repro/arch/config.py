@@ -11,7 +11,9 @@ the experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Mapping
 
 from repro.utils.validation import (
     check_positive_float,
@@ -116,13 +118,59 @@ class ArchConfig:
         """Peak MAC throughput of the whole array (K MACs per PE per cycle)."""
         return self.num_pes * self.kernel_size
 
+    # ------------------------------------------------------------------
+    # Derivation and serialization (design-space sweeps, result caching)
+    # ------------------------------------------------------------------
+    def evolve(self, **overrides: Any) -> "ArchConfig":
+        """Copy of this config with any subset of fields replaced.
+
+        The generic sweep constructor: ``config.evolve(num_pes=336,
+        buffer_kib=772)``.  Unknown field names raise ``ValueError`` so axis
+        typos in a design space fail loudly instead of silently sweeping
+        nothing.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown ArchConfig field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-serialisable mapping of every field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchConfig":
+        """Rebuild a config from :meth:`to_dict` output (validates fields)."""
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown ArchConfig field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return cls(**dict(data))
+
     def with_pes(self, num_pes: int) -> "ArchConfig":
-        """Copy of this config with a different PE count (for sweeps)."""
-        return replace(self, num_pes=num_pes)
+        """Deprecated: use :meth:`evolve` (``config.evolve(num_pes=...)``)."""
+        warnings.warn(
+            "ArchConfig.with_pes is deprecated; use evolve(num_pes=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evolve(num_pes=num_pes)
 
     def with_buffer(self, buffer_kib: int) -> "ArchConfig":
-        """Copy of this config with a different buffer capacity."""
-        return replace(self, buffer_kib=buffer_kib)
+        """Deprecated: use :meth:`evolve` (``config.evolve(buffer_kib=...)``)."""
+        warnings.warn(
+            "ArchConfig.with_buffer is deprecated; use evolve(buffer_kib=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evolve(buffer_kib=buffer_kib)
 
 
 def sparsetrain_config(**overrides) -> ArchConfig:

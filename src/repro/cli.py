@@ -1,0 +1,306 @@
+"""``python -m repro`` — the reproduction and exploration command line.
+
+Subcommands
+-----------
+``sweep``
+    Run a design-space sweep (PE count x buffer size x pruning rate, times a
+    workload list) through the exploration engine: parallel evaluation,
+    persistent caching, optional CSV/JSON export.
+``pareto``
+    Extract per-workload Pareto frontiers from a sweep (re-running it through
+    the cache, or loading a previous export) and optionally export them.
+``fig8`` / ``fig9``
+    Regenerate the paper's latency (Fig. 8) and energy (Fig. 9) comparisons
+    with the measured-density pipeline.
+
+Every run prints the same tables the library returns, so a CLI invocation is
+a reproducible, copy-pasteable experiment description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.explore.cache import DEFAULT_CACHE_DIR, DEFAULT_CACHE_FILE, ResultCache
+from repro.explore.engine import DesignPoint, ExplorationEngine, points_for
+from repro.explore.pareto import parse_objectives, pareto_by_workload
+from repro.explore.report import (
+    export_records,
+    format_frontier,
+    format_records_table,
+    load_records,
+)
+from repro.explore.space import DesignSpace, grid_axis
+from repro.models.zoo import normalize_dataset_name, normalize_model_name
+
+DEFAULT_WORKLOADS = "AlexNet/CIFAR-10,ResNet-18/CIFAR-10"
+DEFAULT_PES = "84,168,336,672"
+DEFAULT_BUFFERS = "192,386,772"
+DEFAULT_RATES = "0.5,0.7,0.9,0.95"
+
+SMOKE_WORKLOADS = "AlexNet/CIFAR-10,ResNet-18/CIFAR-10"
+SMOKE_PES = "84,168"
+SMOKE_BUFFERS = "386"
+SMOKE_RATES = "0.9"
+
+
+def _parse_workloads(text: str) -> list[tuple[str, str]]:
+    workloads: list[tuple[str, str]] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        model, sep, dataset = item.partition("/")
+        if not sep:
+            raise SystemExit(
+                f"workload {item!r} must be <model>/<dataset>, e.g. AlexNet/CIFAR-10"
+            )
+        workloads.append((normalize_model_name(model), normalize_dataset_name(dataset)))
+    if not workloads:
+        raise SystemExit("at least one workload is required")
+    return workloads
+
+
+def _parse_list(text: str, convert) -> tuple:
+    try:
+        return tuple(convert(item.strip()) for item in text.split(",") if item.strip())
+    except ValueError as exc:
+        raise SystemExit(f"cannot parse list {text!r}: {exc}") from exc
+
+
+def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads",
+        default=DEFAULT_WORKLOADS,
+        help="comma-separated <model>/<dataset> pairs (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pes", default=DEFAULT_PES, help="PE counts to sweep (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--buffers",
+        default=DEFAULT_BUFFERS,
+        help="buffer sizes in KiB to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pruning-rates",
+        default=DEFAULT_RATES,
+        help="target pruning rates to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate a seeded random subset of N grid points instead of all",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --sample (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fixed grid for CI smoke runs (overrides the space options)",
+    )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="persistent result-cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent cache"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="evaluate in-process, no worker pool"
+    )
+
+
+def _build_points(args: argparse.Namespace) -> list[DesignPoint]:
+    if args.smoke:
+        workloads = _parse_workloads(SMOKE_WORKLOADS)
+        space = DesignSpace(
+            axes=(
+                grid_axis("num_pes", _parse_list(SMOKE_PES, int)),
+                grid_axis("buffer_kib", _parse_list(SMOKE_BUFFERS, int)),
+                grid_axis("pruning_rate", _parse_list(SMOKE_RATES, float)),
+            )
+        )
+        return points_for(space, workloads)
+    workloads = _parse_workloads(args.workloads)
+    space = DesignSpace(
+        axes=(
+            grid_axis("num_pes", _parse_list(args.pes, int)),
+            grid_axis("buffer_kib", _parse_list(args.buffers, int)),
+            grid_axis("pruning_rate", _parse_list(args.pruning_rates, float)),
+        )
+    )
+    return points_for(space, workloads, sample=args.sample, seed=args.seed)
+
+
+def _build_engine(args: argparse.Namespace) -> ExplorationEngine:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir) / DEFAULT_CACHE_FILE)
+    return ExplorationEngine(
+        cache=cache,
+        max_workers=args.jobs,
+        parallel=not args.serial,
+    )
+
+
+def _check_export_suffix(path: str | None) -> None:
+    """Reject unsupported export suffixes before the sweep runs, not after."""
+    if path is not None and Path(path).suffix.lower() not in (".csv", ".json"):
+        raise ValueError(
+            f"unsupported export suffix {Path(path).suffix!r}; use .csv or .json"
+        )
+
+
+def _run_sweep(args: argparse.Namespace):
+    points = _build_points(args)
+    engine = _build_engine(args)
+    start = time.perf_counter()
+    records = engine.run(points)
+    elapsed = time.perf_counter() - start
+    return records, engine, elapsed
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    _check_export_suffix(args.out)
+    records, engine, elapsed = _run_sweep(args)
+    ranked = sorted(records, key=lambda r: r.latency_us)
+    print(format_records_table(ranked, limit=args.top))
+    print(f"\n{engine.stats.describe()} in {elapsed:.2f}s")
+    if args.out:
+        export_records(records, args.out)
+        print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    _check_export_suffix(args.export)
+    objectives = parse_objectives(_parse_list(args.objectives, str))
+    if getattr(args, "from_file", None):
+        records = load_records(args.from_file)
+        print(f"loaded {len(records)} records from {args.from_file}")
+    else:
+        records, engine, elapsed = _run_sweep(args)
+        print(f"{engine.stats.describe()} in {elapsed:.2f}s")
+    frontiers = pareto_by_workload(records, objectives)
+    combined = []
+    for workload in sorted(frontiers):
+        frontier = frontiers[workload]
+        combined.extend(frontier)
+        print()
+        print(f"[{workload}]")
+        print(format_frontier(frontier, objectives))
+    if args.export:
+        export_records(combined, args.export)
+        print(f"\nwrote {len(combined)} frontier records to {args.export}")
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.eval.common import ExperimentScale
+    from repro.eval.fig8 import PAPER_FIG8_WORKLOADS, QUICK_FIG8_WORKLOADS, run_fig8
+
+    workloads = PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
+    scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
+    result = run_fig8(workloads=workloads, pruning_rate=args.pruning_rate, scale=scale)
+    print(result.format())
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.eval.common import ExperimentScale
+    from repro.eval.fig8 import PAPER_FIG8_WORKLOADS, QUICK_FIG8_WORKLOADS
+    from repro.eval.fig9 import run_fig9
+
+    workloads = PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
+    scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
+    result = run_fig9(workloads=workloads, pruning_rate=args.pruning_rate, scale=scale)
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparseTrain reproduction: sweeps, Pareto analysis, paper figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run a design-space sweep")
+    _add_space_arguments(sweep)
+    _add_engine_arguments(sweep)
+    sweep.add_argument(
+        "--top", type=int, default=16, metavar="N",
+        help="rows of the latency-ranked table to print (default: %(default)s)",
+    )
+    sweep.add_argument("--out", default=None, help="export records to a .csv/.json file")
+    sweep.set_defaults(func=cmd_sweep)
+
+    pareto = sub.add_parser("pareto", help="extract per-workload Pareto frontiers")
+    _add_space_arguments(pareto)
+    _add_engine_arguments(pareto)
+    pareto.add_argument(
+        "--from", dest="from_file", default=None, metavar="FILE",
+        help="load records from a previous sweep export instead of sweeping",
+    )
+    pareto.add_argument(
+        "--objectives",
+        default="latency_us,energy_uj,area_mm2",
+        help="comma-separated objectives, optionally name:min|max (default: %(default)s)",
+    )
+    pareto.add_argument(
+        "--export", default=None, help="export frontier records to a .csv/.json file"
+    )
+    pareto.set_defaults(func=cmd_pareto)
+
+    for name, func, description in (
+        ("fig8", cmd_fig8, "regenerate the Fig. 8 latency/speedup comparison"),
+        ("fig9", cmd_fig9, "regenerate the Fig. 9 energy comparison"),
+    ):
+        fig = sub.add_parser(name, help=description)
+        fig.add_argument(
+            "--paper", action="store_true",
+            help="run the full 9-workload paper grid (default: the quick subset)",
+        )
+        fig.add_argument(
+            "--thorough", action="store_true",
+            help="use the larger, slower experiment scale",
+        )
+        fig.add_argument("--pruning-rate", type=float, default=0.9)
+        fig.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as exc:
+        # Bad axis values, unknown objectives, missing --from files: report
+        # cleanly instead of dumping a traceback at the terminal.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

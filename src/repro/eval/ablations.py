@@ -24,13 +24,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arch.config import dense_baseline_config, sparsetrain_config
 from repro.arch.energy import EnergyModel
-from repro.dataflow.compiler import uniform_densities
-from repro.models.zoo import get_model_spec
+from repro.explore.engine import DesignPoint, ExplorationEngine
 from repro.pruning.algorithm import AlgorithmTrace, prune_gradient_batches
 from repro.pruning.threshold import expected_density_after_pruning
-from repro.sim.runner import compare_workload
 from repro.utils.rng import new_rng
 
 
@@ -102,17 +99,26 @@ class SweepPoint:
     energy_efficiency: float
 
 
-def _alexnet_densities(spec, pruning_rate: float, natural_grad_density: float = 0.35):
-    """Analytic density map for sweep studies (no training required)."""
-    grad_density = expected_density_after_pruning(pruning_rate, natural_grad_density)
-    return uniform_densities(
-        spec,
-        input_density=0.45,
-        grad_output_density=grad_density,
-        mask_density=0.45,
-        grad_input_density=min(1.0, grad_density * 2.0),
-        output_density=0.45,
-    )
+def _sweep(points: list[DesignPoint], parameters: tuple[float, ...]) -> list[SweepPoint]:
+    """Evaluate design points through the exploration engine, serially.
+
+    The ablation harnesses share the engine's evaluation path (analytic
+    densities, matched-resource configs) with the survey-scale sweeps of
+    ``python -m repro sweep``; they stay serial and uncached so calling them
+    is side-effect free.  The engine returns one record per *unique* point,
+    so records are matched back to the requested points by key — a repeated
+    parameter value yields a repeated (correctly labelled) sweep point.
+    """
+    engine = ExplorationEngine(cache=None, parallel=False)
+    by_key = {record.key: record for record in engine.run(points)}
+    return [
+        SweepPoint(
+            parameter=parameter,
+            speedup=by_key[point.key].speedup,
+            energy_efficiency=by_key[point.key].energy_efficiency,
+        )
+        for parameter, point in zip(parameters, points)
+    ]
 
 
 def run_pruning_rate_sweep(
@@ -121,19 +127,11 @@ def run_pruning_rate_sweep(
     dataset: str = "CIFAR-10",
 ) -> list[SweepPoint]:
     """Speedup / efficiency vs target pruning rate, with analytic densities."""
-    spec = get_model_spec(model, dataset)
-    points: list[SweepPoint] = []
-    for rate in pruning_rates:
-        densities = _alexnet_densities(spec, rate)
-        result = compare_workload(spec, densities)
-        points.append(
-            SweepPoint(
-                parameter=rate,
-                speedup=result.speedup,
-                energy_efficiency=result.energy_efficiency,
-            )
-        )
-    return points
+    points = [
+        DesignPoint.from_assignment(model, dataset, {"pruning_rate": rate})
+        for rate in pruning_rates
+    ]
+    return _sweep(points, tuple(pruning_rates))
 
 
 def run_pe_sweep(
@@ -143,24 +141,13 @@ def run_pe_sweep(
     pruning_rate: float = 0.9,
 ) -> list[SweepPoint]:
     """Speedup / efficiency vs PE count (both architectures scaled together)."""
-    spec = get_model_spec(model, dataset)
-    densities = _alexnet_densities(spec, pruning_rate)
-    points: list[SweepPoint] = []
-    for count in pe_counts:
-        result = compare_workload(
-            spec,
-            densities,
-            sparse_config=sparsetrain_config(num_pes=count),
-            baseline_config=dense_baseline_config(num_pes=count),
+    points = [
+        DesignPoint.from_assignment(
+            model, dataset, {"num_pes": count, "pruning_rate": pruning_rate}
         )
-        points.append(
-            SweepPoint(
-                parameter=float(count),
-                speedup=result.speedup,
-                energy_efficiency=result.energy_efficiency,
-            )
-        )
-    return points
+        for count in pe_counts
+    ]
+    return _sweep(points, tuple(float(count) for count in pe_counts))
 
 
 def run_energy_sensitivity(
@@ -178,17 +165,13 @@ def run_energy_sensitivity(
     base = EnergyModel()
     if not hasattr(base, component):
         raise ValueError(f"unknown energy-model component {component!r}")
-    spec = get_model_spec(model, dataset)
-    densities = _alexnet_densities(spec, pruning_rate)
-    points: list[SweepPoint] = []
-    for factor in scale_factors:
-        model_variant = base.with_overrides(**{component: getattr(base, component) * factor})
-        result = compare_workload(spec, densities, energy_model=model_variant)
-        points.append(
-            SweepPoint(
-                parameter=factor,
-                speedup=result.speedup,
-                energy_efficiency=result.energy_efficiency,
-            )
+    points = [
+        DesignPoint.from_assignment(
+            model,
+            dataset,
+            {"pruning_rate": pruning_rate},
+            energy_overrides={component: getattr(base, component) * factor},
         )
-    return points
+        for factor in scale_factors
+    ]
+    return _sweep(points, tuple(scale_factors))

@@ -1,0 +1,86 @@
+"""Persistent JSON-lines cache for design-space evaluation results.
+
+Every evaluated point is appended to an on-disk JSON-lines file keyed by a
+stable content hash of its full input description (architecture config dicts,
+workload, density parameters, energy model).  Repeated sweeps — a re-run CLI
+invocation, a CI benchmark, an enlarged grid sharing points with a previous
+one — skip every point that was already simulated with identical inputs.
+
+The format is append-only and human-greppable: one ``{"key": ..., "record":
+...}`` object per line.  If the same key is appended twice (two processes
+racing on the same file), the last line wins on reload, and both carry the
+same payload by construction, so the race is benign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+# Default cache location, relative to the working directory (gitignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_CACHE_FILE = "sweeps.jsonl"
+
+
+def stable_key(payload: Mapping[str, Any]) -> str:
+    """Deterministic content hash of a JSON-serialisable mapping."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk key -> record-dict store with an in-memory index."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        if path is None:
+            path = Path(DEFAULT_CACHE_DIR) / DEFAULT_CACHE_FILE
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    self._records[entry["key"]] = entry["record"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A truncated final line (interrupted writer) only loses
+                    # that one entry; the point is simply re-simulated.
+                    continue
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Cached record dict for ``key``, or ``None`` on a miss."""
+        return self._records.get(key)
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Store a record, appending it to the on-disk file."""
+        record = dict(record)
+        if self._records.get(key) == record:
+            return
+        self._records[key] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": key, "record": record}) + "\n")
+
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        yield from self._records.items()
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._records.clear()
+        if self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,138 @@
+"""Pareto-frontier extraction and best-point queries over sweep records.
+
+The sweep objectives are per-sample training latency, per-sample energy and
+silicon area — three quantities that pull a design in different directions
+(more PEs buy latency with area; a bigger buffer buys DRAM energy with SRAM
+area).  A point is *dominated* when some other point is at least as good on
+every objective and strictly better on one; the frontier is the set of
+non-dominated points, the only designs a rational architect would build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.explore.engine import EvaluationRecord
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation objective: a record attribute and a direction."""
+
+    name: str
+    maximize: bool = False
+
+    def value(self, record: EvaluationRecord) -> float:
+        """Objective value in canonical minimising form."""
+        raw = float(getattr(record, self.name))
+        return -raw if self.maximize else raw
+
+
+# Minimised by default: the latency/energy/area trade-off surface.
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective("latency_us"),
+    Objective("energy_uj"),
+    Objective("area_mm2"),
+)
+
+# Attributes accepted by :func:`parse_objectives` with their natural direction.
+_KNOWN_OBJECTIVES = {
+    "latency_us": False,
+    "energy_uj": False,
+    "area_mm2": False,
+    "baseline_latency_us": False,
+    "baseline_energy_uj": False,
+    "speedup": True,
+    "energy_efficiency": True,
+}
+
+
+def parse_objectives(names: Sequence[str]) -> tuple[Objective, ...]:
+    """Parse CLI objective specs (``"latency_us"``, ``"speedup:max"``, ...)."""
+    objectives: list[Objective] = []
+    for raw in names:
+        name, _, direction = raw.partition(":")
+        name = name.strip()
+        if name not in _KNOWN_OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; choose from {sorted(_KNOWN_OBJECTIVES)}"
+            )
+        if direction and direction not in ("min", "max"):
+            raise ValueError(f"objective direction must be min or max, got {direction!r}")
+        maximize = direction == "max" if direction else _KNOWN_OBJECTIVES[name]
+        objectives.append(Objective(name, maximize=maximize))
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    return tuple(objectives)
+
+
+def dominates(
+    a: EvaluationRecord,
+    b: EvaluationRecord,
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> bool:
+    """Whether ``a`` is at least as good as ``b`` everywhere and better somewhere."""
+    strictly_better = False
+    for objective in objectives:
+        va, vb = objective.value(a), objective.value(b)
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    records: Sequence[EvaluationRecord],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> list[EvaluationRecord]:
+    """Non-dominated subset of ``records``, in input order.
+
+    Of several records with identical objective vectors, only the first is
+    kept.  O(n^2) pairwise dominance — fine at sweep scales (thousands of
+    points); swap in a divide-and-conquer skyline if sweeps grow far beyond
+    that.
+    """
+    frontier: list[EvaluationRecord] = []
+    seen_vectors: set[tuple[float, ...]] = set()
+    for candidate in records:
+        vector = tuple(objective.value(candidate) for objective in objectives)
+        if vector in seen_vectors:
+            continue
+        if any(dominates(other, candidate, objectives) for other in records):
+            continue
+        seen_vectors.add(vector)
+        frontier.append(candidate)
+    return frontier
+
+
+def pareto_by_workload(
+    records: Sequence[EvaluationRecord],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> dict[str, list[EvaluationRecord]]:
+    """Per-workload frontiers (workload -> non-dominated records).
+
+    Dominance across different workloads is not meaningful — an AlexNet point
+    "dominating" a ResNet point says nothing about the architecture — so the
+    CLI and reports extract one frontier per (model, dataset) group.
+    """
+    groups: dict[str, list[EvaluationRecord]] = {}
+    for record in records:
+        groups.setdefault(record.workload, []).append(record)
+    return {
+        workload: pareto_frontier(group, objectives)
+        for workload, group in groups.items()
+    }
+
+
+def best_point(
+    records: Sequence[EvaluationRecord],
+    objective: Objective | str,
+) -> EvaluationRecord:
+    """The single best record under one objective (ties: first in input)."""
+    if isinstance(objective, str):
+        (objective,) = parse_objectives([objective])
+    if not records:
+        raise ValueError("no records to select from")
+    return min(records, key=objective.value)

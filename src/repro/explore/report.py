@@ -1,0 +1,148 @@
+"""Export and text reporting for design-space sweep results.
+
+Records round-trip losslessly through both formats: JSON keeps native types,
+CSV stores the architecture overrides as an embedded JSON cell (Python float
+``repr`` round-trips exactly, so re-reading a CSV reproduces the records
+bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.explore.engine import EvaluationRecord
+from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective
+
+CSV_FIELDS: tuple[str, ...] = (
+    "key",
+    "model",
+    "dataset",
+    "pruning_rate",
+    "overrides",
+    "num_pes",
+    "buffer_kib",
+    "latency_us",
+    "energy_uj",
+    "area_mm2",
+    "baseline_latency_us",
+    "baseline_energy_uj",
+    "speedup",
+    "energy_efficiency",
+)
+
+_INT_FIELDS = ("num_pes", "buffer_kib")
+_FLOAT_FIELDS = (
+    "pruning_rate",
+    "latency_us",
+    "energy_uj",
+    "area_mm2",
+    "baseline_latency_us",
+    "baseline_energy_uj",
+    "speedup",
+    "energy_efficiency",
+)
+
+
+def write_json(records: Sequence[EvaluationRecord], path: str | Path) -> None:
+    """Write records as a JSON document (``{"count": n, "records": [...]}``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"count": len(records), "records": [r.to_dict() for r in records]}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def read_json(path: str | Path) -> list[EvaluationRecord]:
+    """Read records written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [EvaluationRecord.from_dict(entry) for entry in payload["records"]]
+
+
+def write_csv(records: Sequence[EvaluationRecord], path: str | Path) -> None:
+    """Write records as CSV (one row per record, header included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            row = record.to_dict()
+            row["overrides"] = json.dumps(row["overrides"], sort_keys=True)
+            for name in _FLOAT_FIELDS:
+                row[name] = repr(getattr(record, name))
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path) -> list[EvaluationRecord]:
+    """Read records written by :func:`write_csv`."""
+    records: list[EvaluationRecord] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            data: dict = dict(row)
+            data["overrides"] = json.loads(row["overrides"])
+            for name in _INT_FIELDS:
+                data[name] = int(row[name])
+            for name in _FLOAT_FIELDS:
+                data[name] = float(row[name])
+            records.append(EvaluationRecord.from_dict(data))
+    return records
+
+
+def export_records(records: Sequence[EvaluationRecord], path: str | Path) -> None:
+    """Write records in the format implied by the file suffix (.csv/.json)."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        write_csv(records, path)
+    elif suffix == ".json":
+        write_json(records, path)
+    else:
+        raise ValueError(f"unsupported export suffix {suffix!r}; use .csv or .json")
+
+
+def load_records(path: str | Path) -> list[EvaluationRecord]:
+    """Read records in the format implied by the file suffix (.csv/.json)."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return read_csv(path)
+    if suffix == ".json":
+        return read_json(path)
+    raise ValueError(f"unsupported import suffix {suffix!r}; use .csv or .json")
+
+
+def format_records_table(
+    records: Sequence[EvaluationRecord],
+    limit: int | None = None,
+) -> str:
+    """Human-readable sweep table, sorted as given."""
+    header = (
+        f"{'Workload':<22}{'PEs':>6}{'KiB':>6}{'p':>6}"
+        f"{'Lat us':>10}{'uJ':>10}{'mm2':>8}{'Spdup':>8}{'Effic':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    shown = records if limit is None else records[:limit]
+    for record in shown:
+        lines.append(
+            f"{record.workload:<22}{record.num_pes:>6}{record.buffer_kib:>6}"
+            f"{record.pruning_rate:>6.2f}"
+            f"{record.latency_us:>10.1f}{record.energy_uj:>10.1f}"
+            f"{record.area_mm2:>8.2f}{record.speedup:>7.2f}x"
+            f"{record.energy_efficiency:>7.2f}x"
+        )
+    if limit is not None and len(records) > limit:
+        lines.append(f"... ({len(records) - limit} more)")
+    return "\n".join(lines)
+
+
+def format_frontier(
+    records: Sequence[EvaluationRecord],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> str:
+    """Frontier table headed by the objective set it was extracted under."""
+    directions = ", ".join(
+        f"{'max' if objective.maximize else 'min'} {objective.name}"
+        for objective in objectives
+    )
+    title = f"Pareto frontier ({len(records)} points; {directions})"
+    return "\n".join([title, format_records_table(records)])

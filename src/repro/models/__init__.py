@@ -12,7 +12,13 @@ from repro.models.spec import (
     LinearLayerSpec,
     ModelSpec,
 )
-from repro.models.zoo import get_model_spec, paper_workloads, table2_workloads
+from repro.models.zoo import (
+    get_model_spec,
+    normalize_dataset_name,
+    normalize_model_name,
+    paper_workloads,
+    table2_workloads,
+)
 
 __all__ = [
     "ConvLayerSpec",
@@ -26,6 +32,8 @@ __all__ = [
     "resnet_spec",
     "supported_depths",
     "get_model_spec",
+    "normalize_dataset_name",
+    "normalize_model_name",
     "paper_workloads",
     "table2_workloads",
 ]

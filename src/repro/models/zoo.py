@@ -13,6 +13,35 @@ from repro.models.resnet import resnet_spec
 from repro.models.spec import ModelSpec
 
 
+def normalize_model_name(model: str) -> str:
+    """Canonicalise a model name: ``"resnet18"``/``"ResNet_18"`` -> ``"ResNet-18"``.
+
+    Lookup helpers across the codebase accept slightly different spellings
+    (``eval.common`` takes ``resnet-18``, older callers wrote ``ResNet18``);
+    this collapses case, separators (``-``, ``_``, spaces) and returns the
+    canonical paper spelling.  Unknown names are returned stripped so callers
+    raise their own, more specific errors.
+    """
+    key = "".join(ch for ch in model.strip().lower() if ch not in "-_ ")
+    if key == "alexnet":
+        return "AlexNet"
+    if key.startswith("resnet") and key[len("resnet"):].isdigit():
+        return f"ResNet-{int(key[len('resnet'):])}"
+    return model.strip()
+
+
+def normalize_dataset_name(dataset: str) -> str:
+    """Canonicalise a dataset name: ``"cifar10"`` -> ``"CIFAR-10"`` etc."""
+    key = "".join(ch for ch in dataset.strip().lower() if ch not in "-_ ")
+    if key == "cifar10":
+        return "CIFAR-10"
+    if key == "cifar100":
+        return "CIFAR-100"
+    if key == "imagenet":
+        return "ImageNet"
+    return dataset.strip()
+
+
 def get_model_spec(model: str, dataset: str) -> ModelSpec:
     """Look up a model/dataset combination by name.
 
@@ -20,25 +49,29 @@ def get_model_spec(model: str, dataset: str) -> ModelSpec:
     ----------
     model:
         ``"AlexNet"`` or ``"ResNet-<depth>"`` (depth in 18/34/50/101/152).
+        Name matching is forgiving: case, hyphens and underscores are
+        ignored, so ``"resnet18"``, ``"ResNet18"`` and ``"resnet-18"`` all
+        resolve to the same spec.
     dataset:
-        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"``.
+        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"`` (same forgiving
+        matching: ``"cifar10"`` works too).
     """
-    model_key = model.lower().replace("_", "-")
-    dataset_key = dataset.lower()
-    if model_key == "alexnet":
-        if dataset_key == "imagenet":
+    model_name = normalize_model_name(model)
+    dataset_name = normalize_dataset_name(dataset)
+    if model_name == "AlexNet":
+        if dataset_name == "ImageNet":
             return alexnet_imagenet_spec()
-        if dataset_key in ("cifar-10", "cifar10"):
+        if dataset_name == "CIFAR-10":
             return alexnet_cifar_spec(10)
-        if dataset_key in ("cifar-100", "cifar100"):
+        if dataset_name == "CIFAR-100":
             return alexnet_cifar_spec(100)
         raise ValueError(f"unknown dataset {dataset!r} for AlexNet")
-    if model_key.startswith("resnet-"):
+    if model_name.lower().startswith(("resnet-", "resnet")):
         try:
-            depth = int(model_key.split("-", 1)[1])
-        except ValueError as exc:
+            depth = int(normalize_model_name(model_name).split("-", 1)[1])
+        except (IndexError, ValueError) as exc:
             raise ValueError(f"cannot parse ResNet depth from {model!r}") from exc
-        return resnet_spec(depth, dataset)
+        return resnet_spec(depth, dataset_name)
     raise ValueError(f"unknown model {model!r}; expected AlexNet or ResNet-<depth>")
 
 

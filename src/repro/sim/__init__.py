@@ -2,9 +2,11 @@
 
 from repro.sim.report import format_breakdown, format_energy_table, format_latency_table
 from repro.sim.runner import (
+    WorkloadJob,
     WorkloadResult,
     compare_workload,
     simulate_baseline,
+    simulate_many,
     simulate_sparsetrain,
 )
 from repro.sim.trace import (
@@ -17,8 +19,10 @@ __all__ = [
     "MeasuredDensities",
     "profile_training_densities",
     "map_densities_to_spec",
+    "WorkloadJob",
     "WorkloadResult",
     "compare_workload",
+    "simulate_many",
     "simulate_sparsetrain",
     "simulate_baseline",
     "format_latency_table",

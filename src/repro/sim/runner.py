@@ -9,7 +9,10 @@ speedup and energy-efficiency numbers the paper's Fig. 8 / Fig. 9 report.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.arch.accelerator import AcceleratorSimulator
 from repro.arch.config import ArchConfig, dense_baseline_config, sparsetrain_config
@@ -85,3 +88,56 @@ def compare_workload(
         baseline=baseline_result,
     )
     return WorkloadResult(spec=spec, densities=densities, comparison=comparison)
+
+
+# ---------------------------------------------------------------------------
+# Batch API
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One ``compare_workload`` invocation, packaged so batches can be
+    shipped to worker processes (every field is picklable)."""
+
+    spec: ModelSpec
+    densities: dict[str, LayerDensities]
+    sparse_config: ArchConfig | None = None
+    baseline_config: ArchConfig | None = None
+    energy_model: EnergyModel | None = None
+
+
+def _run_job(job: WorkloadJob) -> WorkloadResult:
+    return compare_workload(
+        job.spec,
+        job.densities,
+        sparse_config=job.sparse_config,
+        baseline_config=job.baseline_config,
+        energy_model=job.energy_model,
+    )
+
+
+def simulate_many(
+    jobs: Sequence[WorkloadJob],
+    max_workers: int | None = None,
+) -> list[WorkloadResult]:
+    """Run a batch of workload comparisons, optionally across processes.
+
+    ``max_workers=None`` or ``1`` runs serially in-process (deterministic,
+    test-friendly); larger values fan the jobs out over a
+    ``ProcessPoolExecutor``.  Results are returned in job order either way.
+    This is the light-weight batch primitive for callers that already hold
+    specs and densities; design-space sweeps over architecture/pruning knobs
+    (with caching and deduplication) live in :mod:`repro.explore`.
+    """
+    jobs = list(jobs)
+    if max_workers is not None and max_workers > 1 and len(jobs) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                chunksize = max(1, len(jobs) // (max_workers * 4))
+                return list(pool.map(_run_job, jobs, chunksize=chunksize))
+        except (OSError, PermissionError, BrokenProcessPool):
+            # Sandboxed environments may forbid spawning worker processes
+            # (surfacing as BrokenProcessPool from map, not at construction);
+            # the serial path below produces identical results.
+            pass
+    return [_run_job(job) for job in jobs]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -47,8 +49,36 @@ class TestArchConfig:
         config = sparsetrain_config(num_pes=12, kernel_size=3)
         assert config.peak_macs_per_cycle == 36
 
-    def test_with_pes_and_with_buffer(self):
-        config = sparsetrain_config().with_pes(84).with_buffer(128)
+    def test_evolve_overrides_fields(self):
+        config = sparsetrain_config().evolve(num_pes=84, buffer_kib=128)
+        assert config.num_pes == 84
+        assert config.buffer_kib == 128
+        assert config.sparse_dataflow  # untouched fields survive
+
+    def test_evolve_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown ArchConfig field"):
+            sparsetrain_config().evolve(num_pe=84)
+
+    def test_evolve_revalidates(self):
+        with pytest.raises(ValueError):
+            sparsetrain_config().evolve(num_pes=10, pes_per_group=3)
+
+    def test_dict_round_trip(self):
+        config = sparsetrain_config(num_pes=84, clock_ghz=1.2)
+        data = config.to_dict()
+        assert data["num_pes"] == 84
+        restored = ArchConfig.from_dict(json.loads(json.dumps(data)))
+        assert restored == config
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown ArchConfig field"):
+            ArchConfig.from_dict({"num_pe": 84})
+
+    def test_with_pes_and_with_buffer_deprecated(self):
+        with pytest.deprecated_call():
+            config = sparsetrain_config().with_pes(84)
+        with pytest.deprecated_call():
+            config = config.with_buffer(128)
         assert config.num_pes == 84
         assert config.buffer_kib == 128
 

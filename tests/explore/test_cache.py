@@ -1,0 +1,67 @@
+"""Tests for the persistent JSON-lines result cache."""
+
+from __future__ import annotations
+
+from repro.explore.cache import ResultCache, stable_key
+
+
+class TestStableKey:
+    def test_insensitive_to_key_order(self):
+        assert stable_key({"a": 1, "b": [2, 3]}) == stable_key({"b": [2, 3], "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert stable_key({"a": 1}) != stable_key({"a": 2})
+        assert stable_key({"a": 1}) != stable_key({"a": 1.5})
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.jsonl")
+        assert cache.get("k") is None
+        cache.put("k", {"value": 1.5, "name": "x"})
+        assert cache.get("k") == {"value": 1.5, "name": "x"}
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        first = ResultCache(path)
+        first.put("a", {"v": 1})
+        first.put("b", {"v": 2})
+        second = ResultCache(path)
+        assert len(second) == 2
+        assert second.get("a") == {"v": 1}
+        assert second.get("b") == {"v": 2}
+
+    def test_identical_put_does_not_grow_file(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        size = path.stat().st_size
+        cache.put("a", {"v": 1})
+        assert path.stat().st_size == size
+
+    def test_survives_corrupt_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "trunc')  # interrupted writer
+        reloaded = ResultCache(path)
+        assert reloaded.get("a") == {"v": 1}
+        assert len(reloaded) == 1
+
+    def test_clear_removes_file_and_entries(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert not path.exists()
+        assert len(ResultCache(path)) == 0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        assert path.exists()

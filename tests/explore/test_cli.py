@@ -1,0 +1,148 @@
+"""Tests for the ``python -m repro`` command line (sweep / pareto wiring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.explore import engine as engine_module
+from repro.explore.report import load_records
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestSweepCommand:
+    def test_smoke_sweep_serial(self, tmp_path, capsys):
+        code, out = run_cli(
+            ["sweep", "--smoke", "--serial", "--cache-dir", str(tmp_path)], capsys
+        )
+        assert code == 0
+        assert "AlexNet/CIFAR-10" in out
+        assert "ResNet-18/CIFAR-10" in out
+        assert "4 points (0 duplicate), 0 cached, 4 simulated" in out
+
+    def test_second_invocation_is_fully_cached(self, tmp_path, capsys, monkeypatch):
+        """Acceptance: the repeated CLI sweep performs zero simulator calls."""
+        run_cli(["sweep", "--smoke", "--serial", "--cache-dir", str(tmp_path)], capsys)
+
+        def boom(point):
+            raise AssertionError("simulator called on the cached pass")
+
+        monkeypatch.setattr(engine_module, "evaluate_point", boom)
+        code, out = run_cli(
+            ["sweep", "--smoke", "--serial", "--cache-dir", str(tmp_path)], capsys
+        )
+        assert code == 0
+        assert "4 cached, 0 simulated" in out
+
+    def test_default_grid_covers_48_points_two_workloads(self, tmp_path, capsys):
+        code, out = run_cli(
+            [
+                "sweep",
+                "--serial",
+                "--cache-dir",
+                str(tmp_path),
+                "--pruning-rates",
+                "0.9",  # thin one axis: 4 PEs x 3 buffers x 1 rate x 2 workloads
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "24 points" in out
+
+    def test_export_and_reload(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        code, out = run_cli(
+            [
+                "sweep", "--smoke", "--serial", "--no-cache", "--out", str(out_file),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert load_records(out_file)
+
+    def test_rejects_malformed_workload(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--serial", "--no-cache", "--workloads", "AlexNet"])
+
+
+class TestParetoCommand:
+    def test_frontier_per_workload_with_export(self, tmp_path, capsys):
+        export = tmp_path / "frontier.csv"
+        code, out = run_cli(
+            [
+                "pareto",
+                "--serial",
+                "--cache-dir", str(tmp_path),
+                "--pes", "84,168,336",
+                "--buffers", "386",
+                "--pruning-rates", "0.9",
+                "--export", str(export),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "[AlexNet/CIFAR-10]" in out
+        assert "[ResNet-18/CIFAR-10]" in out
+        assert "Pareto frontier" in out
+        records = load_records(export)
+        # The latency/area trade-off keeps several PE counts on the frontier.
+        assert len(records) > 2
+        assert len({r.num_pes for r in records}) > 1
+
+    def test_from_file_skips_sweeping(self, tmp_path, capsys, monkeypatch):
+        export = tmp_path / "sweep.json"
+        run_cli(
+            ["sweep", "--smoke", "--serial", "--no-cache", "--out", str(export)],
+            capsys,
+        )
+
+        def boom(point):
+            raise AssertionError("simulator called when loading from file")
+
+        monkeypatch.setattr(engine_module, "evaluate_point", boom)
+        code, out = run_cli(
+            ["pareto", "--from", str(export), "--objectives", "latency_us,energy_uj"],
+            capsys,
+        )
+        assert code == 0
+        assert "loaded 4 records" in out
+
+    def test_rejects_unknown_objective(self, tmp_path, capsys):
+        code = main(
+            ["pareto", "--smoke", "--serial", "--no-cache", "--objectives", "latency"]
+        )
+        assert code == 2
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_rejects_bad_export_suffix_before_sweeping(self, capsys, monkeypatch):
+        def boom(point):
+            raise AssertionError("simulated before the export path was validated")
+
+        monkeypatch.setattr(engine_module, "evaluate_point", boom)
+        code = main(
+            ["sweep", "--smoke", "--serial", "--no-cache", "--out", "x.parquet"]
+        )
+        assert code == 2
+        assert "unsupported export suffix" in capsys.readouterr().err
+
+
+class TestParserWiring:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for args in (
+            ["sweep", "--smoke"],
+            ["pareto", "--objectives", "latency_us"],
+            ["fig8", "--paper", "--pruning-rate", "0.8"],
+            ["fig9", "--thorough"],
+        ):
+            namespace = parser.parse_args(args)
+            assert callable(namespace.func)
+
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

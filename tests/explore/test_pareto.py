@@ -1,0 +1,144 @@
+"""Tests for Pareto-frontier extraction and objective parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.engine import EvaluationRecord
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    best_point,
+    dominates,
+    pareto_by_workload,
+    pareto_frontier,
+    parse_objectives,
+)
+
+
+def make_record(
+    key: str,
+    latency: float,
+    energy: float,
+    area: float,
+    model: str = "AlexNet",
+    speedup: float = 2.0,
+) -> EvaluationRecord:
+    return EvaluationRecord(
+        key=key,
+        model=model,
+        dataset="CIFAR-10",
+        pruning_rate=0.9,
+        overrides=(),
+        num_pes=168,
+        buffer_kib=386,
+        latency_us=latency,
+        energy_uj=energy,
+        area_mm2=area,
+        baseline_latency_us=latency * speedup,
+        baseline_energy_uj=energy * 2.0,
+        speedup=speedup,
+        energy_efficiency=2.0,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        a = make_record("a", 1.0, 1.0, 1.0)
+        b = make_record("b", 2.0, 2.0, 2.0)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = make_record("a", 1.0, 1.0, 1.0)
+        b = make_record("b", 1.0, 1.0, 1.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_trade_off_points_do_not_dominate(self):
+        fast_big = make_record("a", 1.0, 1.0, 4.0)
+        slow_small = make_record("b", 4.0, 1.0, 1.0)
+        assert not dominates(fast_big, slow_small)
+        assert not dominates(slow_small, fast_big)
+
+    def test_maximize_objective_flips_direction(self):
+        high = make_record("a", 1.0, 1.0, 1.0, speedup=4.0)
+        low = make_record("b", 1.0, 1.0, 1.0, speedup=2.0)
+        assert dominates(high, low, [Objective("speedup", maximize=True)])
+        assert not dominates(low, high, [Objective("speedup", maximize=True)])
+
+
+class TestParetoFrontier:
+    def test_extracts_trade_off_surface(self):
+        records = [
+            make_record("fast", 1.0, 3.0, 4.0),
+            make_record("balanced", 2.0, 2.0, 2.0),
+            make_record("small", 4.0, 3.0, 1.0),
+            make_record("dominated", 4.0, 4.0, 4.0),
+        ]
+        frontier = pareto_frontier(records)
+        assert [r.key for r in frontier] == ["fast", "balanced", "small"]
+
+    def test_duplicate_objective_vectors_kept_once(self):
+        records = [
+            make_record("first", 1.0, 1.0, 1.0),
+            make_record("twin", 1.0, 1.0, 1.0),
+        ]
+        frontier = pareto_frontier(records)
+        assert [r.key for r in frontier] == ["first"]
+
+    def test_single_objective_gives_single_point(self):
+        records = [make_record(str(i), float(i + 1), 1.0, 1.0) for i in range(5)]
+        frontier = pareto_frontier(records, [Objective("latency_us")])
+        assert [r.key for r in frontier] == ["0"]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_by_workload_groups_independently(self):
+        records = [
+            make_record("a-good", 1.0, 1.0, 1.0, model="AlexNet"),
+            make_record("a-bad", 2.0, 2.0, 2.0, model="AlexNet"),
+            # Worse than every AlexNet point, but the only ResNet point.
+            make_record("r-only", 9.0, 9.0, 9.0, model="ResNet-18"),
+        ]
+        frontiers = pareto_by_workload(records)
+        assert [r.key for r in frontiers["AlexNet/CIFAR-10"]] == ["a-good"]
+        assert [r.key for r in frontiers["ResNet-18/CIFAR-10"]] == ["r-only"]
+
+
+class TestObjectives:
+    def test_parse_defaults_to_natural_direction(self):
+        objectives = parse_objectives(["latency_us", "speedup"])
+        assert objectives[0].maximize is False
+        assert objectives[1].maximize is True
+
+    def test_parse_explicit_direction(self):
+        (objective,) = parse_objectives(["energy_uj:max"])
+        assert objective.maximize is True
+
+    def test_parse_rejects_unknown_name_and_direction(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            parse_objectives(["latency"])
+        with pytest.raises(ValueError, match="min or max"):
+            parse_objectives(["latency_us:up"])
+        with pytest.raises(ValueError, match="at least one"):
+            parse_objectives([])
+
+    def test_best_point_by_name(self):
+        records = [
+            make_record("slow", 4.0, 1.0, 1.0, speedup=4.0),
+            make_record("fast", 1.0, 1.0, 1.0, speedup=2.0),
+        ]
+        assert best_point(records, "latency_us").key == "fast"
+        assert best_point(records, "speedup").key == "slow"
+        with pytest.raises(ValueError):
+            best_point([], "latency_us")
+
+    def test_default_objectives_are_min_latency_energy_area(self):
+        assert [o.name for o in DEFAULT_OBJECTIVES] == [
+            "latency_us",
+            "energy_uj",
+            "area_mm2",
+        ]
+        assert not any(o.maximize for o in DEFAULT_OBJECTIVES)

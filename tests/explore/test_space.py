@@ -1,0 +1,96 @@
+"""Tests for declarative design spaces (grids, log ranges, random samples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.space import (
+    DesignSpace,
+    grid_axis,
+    log_axis,
+    paper_neighborhood_space,
+    random_axis,
+)
+
+
+class TestAxes:
+    def test_grid_axis_preserves_values(self):
+        axis = grid_axis("num_pes", [84, 168, 336])
+        assert axis.values == (84, 168, 336)
+
+    def test_rejects_unknown_axis_name(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            grid_axis("num_pe", [84])
+
+    def test_rejects_empty_and_duplicate_values(self):
+        with pytest.raises(ValueError, match="no values"):
+            grid_axis("num_pes", [])
+        with pytest.raises(ValueError, match="duplicate"):
+            grid_axis("num_pes", [84, 84])
+
+    def test_log_axis_spacing(self):
+        axis = log_axis("clock_ghz", 0.1, 10.0, 3)
+        assert axis.values[0] == pytest.approx(0.1)
+        assert axis.values[1] == pytest.approx(1.0)
+        assert axis.values[2] == pytest.approx(10.0)
+
+    def test_log_axis_integer_multiple_of(self):
+        axis = log_axis("num_pes", 42, 672, 5, integer=True, multiple_of=3)
+        assert all(v % 3 == 0 for v in axis.values)
+        assert axis.values[0] == 42
+        assert axis.values[-1] == 672
+        # Values stay sorted and unique after snapping.
+        assert list(axis.values) == sorted(set(axis.values))
+
+    def test_log_axis_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            log_axis("clock_ghz", -1.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            log_axis("clock_ghz", 4.0, 2.0, 3)
+
+    def test_random_axis_is_seeded(self):
+        a = random_axis("pruning_rate", 0.5, 0.99, 4, seed=7)
+        b = random_axis("pruning_rate", 0.5, 0.99, 4, seed=7)
+        c = random_axis("pruning_rate", 0.5, 0.99, 4, seed=8)
+        assert a.values == b.values
+        assert a.values != c.values
+        assert all(0.5 <= v <= 0.99 for v in a.values)
+
+
+class TestDesignSpace:
+    def test_size_and_point_enumeration(self):
+        space = DesignSpace(
+            axes=(
+                grid_axis("num_pes", [84, 168]),
+                grid_axis("pruning_rate", [0.5, 0.9, 0.99]),
+            )
+        )
+        points = list(space.points())
+        assert space.size == 6
+        assert len(points) == 6
+        assert points[0] == {"num_pes": 84, "pruning_rate": 0.5}
+        assert points[-1] == {"num_pes": 168, "pruning_rate": 0.99}
+
+    def test_rejects_duplicate_axes(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            DesignSpace(axes=(grid_axis("num_pes", [84]), grid_axis("num_pes", [168])))
+
+    def test_axis_lookup(self):
+        space = paper_neighborhood_space()
+        assert space.axis("num_pes").values == (84, 168, 336, 672)
+        with pytest.raises(KeyError):
+            space.axis("missing")
+
+    def test_sample_is_seeded_subset(self):
+        space = paper_neighborhood_space()
+        sample_a = space.sample(10, seed=3)
+        sample_b = space.sample(10, seed=3)
+        assert sample_a == sample_b
+        assert len(sample_a) == 10
+        full = list(space.points())
+        assert all(point in full for point in sample_a)
+        # Sampling more than the grid returns the whole grid.
+        assert space.sample(10_000) == full
+
+    def test_paper_neighborhood_is_48_points(self):
+        assert paper_neighborhood_space().size == 48

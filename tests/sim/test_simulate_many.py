@@ -1,0 +1,40 @@
+"""Tests for the batch simulation API (``simulate_many``)."""
+
+from __future__ import annotations
+
+from repro.dataflow.compiler import uniform_densities
+from repro.models.zoo import get_model_spec
+from repro.sim.runner import WorkloadJob, compare_workload, simulate_many
+
+
+def make_jobs():
+    jobs = []
+    for model, grad_density in (("AlexNet", 0.2), ("AlexNet", 0.5), ("ResNet-18", 0.2)):
+        spec = get_model_spec(model, "CIFAR-10")
+        densities = uniform_densities(
+            spec, input_density=0.45, grad_output_density=grad_density
+        )
+        jobs.append(WorkloadJob(spec=spec, densities=densities))
+    return jobs
+
+
+class TestSimulateMany:
+    def test_serial_matches_direct_calls(self):
+        jobs = make_jobs()
+        results = simulate_many(jobs)
+        assert len(results) == len(jobs)
+        for job, result in zip(jobs, results):
+            direct = compare_workload(job.spec, job.densities)
+            assert result.workload_name == direct.workload_name
+            assert result.speedup == direct.speedup
+            assert result.energy_efficiency == direct.energy_efficiency
+
+    def test_parallel_matches_serial_in_job_order(self):
+        jobs = make_jobs()
+        serial = simulate_many(jobs)
+        parallel = simulate_many(jobs, max_workers=2)
+        assert [r.workload_name for r in parallel] == [r.workload_name for r in serial]
+        assert [r.speedup for r in parallel] == [r.speedup for r in serial]
+
+    def test_empty_batch(self):
+        assert simulate_many([]) == []
