@@ -5,7 +5,9 @@ Subcommands
 ``sweep``
     Run a design-space sweep (PE count x buffer size x pruning rate, times a
     workload list) through the exploration engine: parallel evaluation,
-    persistent caching, optional CSV/JSON export.
+    persistent caching, optional CSV/JSON export.  ``--model vgg16`` /
+    ``--model mobilenet`` sweep a single workload without spelling out
+    ``--workloads``.
 ``pareto``
     Extract per-workload Pareto frontiers from a sweep (re-running it through
     the cache, or loading a previous export) and optionally export them.
@@ -37,7 +39,9 @@ from repro.explore.report import (
 from repro.explore.space import DesignSpace, grid_axis
 from repro.models.zoo import normalize_dataset_name, normalize_model_name
 
-DEFAULT_WORKLOADS = "AlexNet/CIFAR-10,ResNet-18/CIFAR-10"
+DEFAULT_WORKLOADS = (
+    "AlexNet/CIFAR-10,ResNet-18/CIFAR-10,VGG-16/CIFAR-10,MobileNetV1/CIFAR-10"
+)
 DEFAULT_PES = "84,168,336,672"
 DEFAULT_BUFFERS = "192,386,772"
 DEFAULT_RATES = "0.5,0.7,0.9,0.95"
@@ -77,6 +81,16 @@ def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
         "--workloads",
         default=DEFAULT_WORKLOADS,
         help="comma-separated <model>/<dataset> pairs (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="sweep a single model (e.g. vgg16, mobilenet); overrides --workloads",
+    )
+    parser.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset for --model (default: cifar10)",
     )
     parser.add_argument(
         "--pes", default=DEFAULT_PES, help="PE counts to sweep (default: %(default)s)"
@@ -129,9 +143,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _selected_workloads(args: argparse.Namespace, default: str) -> list[tuple[str, str]]:
+    """Workloads from --model/--dataset (single) or --workloads (list)."""
+    if args.model is not None:
+        dataset = args.dataset if args.dataset is not None else "cifar10"
+        return [(normalize_model_name(args.model), normalize_dataset_name(dataset))]
+    if args.dataset is not None:
+        raise SystemExit("--dataset requires --model (use --workloads for lists)")
+    return _parse_workloads(default)
+
+
 def _build_points(args: argparse.Namespace) -> list[DesignPoint]:
     if args.smoke:
-        workloads = _parse_workloads(SMOKE_WORKLOADS)
+        workloads = _selected_workloads(args, SMOKE_WORKLOADS)
         space = DesignSpace(
             axes=(
                 grid_axis("num_pes", _parse_list(SMOKE_PES, int)),
@@ -140,7 +164,7 @@ def _build_points(args: argparse.Namespace) -> list[DesignPoint]:
             )
         )
         return points_for(space, workloads)
-    workloads = _parse_workloads(args.workloads)
+    workloads = _selected_workloads(args, args.workloads)
     space = DesignSpace(
         axes=(
             grid_axis("num_pes", _parse_list(args.pes, int)),
@@ -214,25 +238,38 @@ def cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fig_workloads(args: argparse.Namespace) -> tuple[tuple[str, str], ...]:
+    from repro.eval.fig8 import (
+        EXTENDED_FIG8_WORKLOADS,
+        PAPER_FIG8_WORKLOADS,
+        QUICK_FIG8_WORKLOADS,
+    )
+
+    if getattr(args, "extended", False):
+        return EXTENDED_FIG8_WORKLOADS
+    return PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
+
+
 def cmd_fig8(args: argparse.Namespace) -> int:
     from repro.eval.common import ExperimentScale
-    from repro.eval.fig8 import PAPER_FIG8_WORKLOADS, QUICK_FIG8_WORKLOADS, run_fig8
+    from repro.eval.fig8 import run_fig8
 
-    workloads = PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
     scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
-    result = run_fig8(workloads=workloads, pruning_rate=args.pruning_rate, scale=scale)
+    result = run_fig8(
+        workloads=_fig_workloads(args), pruning_rate=args.pruning_rate, scale=scale
+    )
     print(result.format())
     return 0
 
 
 def cmd_fig9(args: argparse.Namespace) -> int:
     from repro.eval.common import ExperimentScale
-    from repro.eval.fig8 import PAPER_FIG8_WORKLOADS, QUICK_FIG8_WORKLOADS
     from repro.eval.fig9 import run_fig9
 
-    workloads = PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
     scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
-    result = run_fig9(workloads=workloads, pruning_rate=args.pruning_rate, scale=scale)
+    result = run_fig9(
+        workloads=_fig_workloads(args), pruning_rate=args.pruning_rate, scale=scale
+    )
     print(result.format())
     return 0
 
@@ -279,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
         fig.add_argument(
             "--paper", action="store_true",
             help="run the full 9-workload paper grid (default: the quick subset)",
+        )
+        fig.add_argument(
+            "--extended", action="store_true",
+            help="run the paper grid plus the VGG-16/MobileNetV1 workloads",
         )
         fig.add_argument(
             "--thorough", action="store_true",

@@ -14,6 +14,12 @@ caller.  The same formulas with all densities forced to 1.0 and compression
 disabled describe the dense baseline, so SparseTrain-vs-baseline comparisons
 use one code path and differ only in the inputs — exactly the experimental
 control the paper applies.
+
+Grouped/depthwise convolutions are first-class: every per-channel product in
+the row-operation counts uses the *group* fan-in/fan-out
+(:attr:`~repro.models.spec.ConvLayerSpec.group_in_channels` /
+``group_out_channels``) rather than the full channel counts, so MAC, operand
+and weight accounting stays exact for MobileNet-style layers.
 """
 
 from __future__ import annotations
@@ -126,13 +132,20 @@ def _skip_factor(density: float, kernel: int) -> float:
 def forward_counts(
     layer: ConvLayerSpec, densities: LayerDensities, sparse: bool = True
 ) -> StepCounts:
-    """Event counts of the Forward step (SRC operations)."""
+    """Event counts of the Forward step (SRC operations).
+
+    Grouped convolutions: each output channel accumulates over only the
+    ``in_channels / groups`` input channels of its group, so the row-operation
+    count (and with it MACs, weight loads and operand traffic) uses
+    ``layer.group_in_channels`` instead of the full channel fan-in.  With
+    ``groups == 1`` the formulas reduce to the standard dense accounting.
+    """
     kernel = layer.kernel
     # A dense PE streams the whole padded input row; a sparse PE only sees the
     # non-zero values, and the padding columns are always zero, so its operand
     # count scales with the *unpadded* row length.
     padded_width = layer.in_width + 2 * layer.padding
-    row_ops = layer.out_channels * layer.out_height * layer.in_channels * kernel
+    row_ops = layer.out_channels * layer.out_height * layer.group_in_channels * kernel
 
     d_in = densities.input_density if sparse else 1.0
     d_out = densities.output_density if sparse else 1.0
@@ -174,9 +187,14 @@ def forward_counts(
 def gta_counts(
     layer: ConvLayerSpec, densities: LayerDensities, sparse: bool = True
 ) -> StepCounts:
-    """Event counts of the GTA step (MSRC operations)."""
+    """Event counts of the GTA step (MSRC operations).
+
+    Grouped convolutions: each input channel receives gradient contributions
+    from only the ``out_channels / groups`` output channels of its group
+    (``layer.group_out_channels``), mirroring the grouped Forward accounting.
+    """
     kernel = layer.kernel
-    row_ops = layer.in_channels * layer.in_height * layer.out_channels * kernel
+    row_ops = layer.in_channels * layer.in_height * layer.group_out_channels * kernel
 
     d_grad = densities.grad_output_density if sparse else 1.0
     d_mask = densities.mask_density if (sparse and layer.has_relu_mask) else 1.0
@@ -224,10 +242,16 @@ def gta_counts(
 def gtw_counts(
     layer: ConvLayerSpec, densities: LayerDensities, sparse: bool = True
 ) -> StepCounts:
-    """Event counts of the GTW step (OSRC operations)."""
+    """Event counts of the GTW step (OSRC operations).
+
+    Grouped convolutions: the weight-gradient tensor only has
+    ``in_channels / groups`` channel slices per output channel, so the
+    (f, c, kr) enumeration — and the weight write-back volume via
+    ``layer.weight_count`` — shrinks by the group factor.
+    """
     kernel = layer.kernel
     padded_width = layer.in_width + 2 * layer.padding
-    row_ops = layer.out_channels * layer.in_channels * kernel * layer.out_height
+    row_ops = layer.out_channels * layer.group_in_channels * kernel * layer.out_height
 
     d_in = densities.input_density if sparse else 1.0
     d_grad = densities.grad_output_density if sparse else 1.0

@@ -35,30 +35,44 @@ def _check_sample(x: np.ndarray, name: str) -> np.ndarray:
     return x
 
 
+def _check_weight(layer: ConvLayerSpec, weight: np.ndarray) -> np.ndarray:
+    """Validate the grouped weight tensor shape (F, C/groups, K, K)."""
+    weight = np.asarray(weight, dtype=np.float64)
+    expected = (layer.out_channels, layer.group_in_channels, layer.kernel, layer.kernel)
+    if weight.shape != expected:
+        raise ValueError(
+            f"weight shape {weight.shape} does not match layer spec {expected}"
+        )
+    return weight
+
+
 def decompose_forward(
     layer: ConvLayerSpec, x: np.ndarray, weight: np.ndarray
 ) -> list[SRCOp]:
-    """Enumerate the SRC operations of the Forward step for one sample."""
+    """Enumerate the SRC operations of the Forward step for one sample.
+
+    Grouped layers enumerate only the (f, c) pairs inside each group: output
+    channel ``f`` pairs with the ``group_in_channels`` input channels of group
+    ``f // group_out_channels``.
+    """
     x = _check_sample(x, "x")
-    weight = np.asarray(weight, dtype=np.float64)
-    if weight.shape != (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel):
-        raise ValueError(
-            f"weight shape {weight.shape} does not match layer spec "
-            f"({layer.out_channels}, {layer.in_channels}, {layer.kernel}, {layer.kernel})"
-        )
+    weight = _check_weight(layer, weight)
     x_padded = _pad_sample(x, layer.padding)
     out_h = layer.out_height
     out_w = layer.out_width
 
     ops: list[SRCOp] = []
     for f in range(layer.out_channels):
+        group = f // layer.group_out_channels
+        channel_base = group * layer.group_in_channels
         for oh in range(out_h):
-            for c in range(layer.in_channels):
+            for c_local in range(layer.group_in_channels):
                 for kr in range(layer.kernel):
+                    c = channel_base + c_local
                     input_row = x_padded[c, oh * layer.stride + kr]
                     ops.append(
                         SRCOp(
-                            kernel_row=weight[f, c, kr],
+                            kernel_row=weight[f, c_local, kr],
                             input_row=CompressedRow.from_dense(input_row),
                             stride=layer.stride,
                             out_len=out_w,
@@ -83,7 +97,7 @@ def decompose_gta(
     padding margin are always skipped.
     """
     grad_out = _check_sample(grad_out, "grad_out")
-    weight = np.asarray(weight, dtype=np.float64)
+    weight = _check_weight(layer, weight)
     padded_w = layer.in_width + 2 * layer.padding
     padded_h = layer.in_height + 2 * layer.padding
 
@@ -106,13 +120,17 @@ def decompose_gta(
     out_h = layer.out_height
     ops: list[MSRCOp] = []
     for c in range(layer.in_channels):
-        for f in range(layer.out_channels):
+        group = c // layer.group_in_channels
+        c_local = c - group * layer.group_in_channels
+        filter_base = group * layer.group_out_channels
+        for f_local in range(layer.group_out_channels):
+            f = filter_base + f_local
             for oh in range(out_h):
                 for kr in range(layer.kernel):
                     ih = oh * layer.stride + kr
                     ops.append(
                         MSRCOp(
-                            kernel_row=weight[f, c, kr],
+                            kernel_row=weight[f, c_local, kr],
                             grad_row=CompressedRow.from_dense(grad_out[f, oh]),
                             output_mask=padded_mask[c, ih],
                             stride=layer.stride,
@@ -134,7 +152,9 @@ def decompose_gtw(
 
     ops: list[OSRCOp] = []
     for f in range(layer.out_channels):
-        for c in range(layer.in_channels):
+        channel_base = (f // layer.group_out_channels) * layer.group_in_channels
+        for c_local in range(layer.group_in_channels):
+            c = channel_base + c_local
             for kr in range(layer.kernel):
                 for oh in range(out_h):
                     input_row = x_padded[c, oh * layer.stride + kr]
@@ -163,12 +183,10 @@ def accumulate_forward(layer: ConvLayerSpec, ops: list[SRCOp], results: list[np.
     index = 0
     for f in range(layer.out_channels):
         for oh in range(layer.out_height):
-            for _c in range(layer.in_channels):
+            for _c in range(layer.group_in_channels):
                 for _kr in range(layer.kernel):
                     out[f, oh] += results[index]
                     index += 1
-            if bias is not None:
-                pass
     if bias is not None:
         out += bias[:, None, None]
     return out
@@ -183,7 +201,7 @@ def accumulate_gta(layer: ConvLayerSpec, ops: list[MSRCOp], results: list[np.nda
     grad_padded = np.zeros((layer.in_channels, padded_h, padded_w), dtype=np.float64)
     index = 0
     for c in range(layer.in_channels):
-        for _f in range(layer.out_channels):
+        for _f in range(layer.group_out_channels):
             for oh in range(layer.out_height):
                 for kr in range(layer.kernel):
                     ih = oh * layer.stride + kr
@@ -196,17 +214,18 @@ def accumulate_gta(layer: ConvLayerSpec, ops: list[MSRCOp], results: list[np.nda
 
 
 def accumulate_gtw(layer: ConvLayerSpec, ops: list[OSRCOp], results: list[np.ndarray]) -> np.ndarray:
-    """Assemble per-op OSRC results into the (F, C, K, K) weight-gradient tensor."""
+    """Assemble per-op OSRC results into the (F, C/groups, K, K) weight-gradient tensor."""
     if len(ops) != len(results):
         raise ValueError("ops and results length mismatch")
     grad_weight = np.zeros(
-        (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel), dtype=np.float64
+        (layer.out_channels, layer.group_in_channels, layer.kernel, layer.kernel),
+        dtype=np.float64,
     )
     index = 0
     for f in range(layer.out_channels):
-        for c in range(layer.in_channels):
+        for c_local in range(layer.group_in_channels):
             for kr in range(layer.kernel):
                 for _oh in range(layer.out_height):
-                    grad_weight[f, c, kr] += results[index]
+                    grad_weight[f, c_local, kr] += results[index]
                     index += 1
     return grad_weight

@@ -23,6 +23,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.functional import conv_output_size
+from repro.utils.validation import check_group_split
+
+
+def _check_grouped_weight(weight: np.ndarray, channels: int, groups: int) -> tuple[int, int]:
+    """Validate a grouped weight tensor (F, C/groups, K, K); returns (C/g, F/g)."""
+    group_in, group_out = check_group_split(channels, weight.shape[0], groups)
+    if weight.shape[1] != group_in:
+        raise ValueError(
+            f"weight shape {weight.shape} has {weight.shape[1]} channel slices; "
+            f"groups={groups} over {channels} input channels expects {group_in}"
+        )
+    return group_in, group_out
 
 
 def _pad_input(x: np.ndarray, padding: int) -> np.ndarray:
@@ -48,7 +60,12 @@ def row_convolution(
 
 
 def forward_by_rows(
-    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: int, padding: int
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    groups: int = 1,
 ) -> np.ndarray:
     """Forward convolution of a single sample via SRC row operations.
 
@@ -57,24 +74,29 @@ def forward_by_rows(
     x:
         Input activations of shape (C, H, W).
     weight:
-        Weights of shape (F, C, K, K).
+        Weights of shape (F, C/groups, K, K).
     bias:
         Optional bias of shape (F,).
+    groups:
+        Channel groups; output channel ``f`` only reads the input channels of
+        group ``f // (F / groups)``.
     """
     channels, height, width = x.shape
     out_channels, _, kernel, _ = weight.shape
+    group_in, group_out = _check_grouped_weight(weight, channels, groups)
     out_h = conv_output_size(height, kernel, stride, padding)
     out_w = conv_output_size(width, kernel, stride, padding)
     x_padded = _pad_input(x, padding)
 
     out = np.zeros((out_channels, out_h, out_w), dtype=np.float64)
     for f in range(out_channels):
+        channel_base = (f // group_out) * group_in
         for oh in range(out_h):
             acc = np.zeros(out_w, dtype=np.float64)
-            for c in range(channels):
+            for c_local in range(group_in):
                 for kr in range(kernel):
-                    input_row = x_padded[c, oh * stride + kr]
-                    kernel_row = weight[f, c, kr]
+                    input_row = x_padded[channel_base + c_local, oh * stride + kr]
+                    kernel_row = weight[f, c_local, kr]
                     acc += row_convolution(input_row, kernel_row, stride, out_w)
             if bias is not None:
                 acc += bias[f]
@@ -89,27 +111,33 @@ def gta_by_rows(
     stride: int,
     padding: int,
     mask: np.ndarray | None = None,
+    groups: int = 1,
 ) -> np.ndarray:
     """GTA step of a single sample via MSRC row operations.
 
     Computes ``dI[c] = sum_f dO[f] (*) W+_{f,c}`` where ``W+`` is the kernel
-    rotated by 180 degrees.  When ``mask`` (same shape as the input) is given,
-    masked-off positions are skipped entirely — they stay exactly zero, which
-    is safe because the following ReLU backward would zero them anyway.
+    rotated by 180 degrees; for grouped layers the sum only runs over the
+    output channels of ``c``'s group.  When ``mask`` (same shape as the
+    input) is given, masked-off positions are skipped entirely — they stay
+    exactly zero, which is safe because the following ReLU backward would
+    zero them anyway.
     """
     channels, height, width = in_shape
     out_channels, _, kernel, _ = weight.shape
+    group_in, group_out = _check_grouped_weight(weight, channels, groups)
     out_h, out_w = grad_out.shape[1], grad_out.shape[2]
     padded_h, padded_w = height + 2 * padding, width + 2 * padding
 
     grad_padded = np.zeros((channels, padded_h, padded_w), dtype=np.float64)
     for f in range(out_channels):
+        channel_base = (f // group_out) * group_in
         for oh in range(out_h):
-            for c in range(channels):
+            for c_local in range(group_in):
+                c = channel_base + c_local
                 for kr in range(kernel):
                     ih = oh * stride + kr
                     row = grad_out[f, oh]
-                    kernel_row = weight[f, c, kr]
+                    kernel_row = weight[f, c_local, kr]
                     # Scatter: each dO value contributes to K consecutive
                     # positions of the padded dI row.
                     for ow in range(out_w):
@@ -133,32 +161,37 @@ def gtw_by_rows(
     kernel: int,
     stride: int,
     padding: int,
+    groups: int = 1,
 ) -> np.ndarray:
     """GTW step of a single sample via OSRC row operations.
 
     Computes ``dW[f, c, kr, kw] = sum_{oh, ow} dO[f, oh, ow] *
-    I[c, oh*stride + kr - padding, ow*stride + kw - padding]``.  Each
-    (f, c, kr, oh) pair is one OSRC operation whose K results live in the
-    PE's scratchpad (Reg-2) for the duration of the row.
+    I[c, oh*stride + kr - padding, ow*stride + kw - padding]`` with ``c``
+    running over the input channels of ``f``'s group, returning the grouped
+    weight-gradient tensor of shape (F, C/groups, K, K).  Each (f, c, kr, oh)
+    pair is one OSRC operation whose K results live in the PE's scratchpad
+    (Reg-2) for the duration of the row.
     """
     out_channels, out_h, out_w = grad_out.shape
     channels = x.shape[0]
+    group_in, group_out = check_group_split(channels, out_channels, groups)
     x_padded = _pad_input(x, padding)
 
-    grad_weight = np.zeros((out_channels, channels, kernel, kernel), dtype=np.float64)
+    grad_weight = np.zeros((out_channels, group_in, kernel, kernel), dtype=np.float64)
     for f in range(out_channels):
-        for c in range(channels):
+        channel_base = (f // group_out) * group_in
+        for c_local in range(group_in):
             for kr in range(kernel):
                 acc = np.zeros(kernel, dtype=np.float64)
                 for oh in range(out_h):
-                    input_row = x_padded[c, oh * stride + kr]
+                    input_row = x_padded[channel_base + c_local, oh * stride + kr]
                     grad_row = grad_out[f, oh]
                     for kw in range(kernel):
                         # Strided dot product between the gradient row and the
                         # input row shifted by kw.
                         segment = input_row[kw : kw + (out_w - 1) * stride + 1 : stride]
                         acc[kw] += float(np.dot(grad_row, segment))
-                grad_weight[f, c, kr] = acc
+                grad_weight[f, c_local, kr] = acc
     return grad_weight
 
 

@@ -21,9 +21,11 @@ from repro.eval.ablations import (
 )
 from repro.eval.common import ExperimentScale, build_reduced_model, synthetic_dataset_for
 from repro.eval.fig8 import (
+    EXTENDED_FIG8_WORKLOADS,
     PAPER_FIG8_WORKLOADS,
     QUICK_FIG8_WORKLOADS,
     Fig8Result,
+    measure_family_densities,
     measure_model_densities,
     run_fig8,
 )
@@ -51,8 +53,10 @@ __all__ = [
     "Fig8Result",
     "run_fig8",
     "measure_model_densities",
+    "measure_family_densities",
     "PAPER_FIG8_WORKLOADS",
     "QUICK_FIG8_WORKLOADS",
+    "EXTENDED_FIG8_WORKLOADS",
     "Fig9Result",
     "run_fig9",
     "FifoAblationPoint",

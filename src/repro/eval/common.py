@@ -23,7 +23,9 @@ import numpy as np
 
 from repro.data.synthetic import Dataset, make_cifar_like
 from repro.models.alexnet import build_alexnet
+from repro.models.mobilenet import build_mobilenet
 from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
 from repro.nn.layers.base import Layer
 from repro.utils.rng import new_rng, stable_hash_seed
 
@@ -111,7 +113,10 @@ def build_reduced_model(model_name: str, num_classes: int, scale: ExperimentScal
 
     AlexNet maps to the Conv-ReLU model, ResNet-<d> maps to a reduced
     basic-block ResNet whose depth grows with ``d`` so the "deeper networks
-    get sparser gradients" trend can be observed.
+    get sparser gradients" trend can be observed.  VGG-<d> maps to a reduced
+    uniform Conv-ReLU-MaxPool stack and MobileNetV1 to a reduced
+    depthwise-separable model, so density measurements see the right
+    structural class (Conv-ReLU vs Conv-BN-ReLU) and the grouped dataflow.
     """
     key = model_name.lower().replace("_", "-")
     rng = new_rng(stable_hash_seed("model", model_name, scale.seed))
@@ -121,6 +126,22 @@ def build_reduced_model(model_name: str, num_classes: int, scale: ExperimentScal
             image_size=scale.image_size,
             width_scale=scale.width_scale,
             rng=rng,
+        )
+    if key.startswith("vgg"):
+        return build_vgg(
+            num_classes=num_classes,
+            image_size=scale.image_size,
+            width_scale=scale.width_scale,
+            rng=rng,
+            name=f"{model_name}-mini",
+        )
+    if key.startswith("mobilenet"):
+        return build_mobilenet(
+            num_classes=num_classes,
+            image_size=scale.image_size,
+            width_multiplier=scale.width_scale,
+            rng=rng,
+            name=f"{model_name}-mini",
         )
     if key.startswith("resnet"):
         try:

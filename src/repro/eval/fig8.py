@@ -27,7 +27,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.energy import EnergyModel
 from repro.dataflow.counts import LayerDensities
 from repro.eval.common import ExperimentScale, build_reduced_model, synthetic_dataset_for
-from repro.models.zoo import get_model_spec
+from repro.models.zoo import get_model_spec, model_family
 from repro.pruning.config import PruningConfig
 from repro.sim.report import format_latency_table
 from repro.sim.runner import WorkloadResult, compare_workload
@@ -46,6 +46,16 @@ PAPER_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = (
     ("ResNet-34", "ImageNet"),
 )
 
+# The paper grid extended with the efficiency-oriented families this
+# reproduction adds (VGG's uniform 3x3 stacks and MobileNetV1's
+# depthwise-separable pairs — the grouped-convolution stress test).
+EXTENDED_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = PAPER_FIG8_WORKLOADS + (
+    ("VGG-16", "CIFAR-10"),
+    ("VGG-16", "ImageNet"),
+    ("MobileNetV1", "CIFAR-10"),
+    ("MobileNetV1", "ImageNet"),
+)
+
 # Fast subset used by the benchmark suite (covers both model families, both
 # dataset geometries).
 QUICK_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = (
@@ -55,6 +65,14 @@ QUICK_FIG8_WORKLOADS: tuple[tuple[str, str], ...] = (
     ("ResNet-18", "ImageNet"),
     ("ResNet-34", "CIFAR-10"),
 )
+
+# Reduced model trained to measure the densities of each model family.
+FAMILY_REFERENCE_MODELS: dict[str, str] = {
+    "AlexNet": "AlexNet",
+    "ResNet": "ResNet-18",
+    "VGG": "VGG-16",
+    "MobileNet": "MobileNetV1",
+}
 
 
 @dataclass
@@ -103,7 +121,8 @@ def measure_model_densities(
         if pruning_rate > 0.0
         else None
     )
-    lr = 0.01 if model_name.lower() == "alexnet" else 0.05
+    # Conv-ReLU families (no batch norm) train with the smaller step size.
+    lr = 0.01 if model_family(model_name) in ("AlexNet", "VGG") else 0.05
     return profile_training_densities(
         model,
         train,
@@ -121,11 +140,35 @@ def densities_for_workload(
     measured: dict[str, MeasuredDensities],
 ) -> dict[str, LayerDensities]:
     """Map the measured densities of a model family onto a full-size spec."""
-    family = "AlexNet" if model_name.lower() == "alexnet" else "ResNet"
+    family = model_family(model_name)
     if family not in measured:
         raise KeyError(f"no measured densities for model family {family!r}")
     spec = get_model_spec(model_name, dataset_name)
     return map_densities_to_spec(measured[family], spec)
+
+
+def measure_family_densities(
+    workloads: tuple[tuple[str, str], ...],
+    pruning_rate: float = 0.9,
+    scale: ExperimentScale | None = None,
+) -> dict[str, MeasuredDensities]:
+    """Measure densities for every model family appearing in ``workloads``.
+
+    One reduced model is trained per family (not per workload), mirroring the
+    paper's setup where each family's sparsity statistics transfer across
+    datasets and depths.
+    """
+    families = []
+    for model_name, _ in workloads:
+        family = model_family(model_name)
+        if family not in families:
+            families.append(family)
+    return {
+        family: measure_model_densities(
+            FAMILY_REFERENCE_MODELS[family], pruning_rate, scale
+        )
+        for family in families
+    }
 
 
 def run_fig8(
@@ -145,10 +188,7 @@ def run_fig8(
     """
     scale = scale if scale is not None else ExperimentScale.quick()
     if measured is None:
-        measured = {
-            "AlexNet": measure_model_densities("AlexNet", pruning_rate, scale),
-            "ResNet": measure_model_densities("ResNet-18", pruning_rate, scale),
-        }
+        measured = measure_family_densities(workloads, pruning_rate, scale)
 
     result = Fig8Result()
     for model_name, dataset_name in workloads:

@@ -1,0 +1,159 @@
+"""MobileNetV1: full-size shape specs and a runnable reduced model.
+
+MobileNetV1 replaces standard convolutions with depthwise-separable pairs —
+a depthwise 3x3 convolution (``groups == channels``) followed by a pointwise
+1x1 convolution — cutting MACs and weights by roughly the kernel area.  Every
+convolution sits in a Conv-BN-ReLU structure, so — like ResNet — the pruning
+algorithm targets ``dO`` (paper Fig. 4, right).
+
+* :func:`mobilenet_spec` produces the exact convolution geometry of
+  MobileNetV1 (optionally width-multiplied) for CIFAR or ImageNet inputs.
+* :func:`build_mobilenet` builds a runnable reduced depthwise-separable model
+  in numpy for the accuracy/density experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.spec import (
+    ConvLayerSpec,
+    ConvStructure,
+    LinearLayerSpec,
+    ModelSpec,
+    dataset_geometry,
+)
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseSeparableBlock,
+    GlobalAvgPool2D,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import derive_rng
+
+# (depthwise stride, pointwise output channels) of the 13 separable blocks.
+_MOBILENET_BLOCKS: tuple[tuple[int, int], ...] = (
+    (1, 64),
+    (2, 128), (1, 128),
+    (2, 256), (1, 256),
+    (2, 512), (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+_STEM_CHANNELS = 32
+
+
+def _scaled(base: int, width_multiplier: float) -> int:
+    """Width-multiplied channel count (floored at 8, MobileNet convention)."""
+    return max(int(round(base * width_multiplier)), 8)
+
+
+def mobilenet_spec(
+    dataset: str = "CIFAR-10",
+    width_multiplier: float = 1.0,
+    num_classes: int | None = None,
+) -> ModelSpec:
+    """Build the convolution geometry of MobileNetV1.
+
+    Parameters
+    ----------
+    dataset:
+        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"``.  The ImageNet stem
+        strides by 2 (224 -> 7 after the four stride-2 depthwise stages); the
+        CIFAR adaptation keeps the stem at stride 1 (32 -> 2).
+    width_multiplier:
+        MobileNet's alpha: every channel count is scaled by this factor
+        (floored at 8).  ``1.0`` gives the standard network.
+    num_classes:
+        Overrides the classifier width (defaults follow the dataset).
+    """
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be positive, got {width_multiplier}")
+    input_shape, default_classes = dataset_geometry(dataset)
+    num_classes = num_classes if num_classes is not None else default_classes
+    # The CIFAR adaptation keeps the stem at stride 1 (32x32 inputs cannot
+    # afford the ImageNet stem's /2).
+    stem_stride = 2 if dataset.lower() == "imagenet" else 1
+
+    bn_relu = ConvStructure.CONV_BN_RELU
+    channels = _scaled(_STEM_CHANNELS, width_multiplier)
+    size = input_shape[1]
+    stem = ConvLayerSpec("stem.conv", 3, channels, 3, stem_stride, 1, size, size, bn_relu)
+    size = stem.out_height
+
+    conv_layers: list[ConvLayerSpec] = [stem]
+    for index, (stride, out_base) in enumerate(_MOBILENET_BLOCKS):
+        out_channels = _scaled(out_base, width_multiplier)
+        name = f"block{index + 1}"
+        depthwise = ConvLayerSpec(
+            f"{name}.dw", channels, channels, 3, stride, 1, size, size, bn_relu,
+            groups=channels,
+        )
+        size = depthwise.out_height
+        pointwise = ConvLayerSpec(
+            f"{name}.pw", channels, out_channels, 1, 1, 0, size, size, bn_relu
+        )
+        conv_layers.extend((depthwise, pointwise))
+        channels = out_channels
+
+    linears = (LinearLayerSpec("fc", channels, num_classes),)
+    suffix = "" if width_multiplier == 1.0 else f"-{width_multiplier:g}x"
+    return ModelSpec(
+        name=f"MobileNetV1{suffix}",
+        dataset=dataset,
+        input_shape=input_shape,
+        conv_layers=tuple(conv_layers),
+        linear_layers=linears,
+    )
+
+
+def build_mobilenet(
+    num_classes: int = 4,
+    image_size: int = 16,
+    in_channels: int = 3,
+    width_multiplier: float = 0.25,
+    blocks: tuple[tuple[int, int], ...] = ((1, 64), (2, 128), (1, 128)),
+    rng: np.random.Generator | None = None,
+    name: str | None = None,
+) -> Sequential:
+    """Build a runnable reduced MobileNetV1-style numpy model.
+
+    ``blocks`` lists (depthwise stride, pointwise base channels) pairs; base
+    channel counts are scaled by ``width_multiplier`` exactly like the
+    full-size spec, so the reduced model exercises the same depthwise ->
+    pointwise structure the density measurements need.
+    """
+    if not blocks:
+        raise ValueError("blocks must not be empty")
+    total_stride = 2 ** sum(1 for stride, _ in blocks if stride == 2)
+    if image_size < 2 * total_stride:
+        raise ValueError(
+            f"image_size={image_size} too small for total stride {total_stride}"
+        )
+    rng = derive_rng(rng, seed=0)
+
+    channels = _scaled(_STEM_CHANNELS, width_multiplier)
+    layers: list = [
+        Conv2D(in_channels, channels, 3, stride=1, padding=1, bias=False, rng=rng, name="stem.conv"),
+        BatchNorm2D(channels, name="stem.bn"),
+        ReLU(name="stem.relu"),
+    ]
+    for index, (stride, out_base) in enumerate(blocks):
+        out_channels = _scaled(out_base, width_multiplier)
+        layers.append(
+            DepthwiseSeparableBlock(
+                channels, out_channels, stride=stride, rng=rng,
+                name=f"block{index + 1}",
+            )
+        )
+        channels = out_channels
+    layers.extend(
+        [
+            GlobalAvgPool2D(name="gap"),
+            Linear(channels, num_classes, rng=rng, name="fc"),
+        ]
+    )
+    return Sequential(layers, name=name or "MobileNetV1-mini")

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.spec import ConvLayerSpec, ConvStructure, LinearLayerSpec, ModelSpec
+from repro.models.spec import (
+    ConvLayerSpec,
+    ConvStructure,
+    LinearLayerSpec,
+    ModelSpec,
+    dataset_geometry,
+)
 from repro.nn.layers import (
     BatchNorm2D,
     Conv2D,
@@ -121,20 +127,14 @@ def resnet_spec(depth: int, dataset: str = "CIFAR-10", num_classes: int | None =
         raise ValueError(f"unsupported ResNet depth {depth}; choose from {supported_depths()}")
     block_type, blocks_per_stage = _RESNET_CONFIGS[depth]
 
-    dataset_key = dataset.lower()
-    if dataset_key.startswith("cifar"):
-        input_shape = (3, 32, 32)
-        default_classes = 100 if "100" in dataset_key else 10
-        stem = ConvLayerSpec("stem.conv", 3, 64, 3, 1, 1, 32, 32, ConvStructure.CONV_BN_RELU)
-        height = width = 32
-    elif dataset_key == "imagenet":
-        input_shape = (3, 224, 224)
-        default_classes = 1000
+    input_shape, default_classes = dataset_geometry(dataset)
+    if dataset.lower() == "imagenet":
         stem = ConvLayerSpec("stem.conv", 3, 64, 7, 2, 3, 224, 224, ConvStructure.CONV_BN_RELU)
         # A 3x3/2 max-pool follows the stem on ImageNet.
         height = width = (stem.out_height - 3) // 2 + 1
     else:
-        raise ValueError(f"unknown dataset {dataset!r}; expected CIFAR-10/CIFAR-100/ImageNet")
+        stem = ConvLayerSpec("stem.conv", 3, 64, 3, 1, 1, 32, 32, ConvStructure.CONV_BN_RELU)
+        height = width = 32
     num_classes = num_classes if num_classes is not None else default_classes
 
     conv_layers: list[ConvLayerSpec] = [stem]

@@ -14,7 +14,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.utils.validation import (
+    check_group_split,
+    check_non_negative_int,
+    check_positive_int,
+)
+
+
+def dataset_geometry(dataset: str) -> tuple[tuple[int, int, int], int]:
+    """Input shape and default class count of a paper dataset.
+
+    Returns ``((C, H, W), num_classes)`` for CIFAR-10/CIFAR-100/ImageNet;
+    every spec generator resolves its dataset through this one ladder.
+    """
+    key = dataset.lower()
+    if key.startswith("cifar"):
+        return (3, 32, 32), (100 if "100" in key else 10)
+    if key == "imagenet":
+        return (3, 224, 224), 1000
+    raise ValueError(
+        f"unknown dataset {dataset!r}; expected CIFAR-10/CIFAR-100/ImageNet"
+    )
 
 
 class ConvStructure(Enum):
@@ -31,6 +51,12 @@ class ConvLayerSpec:
 
     All sizes refer to a single sample (batch handling is the scheduler's
     job).  ``in_height``/``in_width`` are the *input* feature-map size.
+
+    ``groups`` splits the channels into independent convolutions: output
+    channel ``f`` only reads the ``in_channels / groups`` input channels of
+    its group (``groups == in_channels == out_channels`` is a depthwise
+    convolution, the defining op of MobileNet-style networks).  Weight and
+    MAC accounting scale down by the group fan-in accordingly.
     """
 
     name: str
@@ -42,6 +68,7 @@ class ConvLayerSpec:
     in_height: int
     in_width: int
     structure: ConvStructure = ConvStructure.CONV_RELU
+    groups: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int(self.in_channels, "in_channels")
@@ -51,6 +78,10 @@ class ConvLayerSpec:
         check_non_negative_int(self.padding, "padding")
         check_positive_int(self.in_height, "in_height")
         check_positive_int(self.in_width, "in_width")
+        check_positive_int(self.groups, "groups")
+        check_group_split(
+            self.in_channels, self.out_channels, self.groups, name=f"layer {self.name}"
+        )
         if self.out_height <= 0 or self.out_width <= 0:
             raise ValueError(f"layer {self.name}: non-positive output size")
 
@@ -66,9 +97,24 @@ class ConvLayerSpec:
         return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
 
     @property
+    def group_in_channels(self) -> int:
+        """Input channels each output channel actually reads (C / groups)."""
+        return self.in_channels // self.groups
+
+    @property
+    def group_out_channels(self) -> int:
+        """Output channels each input channel actually feeds (F / groups)."""
+        return self.out_channels // self.groups
+
+    @property
+    def is_depthwise(self) -> bool:
+        """Whether this is a depthwise convolution (one channel per group)."""
+        return self.groups == self.in_channels == self.out_channels
+
+    @property
     def weight_count(self) -> int:
-        """Number of weight values (K*K*C*F)."""
-        return self.kernel * self.kernel * self.in_channels * self.out_channels
+        """Number of weight values (K*K*(C/groups)*F)."""
+        return self.kernel * self.kernel * self.group_in_channels * self.out_channels
 
     @property
     def input_size(self) -> int:
@@ -85,8 +131,13 @@ class ConvLayerSpec:
     # ------------------------------------------------------------------
     @property
     def forward_macs(self) -> int:
-        """Dense multiply-accumulates of the Forward step."""
-        return self.output_size * self.kernel * self.kernel * self.in_channels
+        """Dense multiply-accumulates of the Forward step.
+
+        Every output value accumulates over the K*K window of the
+        ``in_channels / groups`` input channels in its group, so grouped and
+        depthwise convolutions cost proportionally fewer MACs.
+        """
+        return self.output_size * self.kernel * self.kernel * self.group_in_channels
 
     @property
     def gta_macs(self) -> int:
@@ -198,9 +249,11 @@ class ModelSpec:
             f"{self.total_training_macs / 1e9:.2f} GMAC per training sample (dense)",
         ]
         for layer in self.conv_layers:
+            grouping = f" g{layer.groups}" if layer.groups > 1 else ""
             lines.append(
                 f"    {layer.name}: {layer.in_channels}x{layer.in_height}x{layer.in_width}"
                 f" -> {layer.out_channels}x{layer.out_height}x{layer.out_width}"
-                f" k{layer.kernel} s{layer.stride} p{layer.padding} [{layer.structure.value}]"
+                f" k{layer.kernel} s{layer.stride} p{layer.padding}{grouping}"
+                f" [{layer.structure.value}]"
             )
         return "\n".join(lines)

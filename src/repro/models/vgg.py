@@ -1,0 +1,164 @@
+"""VGG: full-size shape specs (VGG-11/16) and a runnable reduced model.
+
+VGG stacks uniform 3x3 convolutions separated by max-pooling, with no batch
+norm in the classic configuration — every convolution is a Conv-ReLU
+structure (paper Fig. 4, left), so the pruning algorithm targets the
+propagated gradient ``dI``, exactly like AlexNet.
+
+* :func:`vgg_spec` produces the exact convolution geometry of VGG-11 ("A")
+  and VGG-16 ("D") for CIFAR (3x32x32) or ImageNet (3x224x224) inputs.
+* :func:`build_vgg` builds a runnable reduced VGG-style numpy model for the
+  accuracy/density experiments on synthetic data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.spec import (
+    ConvLayerSpec,
+    ConvStructure,
+    LinearLayerSpec,
+    ModelSpec,
+    dataset_geometry,
+)
+from repro.nn.layers import Conv2D, Dropout, Flatten, Linear, MaxPool2D, ReLU, Sequential
+from repro.utils.rng import derive_rng
+
+# Configuration strings of Simonyan & Zisserman: channel counts with "M" for
+# a 2x2/2 max-pool.
+_VGG_CONFIGS: dict[int, tuple[object, ...]] = {
+    11: (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    16: (
+        64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+        512, 512, 512, "M", 512, 512, 512, "M",
+    ),
+}
+
+
+def supported_vgg_depths() -> tuple[int, ...]:
+    """Depths accepted by :func:`vgg_spec`."""
+    return tuple(sorted(_VGG_CONFIGS))
+
+
+def vgg_spec(depth: int, dataset: str = "CIFAR-10", num_classes: int | None = None) -> ModelSpec:
+    """Build the convolution geometry of a VGG network.
+
+    Parameters
+    ----------
+    depth:
+        11 (configuration "A") or 16 (configuration "D").
+    dataset:
+        ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"``; selects the input
+        size and the classifier head (the five max-pools shrink 224 -> 7 on
+        ImageNet and 32 -> 1 on CIFAR).
+    num_classes:
+        Overrides the classifier width (defaults follow the dataset).
+    """
+    if depth not in _VGG_CONFIGS:
+        raise ValueError(
+            f"unsupported VGG depth {depth}; choose from {supported_vgg_depths()}"
+        )
+    input_shape, default_classes = dataset_geometry(dataset)
+    num_classes = num_classes if num_classes is not None else default_classes
+    is_imagenet = dataset.lower() == "imagenet"
+
+    conv = ConvStructure.CONV_RELU
+    conv_layers: list[ConvLayerSpec] = []
+    channels = input_shape[0]
+    size = input_shape[1]
+    stage = 0
+    index_in_stage = 0
+    for entry in _VGG_CONFIGS[depth]:
+        if entry == "M":
+            size //= 2
+            stage += 1
+            index_in_stage = 0
+            continue
+        index_in_stage += 1
+        conv_layers.append(
+            ConvLayerSpec(
+                f"stage{stage + 1}.conv{index_in_stage}",
+                channels, int(entry), 3, 1, 1, size, size, conv,
+            )
+        )
+        channels = int(entry)
+
+    final_features = channels * size * size
+    if is_imagenet:
+        linears = (
+            LinearLayerSpec("fc6", final_features, 4096),
+            LinearLayerSpec("fc7", 4096, 4096),
+            LinearLayerSpec("fc8", 4096, num_classes),
+        )
+    else:
+        linears = (
+            LinearLayerSpec("fc6", final_features, 512),
+            LinearLayerSpec("fc7", 512, num_classes),
+        )
+    return ModelSpec(
+        name=f"VGG-{depth}",
+        dataset=dataset,
+        input_shape=input_shape,
+        conv_layers=tuple(conv_layers),
+        linear_layers=linears,
+    )
+
+
+def build_vgg(
+    num_classes: int = 4,
+    image_size: int = 16,
+    in_channels: int = 3,
+    width_scale: float = 0.25,
+    convs_per_stage: tuple[int, ...] = (1, 2, 2),
+    dropout: float = 0.0,
+    rng: np.random.Generator | None = None,
+    name: str | None = None,
+) -> Sequential:
+    """Build a runnable (reduced) VGG-style numpy model.
+
+    ``convs_per_stage`` lists how many 3x3 Conv-ReLU layers precede each
+    max-pool; the default three-stage layout mirrors VGG's uniform structure
+    while staying fast enough for synthetic-data training.  Channel widths
+    double per stage starting from ``64 * width_scale``.
+    """
+    if not convs_per_stage:
+        raise ValueError("convs_per_stage must not be empty")
+    if image_size % (2 ** len(convs_per_stage)) != 0:
+        raise ValueError(
+            f"image_size={image_size} must be divisible by 2^{len(convs_per_stage)}"
+        )
+    rng = derive_rng(rng, seed=0)
+
+    def width(base: int) -> int:
+        return max(int(round(base * width_scale)), 4)
+
+    layers: list = []
+    channels = in_channels
+    for stage_index, num_convs in enumerate(convs_per_stage):
+        stage_channels = width(64 * (2**stage_index))
+        for conv_index in range(num_convs):
+            layers.append(
+                Conv2D(
+                    channels, stage_channels, 3, stride=1, padding=1, rng=rng,
+                    name=f"stage{stage_index + 1}.conv{conv_index + 1}",
+                )
+            )
+            layers.append(ReLU(name=f"stage{stage_index + 1}.relu{conv_index + 1}"))
+            channels = stage_channels
+        layers.append(MaxPool2D(2, name=f"pool{stage_index + 1}"))
+    layers.append(Flatten(name="flatten"))
+
+    final_spatial = image_size // (2 ** len(convs_per_stage))
+    classifier_in = channels * final_spatial * final_spatial
+    hidden = max(width(512), 32)
+    if dropout > 0.0:
+        layers.append(Dropout(dropout, rng=rng, name="drop6"))
+    layers.extend(
+        [
+            Linear(classifier_in, hidden, rng=rng, name="fc6"),
+            ReLU(name="relu6"),
+            Linear(hidden, num_classes, rng=rng, name="fc7"),
+        ]
+    )
+    return Sequential(layers, name=name or "VGG-mini")

@@ -3,14 +3,19 @@
 The paper's Fig. 8 / Fig. 9 sweep AlexNet and ResNet-18/34 over CIFAR-10,
 CIFAR-100 and ImageNet (Table II additionally includes ResNet-152 on CIFAR).
 ``paper_workloads`` enumerates those combinations as :class:`ModelSpec`
-objects so the latency/energy harness can iterate over them.
+objects so the latency/energy harness can iterate over them;
+``extended_workloads`` adds the VGG and MobileNet families this reproduction
+grows beyond the paper, and ``model_family`` groups every supported model
+name into the family whose reduced model measures its densities.
 """
 
 from __future__ import annotations
 
 from repro.models.alexnet import alexnet_cifar_spec, alexnet_imagenet_spec
+from repro.models.mobilenet import mobilenet_spec
 from repro.models.resnet import resnet_spec
 from repro.models.spec import ModelSpec
+from repro.models.vgg import vgg_spec
 
 
 def normalize_model_name(model: str) -> str:
@@ -19,15 +24,39 @@ def normalize_model_name(model: str) -> str:
     Lookup helpers across the codebase accept slightly different spellings
     (``eval.common`` takes ``resnet-18``, older callers wrote ``ResNet18``);
     this collapses case, separators (``-``, ``_``, spaces) and returns the
-    canonical paper spelling.  Unknown names are returned stripped so callers
-    raise their own, more specific errors.
+    canonical paper spelling.  ``vgg16``/``VGG-16`` map to ``"VGG-16"`` and
+    ``mobilenet``/``mobilenet_v1``/``MobileNetV1`` to ``"MobileNetV1"``.
+    Unknown names are returned stripped so callers raise their own, more
+    specific errors.
     """
     key = "".join(ch for ch in model.strip().lower() if ch not in "-_ ")
     if key == "alexnet":
         return "AlexNet"
     if key.startswith("resnet") and key[len("resnet"):].isdigit():
         return f"ResNet-{int(key[len('resnet'):])}"
+    if key.startswith("vgg") and key[len("vgg"):].isdigit():
+        return f"VGG-{int(key[len('vgg'):])}"
+    if key in ("mobilenet", "mobilenetv1"):
+        return "MobileNetV1"
     return model.strip()
+
+
+def model_family(model: str) -> str:
+    """The density-measurement family of a model name.
+
+    Fig. 8 / Fig. 9 measure per-layer densities once per *family* on a
+    reduced model and map them onto every full-size member by relative depth.
+    """
+    name = normalize_model_name(model)
+    if name == "AlexNet":
+        return "AlexNet"
+    if name.startswith("ResNet-"):
+        return "ResNet"
+    if name.startswith("VGG-"):
+        return "VGG"
+    if name.startswith("MobileNetV1"):
+        return "MobileNet"
+    raise ValueError(f"unknown model {model!r}; no density-measurement family")
 
 
 def normalize_dataset_name(dataset: str) -> str:
@@ -48,10 +77,10 @@ def get_model_spec(model: str, dataset: str) -> ModelSpec:
     Parameters
     ----------
     model:
-        ``"AlexNet"`` or ``"ResNet-<depth>"`` (depth in 18/34/50/101/152).
-        Name matching is forgiving: case, hyphens and underscores are
-        ignored, so ``"resnet18"``, ``"ResNet18"`` and ``"resnet-18"`` all
-        resolve to the same spec.
+        ``"AlexNet"``, ``"ResNet-<depth>"`` (depth in 18/34/50/101/152),
+        ``"VGG-<depth>"`` (11 or 16) or ``"MobileNetV1"``.  Name matching is
+        forgiving: case, hyphens and underscores are ignored, so
+        ``"resnet18"``, ``"vgg16"`` and ``"mobilenet_v1"`` all resolve.
     dataset:
         ``"CIFAR-10"``, ``"CIFAR-100"`` or ``"ImageNet"`` (same forgiving
         matching: ``"cifar10"`` works too).
@@ -66,13 +95,24 @@ def get_model_spec(model: str, dataset: str) -> ModelSpec:
         if dataset_name == "CIFAR-100":
             return alexnet_cifar_spec(100)
         raise ValueError(f"unknown dataset {dataset!r} for AlexNet")
+    if model_name == "MobileNetV1":
+        return mobilenet_spec(dataset_name)
+    if model_name.lower().startswith(("vgg-", "vgg")):
+        try:
+            depth = int(model_name.split("-", 1)[1])
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"cannot parse VGG depth from {model!r}") from exc
+        return vgg_spec(depth, dataset_name)
     if model_name.lower().startswith(("resnet-", "resnet")):
         try:
             depth = int(normalize_model_name(model_name).split("-", 1)[1])
         except (IndexError, ValueError) as exc:
             raise ValueError(f"cannot parse ResNet depth from {model!r}") from exc
         return resnet_spec(depth, dataset_name)
-    raise ValueError(f"unknown model {model!r}; expected AlexNet or ResNet-<depth>")
+    raise ValueError(
+        f"unknown model {model!r}; expected AlexNet, ResNet-<depth>, "
+        f"VGG-<depth> or MobileNetV1"
+    )
 
 
 def paper_workloads(include_imagenet: bool = True) -> list[ModelSpec]:
@@ -94,6 +134,16 @@ def paper_workloads(include_imagenet: bool = True) -> list[ModelSpec]:
             ]
         )
     return [get_model_spec(model, dataset) for model, dataset in combinations]
+
+
+def extended_workloads(include_imagenet: bool = True) -> list[ModelSpec]:
+    """The paper grid plus the VGG-16 and MobileNetV1 efficiency workloads."""
+    combinations = [("VGG-16", "CIFAR-10"), ("MobileNetV1", "CIFAR-10")]
+    if include_imagenet:
+        combinations.extend([("VGG-16", "ImageNet"), ("MobileNetV1", "ImageNet")])
+    return paper_workloads(include_imagenet) + [
+        get_model_spec(model, dataset) for model, dataset in combinations
+    ]
 
 
 def table2_workloads() -> list[tuple[str, str]]:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.validation import check_group_split
+
 
 # ---------------------------------------------------------------------------
 # im2col / col2im
@@ -107,12 +109,18 @@ def conv2d_forward(
     bias: np.ndarray | None,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Forward 2-D convolution.
+    """Forward 2-D convolution, optionally grouped.
 
-    Returns ``(output, x_cols)`` where ``x_cols`` is the im2col buffer cached
-    for the backward pass.
+    ``weight`` has shape ``(F, C/groups, KH, KW)``; output channel ``f`` only
+    convolves the input-channel slice of its group (``groups == C == F`` is a
+    depthwise convolution).  Returns ``(output, x_cols)`` where ``x_cols`` is
+    the im2col buffer cached for the backward pass — a single 2-D buffer for
+    ``groups == 1``, a tuple of per-group buffers otherwise.
     """
+    if groups > 1:
+        return _grouped_conv2d_forward(x, weight, bias, stride, padding, groups)
     batch = x.shape[0]
     out_channels, _, kernel_h, kernel_w = weight.shape
     out_h = conv_output_size(x.shape[2], kernel_h, stride, padding)
@@ -127,25 +135,64 @@ def conv2d_forward(
     return np.ascontiguousarray(out), x_cols
 
 
+def _grouped_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    groups: int,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Grouped forward pass: one im2col convolution per channel group.
+
+    The per-group col buffers are returned as a tuple (not stacked into one
+    array): the backward pass only ever consumes them group by group, so
+    stacking would copy the whole im2col memory for nothing.
+    """
+    out_channels, group_in, _, _ = weight.shape
+    if x.shape[1] != group_in * groups:
+        raise ValueError(
+            f"input has {x.shape[1]} channels; weight {weight.shape} with "
+            f"groups={groups} expects {group_in * groups}"
+        )
+    _, group_out = check_group_split(x.shape[1], out_channels, groups)
+    outputs, col_buffers = [], []
+    for g in range(groups):
+        x_g = x[:, g * group_in : (g + 1) * group_in]
+        w_g = weight[g * group_out : (g + 1) * group_out]
+        b_g = bias[g * group_out : (g + 1) * group_out] if bias is not None else None
+        out_g, cols_g = conv2d_forward(x_g, w_g, b_g, stride, padding)
+        outputs.append(out_g)
+        col_buffers.append(cols_g)
+    return np.concatenate(outputs, axis=1), tuple(col_buffers)
+
+
 def conv2d_backward(
     grad_out: np.ndarray,
     x_shape: tuple[int, int, int, int],
-    x_cols: np.ndarray,
+    x_cols: np.ndarray | tuple[np.ndarray, ...],
     weight: np.ndarray,
     stride: int = 1,
     padding: int = 0,
     need_input_grad: bool = True,
+    groups: int = 1,
 ) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
-    """Backward 2-D convolution.
+    """Backward 2-D convolution, optionally grouped.
 
     Implements both backward products from the paper:
 
     * GTA — gradient to input activations ``dI = sum_i dO_i * W+_{i,j}``.
     * GTW — gradient to weights ``dW_{i,j} = dO_i * I_j``.
 
-    Returns ``(grad_input, grad_weight, grad_bias)``; ``grad_input`` is
-    ``None`` when ``need_input_grad`` is ``False`` (first layer of a network).
+    ``x_cols`` is the buffer returned by :func:`conv2d_forward` (a tuple of
+    per-group buffers when ``groups > 1``).  Returns ``(grad_input, grad_weight,
+    grad_bias)``; ``grad_input`` is ``None`` when ``need_input_grad`` is
+    ``False`` (first layer of a network).
     """
+    if groups > 1:
+        return _grouped_conv2d_backward(
+            grad_out, x_shape, x_cols, weight, stride, padding, need_input_grad, groups
+        )
     out_channels, _, kernel_h, kernel_w = weight.shape
     grad_out_rows = grad_out.transpose(1, 2, 3, 0).reshape(out_channels, -1)
 
@@ -158,6 +205,44 @@ def conv2d_backward(
         grad_cols = w_rows.T @ grad_out_rows
         grad_input = col2im(grad_cols, x_shape, kernel_h, kernel_w, stride, padding)
     return grad_input, grad_weight, grad_bias
+
+
+def _grouped_conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    x_cols: tuple[np.ndarray, ...],
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+    need_input_grad: bool,
+    groups: int,
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Grouped backward pass: run the dense backward per channel group."""
+    batch, channels, height, width = x_shape
+    out_channels = weight.shape[0]
+    group_in, group_out = check_group_split(channels, out_channels, groups)
+    if len(x_cols) != groups:
+        raise ValueError(
+            f"x_cols has {len(x_cols)} group buffers, expected {groups}"
+        )
+    grad_inputs, grad_weights, grad_biases = [], [], []
+    for g in range(groups):
+        grad_out_g = grad_out[:, g * group_out : (g + 1) * group_out]
+        weight_g = weight[g * group_out : (g + 1) * group_out]
+        grad_input_g, grad_weight_g, grad_bias_g = conv2d_backward(
+            grad_out_g,
+            (batch, group_in, height, width),
+            x_cols[g],
+            weight_g,
+            stride,
+            padding,
+            need_input_grad=need_input_grad,
+        )
+        grad_inputs.append(grad_input_g)
+        grad_weights.append(grad_weight_g)
+        grad_biases.append(grad_bias_g)
+    grad_input = np.concatenate(grad_inputs, axis=1) if need_input_grad else None
+    return grad_input, np.concatenate(grad_weights), np.concatenate(grad_biases)
 
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,7 @@
 from repro.nn.layers.activation import ReLU
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.layers.batchnorm import BatchNorm1D, BatchNorm2D
-from repro.nn.layers.container import ResidualBlock, Sequential
+from repro.nn.layers.container import DepthwiseSeparableBlock, ResidualBlock, Sequential
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.linear import Linear
 from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
@@ -24,4 +24,5 @@ __all__ = [
     "Flatten",
     "Sequential",
     "ResidualBlock",
+    "DepthwiseSeparableBlock",
 ]

@@ -1,4 +1,4 @@
-"""Composite layers: Sequential containers and residual blocks."""
+"""Composite layers: Sequential containers, residual and depthwise blocks."""
 
 from __future__ import annotations
 
@@ -137,3 +137,62 @@ class ResidualBlock(Layer):
         else:
             grad_skip = grad_sum
         return grad_branch + grad_skip
+
+
+class DepthwiseSeparableBlock(Layer):
+    """A MobileNetV1 block: depthwise Conv-BN-ReLU then pointwise Conv-BN-ReLU.
+
+    The depthwise convolution (``groups == in_channels``) filters each channel
+    independently; the 1x1 pointwise convolution mixes channels.  Both
+    convolutions sit in Conv-BN-ReLU structures, so — like ResNet blocks —
+    the pruning algorithm targets the ``dO`` gradient of each convolution.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        kernel_size: int = 3,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        prefix = self.name
+        self.depthwise = Conv2D(
+            in_channels, in_channels, kernel_size, stride=stride,
+            padding=kernel_size // 2, groups=in_channels, bias=False,
+            rng=rng, name=f"{prefix}.dw",
+        )
+        self.bn1 = BatchNorm2D(in_channels, name=f"{prefix}.dw_bn")
+        self.relu1 = ReLU(name=f"{prefix}.dw_relu")
+        self.pointwise = Conv2D(
+            in_channels, out_channels, 1, stride=1, padding=0, bias=False,
+            rng=rng, name=f"{prefix}.pw",
+        )
+        self.bn2 = BatchNorm2D(out_channels, name=f"{prefix}.pw_bn")
+        self.relu2 = ReLU(name=f"{prefix}.pw_relu")
+
+    def children(self) -> Iterator[Layer]:
+        yield self.depthwise
+        yield self.bn1
+        yield self.relu1
+        yield self.pointwise
+        yield self.bn2
+        yield self.relu2
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.depthwise.forward(x)
+        out = self.bn1.forward(out)
+        out = self.relu1.forward(out)
+        out = self.pointwise.forward(out)
+        out = self.bn2.forward(out)
+        return self.relu2.forward(out)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_out)
+        grad = self.bn2.backward(grad)
+        grad = self.pointwise.backward(grad)
+        grad = self.relu1.backward(grad)
+        grad = self.bn1.backward(grad)
+        return self.depthwise.backward(grad)

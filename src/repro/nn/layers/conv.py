@@ -7,7 +7,11 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.layers.base import Layer, Parameter
-from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.utils.validation import (
+    check_group_split,
+    check_non_negative_int,
+    check_positive_int,
+)
 
 
 class Conv2D(Layer):
@@ -21,6 +25,13 @@ class Conv2D(Layer):
         Square kernel size ``K``.
     stride, padding:
         Spatial stride and zero padding.
+    groups:
+        Channel groups; output channel ``f`` only convolves the
+        ``in_channels / groups`` input channels of its group.
+        ``groups == in_channels == out_channels`` gives a depthwise
+        convolution.  The weight tensor shape is
+        ``(F, C / groups, K, K)`` and the fan-in used for initialisation
+        shrinks accordingly.
     bias:
         Whether the layer carries a bias vector ``b``.
     rng:
@@ -34,6 +45,7 @@ class Conv2D(Layer):
         kernel_size: int,
         stride: int = 1,
         padding: int = 0,
+        groups: int = 1,
         bias: bool = True,
         rng: np.random.Generator | None = None,
         name: str | None = None,
@@ -44,16 +56,18 @@ class Conv2D(Layer):
         self.kernel_size = check_positive_int(kernel_size, "kernel_size")
         self.stride = check_positive_int(stride, "stride")
         self.padding = check_non_negative_int(padding, "padding")
+        self.groups = check_positive_int(groups, "groups")
+        check_group_split(in_channels, out_channels, groups, name=self.name)
 
-        fan_in = in_channels * kernel_size * kernel_size
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         weight = init.kaiming_normal(
-            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            (out_channels, in_channels // groups, kernel_size, kernel_size), fan_in, rng
         )
         self.weight = Parameter(weight, name=f"{self.name}.weight")
         self.bias = Parameter(init.zeros((out_channels,)), name=f"{self.name}.bias") if bias else None
 
         self._cache_x_shape: tuple[int, int, int, int] | None = None
-        self._cache_x_cols: np.ndarray | None = None
+        self._cache_x_cols: np.ndarray | tuple[np.ndarray, ...] | None = None
 
     def _own_parameters(self):
         if self.bias is not None:
@@ -74,7 +88,9 @@ class Conv2D(Layer):
                 f"got {x.shape}"
             )
         bias = self.bias.data if self.bias is not None else None
-        out, x_cols = F.conv2d_forward(x, self.weight.data, bias, self.stride, self.padding)
+        out, x_cols = F.conv2d_forward(
+            x, self.weight.data, bias, self.stride, self.padding, self.groups
+        )
         self._cache_x_shape = x.shape
         self._cache_x_cols = x_cols
         return out
@@ -90,6 +106,7 @@ class Conv2D(Layer):
             self.stride,
             self.padding,
             need_input_grad=True,
+            groups=self.groups,
         )
         self.weight.accumulate_grad(grad_weight)
         if self.bias is not None:

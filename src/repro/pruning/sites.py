@@ -25,7 +25,7 @@ from typing import Iterator
 from repro.nn.layers.activation import ReLU
 from repro.nn.layers.base import Layer
 from repro.nn.layers.batchnorm import BatchNorm2D
-from repro.nn.layers.container import ResidualBlock, Sequential
+from repro.nn.layers.container import DepthwiseSeparableBlock, ResidualBlock, Sequential
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
 from repro.nn.layers.shape import Dropout
@@ -56,7 +56,7 @@ _TRANSPARENT = (MaxPool2D, AvgPool2D, GlobalAvgPool2D, Dropout)
 def _iter_sequential_sites(seq: Sequential) -> Iterator[PruningSite]:
     layers = list(seq.layers)
     for index, layer in enumerate(layers):
-        if isinstance(layer, (Sequential, ResidualBlock)):
+        if isinstance(layer, (Sequential, ResidualBlock, DepthwiseSeparableBlock)):
             yield from find_pruning_sites(layer)
             continue
         if not isinstance(layer, Conv2D):
@@ -93,6 +93,14 @@ def _iter_residual_sites(block: ResidualBlock) -> Iterator[PruningSite]:
         yield PruningSite(block.downsample_conv, PruneSide.OUTPUT_GRAD)
 
 
+def _iter_depthwise_sites(block: DepthwiseSeparableBlock) -> Iterator[PruningSite]:
+    # Depthwise and pointwise convolutions both sit in Conv-BN-ReLU
+    # structures, so — grouped weight tensor or not — the pruning target is
+    # the dense ``dO`` gradient entering each convolution's backward pass.
+    yield PruningSite(block.depthwise, PruneSide.OUTPUT_GRAD)
+    yield PruningSite(block.pointwise, PruneSide.OUTPUT_GRAD)
+
+
 def find_pruning_sites(model: Layer) -> list[PruningSite]:
     """Return the pruning sites (conv layer + gradient side) of ``model``.
 
@@ -104,6 +112,8 @@ def find_pruning_sites(model: Layer) -> list[PruningSite]:
         return list(_iter_sequential_sites(model))
     if isinstance(model, ResidualBlock):
         return list(_iter_residual_sites(model))
+    if isinstance(model, DepthwiseSeparableBlock):
+        return list(_iter_depthwise_sites(model))
     if isinstance(model, Conv2D):
         return [PruningSite(model, PruneSide.INPUT_GRAD)]
     # Generic container: recurse into children in order.

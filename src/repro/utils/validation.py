@@ -45,6 +45,24 @@ def check_positive_float(value: float, name: str) -> float:
     return value
 
 
+def check_group_split(
+    channels: int, out_channels: int, groups: int, name: str | None = None
+) -> tuple[int, int]:
+    """Validate a grouped-convolution channel split; returns (C/g, F/g).
+
+    ``name`` (e.g. a layer name) prefixes the error message for context.
+    """
+    prefix = f"{name}: " if name else ""
+    if groups <= 0:
+        raise ValueError(f"{prefix}groups must be positive, got {groups}")
+    if channels % groups or out_channels % groups:
+        raise ValueError(
+            f"{prefix}groups={groups} must divide in_channels={channels} "
+            f"and out_channels={out_channels}"
+        )
+    return channels // groups, out_channels // groups
+
+
 def check_shape(array: np.ndarray, expected: Sequence[int | None], name: str) -> np.ndarray:
     """Validate the shape of ``array``; ``None`` entries are wildcards."""
     if array.ndim != len(expected):

@@ -48,7 +48,7 @@ class TestCommon:
 
     def test_build_reduced_model_rejects_unknown(self):
         with pytest.raises(ValueError):
-            build_reduced_model("VGG", 4, TINY)
+            build_reduced_model("LeNet", 4, TINY)
 
 
 class TestTable1:
@@ -160,6 +160,17 @@ class TestFig8Fig9:
     def test_fig9_format(self, fig8):
         text = run_fig9(fig8_result=fig8).format()
         assert "Energy breakdown" in text
+
+    def test_new_families_end_to_end(self):
+        """VGG/MobileNet: reduced training -> measured densities -> simulation."""
+        result = run_fig8(
+            workloads=(("VGG-16", "CIFAR-10"), ("MobileNetV1", "CIFAR-10")),
+            scale=TINY,
+        )
+        assert set(result.speedups) == {"VGG-16/CIFAR-10", "MobileNetV1/CIFAR-10"}
+        assert all(speedup > 1.0 for speedup in result.speedups.values())
+        fig9 = run_fig9(fig8_result=result)
+        assert all(eff > 1.0 for eff in fig9.efficiencies.values())
 
 
 class TestAblations:

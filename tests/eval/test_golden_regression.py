@@ -1,0 +1,128 @@
+"""Golden regression: tiny-scale Fig. 8 / Fig. 9 headline numbers are pinned.
+
+The fig8/fig9 pipeline is run with *fixed, hand-written* per-family densities
+(no reduced-model training, so the numbers are pure closed-form arithmetic
+and bit-stable across platforms) over one CIFAR workload per model family.
+The resulting speedup, energy-efficiency and latency figures are compared
+against the frozen fixture ``golden_headline.json`` — a cost-model or
+compiler refactor that silently changes any headline number fails here.
+
+Regenerate the fixture after an *intentional* model change with:
+
+    PYTHONPATH=src python tests/eval/test_golden_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dataflow.counts import LayerDensities
+from repro.eval.fig8 import run_fig8
+from repro.eval.fig9 import run_fig9
+from repro.sim.trace import MeasuredDensities
+
+GOLDEN_PATH = Path(__file__).parent / "golden_headline.json"
+
+GOLDEN_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("AlexNet", "CIFAR-10"),
+    ("ResNet-18", "CIFAR-10"),
+    ("VGG-16", "CIFAR-10"),
+    ("MobileNetV1", "CIFAR-10"),
+)
+
+# Hand-written shallow/middle/deep densities per family: plausible magnitudes
+# (activations ~half dense, pruned gradients sparse, deeper layers sparser),
+# chosen once and frozen — their exact values only matter in that they are
+# stable inputs to the pipeline under test.
+_FAMILY_PROFILES: dict[str, tuple[dict, dict, dict]] = {
+    family: (
+        dict(input_density=1.00, grad_output_density=0.30, mask_density=0.55,
+             grad_input_density=0.50, output_density=0.55),
+        dict(input_density=0.55, grad_output_density=0.20, mask_density=0.50,
+             grad_input_density=0.40, output_density=0.50),
+        dict(input_density=0.45, grad_output_density=0.12, mask_density=0.45,
+             grad_input_density=0.30, output_density=0.45),
+    )
+    for family in ("AlexNet", "ResNet", "VGG", "MobileNet")
+}
+
+
+def fixed_measured_densities() -> dict[str, MeasuredDensities]:
+    """Deterministic stand-in for the measured per-family densities."""
+    measured = {}
+    for family, profiles in _FAMILY_PROFILES.items():
+        names = tuple(f"{family.lower()}.layer{i}" for i in range(len(profiles)))
+        measured[family] = MeasuredDensities(
+            layer_names=names,
+            densities={
+                name: LayerDensities(**profile)
+                for name, profile in zip(names, profiles)
+            },
+        )
+    return measured
+
+
+def compute_headline() -> dict[str, dict[str, float]]:
+    """The tiny-scale fig8+fig9 headline numbers this fixture pins."""
+    fig8 = run_fig8(workloads=GOLDEN_WORKLOADS, measured=fixed_measured_densities())
+    fig9 = run_fig9(workloads=GOLDEN_WORKLOADS, fig8_result=fig8)
+    headline: dict[str, dict[str, float]] = {}
+    for workload in fig8.workloads:
+        headline[workload.workload_name] = {
+            "speedup": float(workload.speedup),
+            "energy_efficiency": float(workload.energy_efficiency),
+            "latency_us": float(workload.comparison.sparsetrain.latency_us),
+            "baseline_latency_us": float(workload.comparison.baseline.latency_us),
+            "energy_uj": float(workload.comparison.sparsetrain.energy_uj),
+        }
+    headline["__summary__"] = {
+        "mean_speedup": float(fig8.mean_speedup),
+        "max_speedup": float(fig8.max_speedup),
+        "mean_efficiency": float(fig9.mean_efficiency),
+    }
+    return headline
+
+
+class TestGoldenHeadline:
+    @pytest.fixture(scope="class")
+    def headline(self):
+        return compute_headline()
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        assert GOLDEN_PATH.exists(), (
+            f"{GOLDEN_PATH} missing; regenerate with "
+            "`PYTHONPATH=src python tests/eval/test_golden_regression.py`"
+        )
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_workload_set_is_frozen(self, headline, golden):
+        assert sorted(headline) == sorted(golden)
+
+    @pytest.mark.parametrize(
+        "workload", [f"{m}/{d}" for m, d in GOLDEN_WORKLOADS] + ["__summary__"]
+    )
+    def test_headline_numbers_pinned(self, headline, golden, workload):
+        assert workload in golden, f"fixture missing {workload}"
+        for metric, frozen_value in golden[workload].items():
+            assert headline[workload][metric] == pytest.approx(
+                frozen_value, rel=1e-6
+            ), (
+                f"{workload} {metric} drifted from the golden fixture; if the "
+                "cost-model change is intentional, regenerate the fixture"
+            )
+
+    def test_sparsetrain_always_wins_on_golden_grid(self, headline):
+        for workload, metrics in headline.items():
+            if workload == "__summary__":
+                continue
+            assert metrics["speedup"] > 1.0
+            assert metrics["energy_efficiency"] > 1.0
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(compute_headline(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -39,7 +39,7 @@ class TestSweepCommand:
         assert code == 0
         assert "4 cached, 0 simulated" in out
 
-    def test_default_grid_covers_48_points_two_workloads(self, tmp_path, capsys):
+    def test_default_grid_covers_four_workloads(self, tmp_path, capsys):
         code, out = run_cli(
             [
                 "sweep",
@@ -47,12 +47,45 @@ class TestSweepCommand:
                 "--cache-dir",
                 str(tmp_path),
                 "--pruning-rates",
-                "0.9",  # thin one axis: 4 PEs x 3 buffers x 1 rate x 2 workloads
+                "0.9",  # thin one axis: 4 PEs x 3 buffers x 1 rate x 4 workloads
             ],
             capsys,
         )
         assert code == 0
-        assert "24 points" in out
+        assert "48 points" in out
+        assert "VGG-16/CIFAR-10" in out
+        assert "MobileNetV1/CIFAR-10" in out
+
+    def test_model_flag_overrides_workloads(self, tmp_path, capsys):
+        """Acceptance: `sweep --model mobilenet --dataset cifar10` runs end-to-end."""
+        code, out = run_cli(
+            [
+                "sweep", "--model", "mobilenet", "--dataset", "cifar10",
+                "--smoke", "--serial", "--cache-dir", str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "MobileNetV1/CIFAR-10" in out
+        assert "AlexNet" not in out
+        code, out = run_cli(
+            [
+                "sweep", "--model", "vgg16",
+                "--smoke", "--serial", "--cache-dir", str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "VGG-16/CIFAR-10" in out
+
+    def test_dataset_without_model_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--dataset requires --model"):
+            main(
+                [
+                    "sweep", "--dataset", "imagenet", "--smoke", "--serial",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
 
     def test_export_and_reload(self, tmp_path, capsys):
         out_file = tmp_path / "sweep.json"

@@ -155,7 +155,7 @@ class TestZoo:
 
     def test_get_model_spec_rejects_unknown(self):
         with pytest.raises(ValueError):
-            get_model_spec("VGG-16", "CIFAR-10")
+            get_model_spec("LeNet-5", "CIFAR-10")
         with pytest.raises(ValueError):
             get_model_spec("AlexNet", "MNIST")
         with pytest.raises(ValueError):

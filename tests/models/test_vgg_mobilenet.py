@@ -1,0 +1,142 @@
+"""Tests for the VGG and MobileNetV1 model families (specs + runnable models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.mobilenet import build_mobilenet, mobilenet_spec
+from repro.models.vgg import build_vgg, supported_vgg_depths, vgg_spec
+from repro.models.zoo import extended_workloads, get_model_spec, model_family
+from repro.models.spec import ConvStructure
+from repro.pruning.sites import PruneSide, find_pruning_sites
+
+
+class TestVGGSpec:
+    def test_vgg16_imagenet_matches_reference_parameters(self):
+        spec = vgg_spec(16, "ImageNet")
+        # VGG-16 is famously ~138M parameters.
+        assert spec.total_weights == pytest.approx(138.3e6, rel=0.01)
+        assert spec.num_conv_layers == 13
+        # Five max-pool stages: 224 -> 7 at the last convolution.
+        assert spec.conv_layers[-1].out_height == 14  # pre-pool feature map
+        assert spec.linear_layers[0].in_features == 512 * 7 * 7
+
+    def test_vgg11_has_eight_convs(self):
+        spec = vgg_spec(11, "CIFAR-10")
+        assert spec.num_conv_layers == 8
+        assert spec.name == "VGG-11"
+
+    def test_all_convs_are_conv_relu_3x3(self):
+        spec = vgg_spec(16, "CIFAR-100")
+        assert all(l.structure is ConvStructure.CONV_RELU for l in spec.conv_layers)
+        assert all(l.kernel == 3 and l.stride == 1 and l.padding == 1 for l in spec.conv_layers)
+        assert spec.dataset == "CIFAR-100"
+
+    def test_rejects_unknown_depth_and_dataset(self):
+        with pytest.raises(ValueError, match="unsupported VGG depth"):
+            vgg_spec(13)
+        with pytest.raises(ValueError, match="unknown dataset"):
+            vgg_spec(16, "MNIST")
+        assert supported_vgg_depths() == (11, 16)
+
+
+class TestMobileNetSpec:
+    def test_imagenet_matches_reference_parameters(self):
+        spec = mobilenet_spec("ImageNet")
+        # MobileNetV1 is ~4.2M parameters and ~0.57 GMAC per forward pass.
+        assert spec.total_weights == pytest.approx(4.2e6, rel=0.01)
+        forward_macs = sum(l.forward_macs for l in spec.conv_layers)
+        assert forward_macs == pytest.approx(0.57e9, rel=0.02)
+        # Stem + 13 depthwise/pointwise pairs.
+        assert spec.num_conv_layers == 1 + 13 * 2
+
+    def test_depthwise_layers_are_grouped(self):
+        spec = mobilenet_spec("CIFAR-10")
+        depthwise = [l for l in spec.conv_layers if l.name.endswith(".dw")]
+        pointwise = [l for l in spec.conv_layers if l.name.endswith(".pw")]
+        assert len(depthwise) == len(pointwise) == 13
+        assert all(l.is_depthwise for l in depthwise)
+        assert all(l.groups == 1 and l.kernel == 1 for l in pointwise)
+        assert all(l.structure is ConvStructure.CONV_BN_RELU for l in spec.conv_layers)
+
+    def test_width_multiplier_scales_weights(self):
+        full = mobilenet_spec("ImageNet")
+        half = mobilenet_spec("ImageNet", width_multiplier=0.5)
+        assert half.name == "MobileNetV1-0.5x"
+        assert half.total_weights < full.total_weights / 3
+        with pytest.raises(ValueError):
+            mobilenet_spec("CIFAR-10", width_multiplier=0.0)
+
+    def test_cifar_stem_keeps_stride_one(self):
+        cifar = mobilenet_spec("CIFAR-10")
+        assert cifar.conv_layers[0].stride == 1
+        assert mobilenet_spec("ImageNet").conv_layers[0].stride == 2
+        # Four stride-2 depthwise stages: 32 -> 2 at the classifier.
+        assert cifar.conv_layers[-1].out_height == 2
+
+
+class TestRunnableModels:
+    def test_reduced_vgg_trains_one_step(self, rng):
+        model = build_vgg(num_classes=3, image_size=8, width_scale=0.1, rng=rng)
+        x = rng.normal(size=(4, 3, 8, 8))
+        out = model.forward(x)
+        assert out.shape == (4, 3)
+        grad = model.backward(np.ones_like(out) / out.size)
+        assert grad.shape == x.shape
+
+    def test_reduced_mobilenet_trains_one_step(self, rng):
+        model = build_mobilenet(num_classes=3, image_size=8, width_multiplier=0.2, rng=rng)
+        x = rng.normal(size=(4, 3, 8, 8))
+        out = model.forward(x)
+        assert out.shape == (4, 3)
+        grad = model.backward(np.ones_like(out) / out.size)
+        assert grad.shape == x.shape
+
+    def test_mobilenet_pruning_sites_target_output_grad(self, rng):
+        model = build_mobilenet(num_classes=3, image_size=8, width_multiplier=0.2, rng=rng)
+        sites = find_pruning_sites(model)
+        # Stem conv + (dw, pw) per block, all Conv-BN-ReLU -> prune dO.
+        assert len(sites) == 1 + 2 * 3
+        assert all(site.side is PruneSide.OUTPUT_GRAD for site in sites)
+        names = [site.name for site in sites]
+        assert any(name.endswith(".dw") for name in names)
+        assert any(name.endswith(".pw") for name in names)
+
+    def test_vgg_pruning_sites_target_input_grad(self, rng):
+        model = build_vgg(num_classes=3, image_size=8, width_scale=0.1, rng=rng)
+        sites = find_pruning_sites(model)
+        assert len(sites) == 5  # convs_per_stage = (1, 2, 2)
+        assert all(site.side is PruneSide.INPUT_GRAD for site in sites)
+
+    def test_build_validation(self, rng):
+        with pytest.raises(ValueError):
+            build_vgg(image_size=12, rng=rng)  # not divisible by 2^3
+        with pytest.raises(ValueError):
+            build_mobilenet(image_size=2, rng=rng)  # too small for stride
+        with pytest.raises(ValueError):
+            build_mobilenet(blocks=(), rng=rng)
+
+
+class TestZooIntegration:
+    def test_extended_workloads_cover_new_families(self):
+        workloads = extended_workloads()
+        names = {f"{spec.name}/{spec.dataset}" for spec in workloads}
+        assert "VGG-16/CIFAR-10" in names
+        assert "MobileNetV1/ImageNet" in names
+        assert len(workloads) == 13
+        assert len(extended_workloads(include_imagenet=False)) == 8
+
+    def test_get_model_spec_dispatch(self):
+        assert get_model_spec("vgg11", "cifar10").name == "VGG-11"
+        assert get_model_spec("mobilenet", "imagenet").dataset == "ImageNet"
+        with pytest.raises(ValueError, match="cannot parse VGG depth"):
+            get_model_spec("VGG-abc", "CIFAR-10")
+
+    def test_model_family(self):
+        assert model_family("vgg16") == "VGG"
+        assert model_family("mobilenet_v1") == "MobileNet"
+        assert model_family("resnet152") == "ResNet"
+        assert model_family("alexnet") == "AlexNet"
+        with pytest.raises(ValueError, match="family"):
+            model_family("LeNet-5")

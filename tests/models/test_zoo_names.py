@@ -23,9 +23,26 @@ class TestNormalizeModelName:
     def test_alexnet_variants_canonicalise(self, variant):
         assert normalize_model_name(variant) == "AlexNet"
 
+    @pytest.mark.parametrize(
+        "variant", ["vgg16", "VGG-16", "vgg_16", "VGG 16", " vgg-16 "]
+    )
+    def test_vgg_variants_canonicalise(self, variant):
+        assert normalize_model_name(variant) == "VGG-16"
+
+    def test_vgg11_variant_canonicalises(self):
+        assert normalize_model_name("vgg11") == "VGG-11"
+
+    @pytest.mark.parametrize(
+        "variant",
+        ["mobilenet", "MobileNet", "mobilenet_v1", "MobileNetV1", "mobilenet-v1"],
+    )
+    def test_mobilenet_variants_canonicalise(self, variant):
+        assert normalize_model_name(variant) == "MobileNetV1"
+
     def test_unknown_names_pass_through_stripped(self):
-        assert normalize_model_name(" VGG-16 ") == "VGG-16"
+        assert normalize_model_name(" LeNet-5 ") == "LeNet-5"
         assert normalize_model_name("resnet-abc") == "resnet-abc"
+        assert normalize_model_name("vgg-abc") == "vgg-abc"
 
 
 class TestNormalizeDatasetName:
@@ -58,9 +75,19 @@ class TestGetModelSpec:
             "AlexNet", "ImageNet"
         )
 
+    @pytest.mark.parametrize("model", ["vgg16", "VGG-16", "vgg_16"])
+    def test_vgg_variants_resolve_to_same_spec(self, model):
+        assert get_model_spec(model, "cifar10") == get_model_spec("VGG-16", "CIFAR-10")
+
+    @pytest.mark.parametrize("model", ["mobilenet", "mobilenet_v1", "MobileNetV1"])
+    def test_mobilenet_variants_resolve_to_same_spec(self, model):
+        assert get_model_spec(model, "cifar10") == get_model_spec(
+            "MobileNetV1", "CIFAR-10"
+        )
+
     def test_unknown_model_still_raises(self):
         with pytest.raises(ValueError, match="unknown model"):
-            get_model_spec("VGG-16", "CIFAR-10")
+            get_model_spec("LeNet-5", "CIFAR-10")
 
     def test_malformed_resnet_depth_names_the_model(self):
         with pytest.raises(ValueError, match="cannot parse ResNet depth from 'ResNet-abc'"):

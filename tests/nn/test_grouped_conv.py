@@ -1,0 +1,177 @@
+"""Differential tests: grouped/depthwise Conv2D vs a naive nested-loop reference.
+
+The naive reference below implements grouped convolution (forward, dI, dW,
+db) straight from the definition with explicit Python loops — no im2col, no
+shared code with ``repro.nn.functional`` — and counts every multiply-accumulate
+it performs.  It is the ground truth both for the numerics (tolerance 1e-6)
+and for the exact MAC accounting of
+:class:`~repro.models.spec.ConvLayerSpec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.spec import ConvLayerSpec, ConvStructure
+from repro.nn import functional as F
+from repro.nn.layers.conv import Conv2D
+
+
+def naive_grouped_forward(x, weight, bias, stride, padding, groups):
+    """Definition-level grouped convolution; returns (output, mac_count)."""
+    batch, channels, height, width = x.shape
+    out_channels, group_in, kernel, _ = weight.shape
+    group_out = out_channels // groups
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    out = np.zeros((batch, out_channels, out_h, out_w))
+    macs = 0
+    for n in range(batch):
+        for f in range(out_channels):
+            base = (f // group_out) * group_in
+            for oh in range(out_h):
+                for ow in range(out_w):
+                    acc = 0.0
+                    for c_local in range(group_in):
+                        for ki in range(kernel):
+                            for kj in range(kernel):
+                                acc += (
+                                    x_padded[n, base + c_local, oh * stride + ki, ow * stride + kj]
+                                    * weight[f, c_local, ki, kj]
+                                )
+                                macs += 1
+                    if bias is not None:
+                        acc += bias[f]
+                    out[n, f, oh, ow] = acc
+    return out, macs
+
+
+def naive_grouped_backward(grad_out, x, weight, stride, padding, groups):
+    """Definition-level grouped backward; returns (dI, dW, db)."""
+    batch, channels, height, width = x.shape
+    out_channels, group_in, kernel, _ = weight.shape
+    group_out = out_channels // groups
+    _, _, out_h, out_w = grad_out.shape
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    grad_x_padded = np.zeros_like(x_padded)
+    grad_weight = np.zeros_like(weight)
+    grad_bias = np.zeros(out_channels)
+    for n in range(batch):
+        for f in range(out_channels):
+            base = (f // group_out) * group_in
+            for oh in range(out_h):
+                for ow in range(out_w):
+                    g = grad_out[n, f, oh, ow]
+                    grad_bias[f] += g
+                    for c_local in range(group_in):
+                        for ki in range(kernel):
+                            for kj in range(kernel):
+                                ih, iw = oh * stride + ki, ow * stride + kj
+                                grad_weight[f, c_local, ki, kj] += g * x_padded[n, base + c_local, ih, iw]
+                                grad_x_padded[n, base + c_local, ih, iw] += g * weight[f, c_local, ki, kj]
+    if padding:
+        grad_x = grad_x_padded[:, :, padding:-padding, padding:-padding]
+    else:
+        grad_x = grad_x_padded
+    return grad_x, grad_weight, grad_bias
+
+
+# (in_channels, out_channels, groups): g = 1, g = 2 and g = C (depthwise).
+GROUPINGS = [(4, 6, 1), (4, 6, 2), (4, 4, 4)]
+GEOMETRIES = [(1, 0, 5), (1, 1, 6), (2, 1, 7)]  # (stride, padding, in_size)
+
+
+class TestGroupedConvDifferential:
+    @pytest.mark.parametrize("in_channels,out_channels,groups", GROUPINGS)
+    @pytest.mark.parametrize("stride,padding,in_size", GEOMETRIES)
+    def test_forward_matches_naive(
+        self, rng, in_channels, out_channels, groups, stride, padding, in_size
+    ):
+        x = rng.normal(size=(2, in_channels, in_size, in_size))
+        conv = Conv2D(
+            in_channels, out_channels, 3, stride=stride, padding=padding,
+            groups=groups, rng=rng, name="diff",
+        )
+        out = conv.forward(x)
+        expected, _ = naive_grouped_forward(
+            x, conv.weight.data, conv.bias.data, stride, padding, groups
+        )
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    @pytest.mark.parametrize("in_channels,out_channels,groups", GROUPINGS)
+    @pytest.mark.parametrize("stride,padding,in_size", GEOMETRIES)
+    def test_backward_matches_naive(
+        self, rng, in_channels, out_channels, groups, stride, padding, in_size
+    ):
+        x = rng.normal(size=(2, in_channels, in_size, in_size))
+        conv = Conv2D(
+            in_channels, out_channels, 3, stride=stride, padding=padding,
+            groups=groups, rng=rng, name="diff",
+        )
+        out = conv.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = conv.backward(grad_out)
+        expected_di, expected_dw, expected_db = naive_grouped_backward(
+            grad_out, x, conv.weight.data, stride, padding, groups
+        )
+        np.testing.assert_allclose(grad_in, expected_di, atol=1e-6)
+        np.testing.assert_allclose(conv.weight.grad, expected_dw, atol=1e-6)
+        np.testing.assert_allclose(conv.bias.grad, expected_db, atol=1e-6)
+
+    @pytest.mark.parametrize("in_channels,out_channels,groups", GROUPINGS)
+    def test_spec_mac_count_matches_naive_exactly(
+        self, rng, in_channels, out_channels, groups
+    ):
+        """Acceptance: grouped MAC counts equal the naive reference's count."""
+        x = rng.normal(size=(1, in_channels, 6, 6))
+        conv = Conv2D(in_channels, out_channels, 3, padding=1, groups=groups, rng=rng)
+        _, macs = naive_grouped_forward(
+            x, conv.weight.data, None, 1, 1, groups
+        )
+        spec = ConvLayerSpec(
+            "diff", in_channels, out_channels, 3, 1, 1, 6, 6,
+            ConvStructure.CONV_RELU, groups=groups,
+        )
+        assert spec.forward_macs == macs
+        assert spec.weight_count == conv.weight.data.size
+
+    def test_depthwise_gradcheck(self, rng, num_grad):
+        """Numerical gradient check of a depthwise convolution."""
+        x = rng.normal(size=(1, 3, 5, 5))
+        conv = Conv2D(3, 3, 3, padding=1, groups=3, rng=rng, name="dw")
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2.0)
+
+        out = conv.forward(x)
+        conv.backward(out)  # dL/dout = out for the 0.5*sum(out^2) loss
+        numeric = num_grad(loss, conv.weight.data)
+        np.testing.assert_allclose(conv.weight.grad, numeric, atol=1e-5)
+
+
+class TestGroupedConvValidation:
+    def test_rejects_indivisible_groups(self, rng):
+        with pytest.raises(ValueError, match="groups"):
+            Conv2D(4, 6, 3, groups=3, rng=rng)
+        with pytest.raises(ValueError, match="groups"):
+            Conv2D(6, 4, 3, groups=3, rng=rng)
+
+    def test_grouped_weight_shape_and_fan_in(self, rng):
+        conv = Conv2D(8, 8, 3, groups=8, rng=rng)
+        assert conv.weight.data.shape == (8, 1, 3, 3)
+        # Depthwise fan-in is K*K (not C*K*K), so the Kaiming std must grow
+        # relative to the ungrouped layer's sqrt(2 / (C*K*K)).
+        dense = Conv2D(8, 8, 3, groups=1, rng=np.random.default_rng(0))
+        assert conv.weight.data.std() > dense.weight.data.std()
+        expected_std = np.sqrt(2.0 / 9.0)
+        assert conv.weight.data.std() == pytest.approx(expected_std, rel=0.25)
+
+    def test_functional_rejects_wrong_channel_count(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        weight = rng.normal(size=(6, 1, 3, 3))  # expects 2 channels/group * 3 groups
+        with pytest.raises(ValueError):
+            F.conv2d_forward(x, weight, None, 1, 1, groups=3)

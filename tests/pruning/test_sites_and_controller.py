@@ -8,7 +8,14 @@ import pytest
 from repro.models.alexnet import build_alexnet
 from repro.models.resnet import build_resnet
 from repro.nn import SGD, Trainer
-from repro.nn.layers import BatchNorm2D, Conv2D, MaxPool2D, ReLU, Sequential
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseSeparableBlock,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
 from repro.pruning import (
     PruneSide,
     PruningConfig,
@@ -60,6 +67,28 @@ class TestFindPruningSites:
         conv = Conv2D(3, 4, 3, rng=rng)
         sites = find_pruning_sites(conv)
         assert len(sites) == 1 and sites[0].layer is conv
+
+    def test_depthwise_separable_block_prunes_output_gradients(self, rng):
+        block = DepthwiseSeparableBlock(4, 8, rng=rng, name="dsb")
+        sites = find_pruning_sites(block)
+        # Depthwise conv (grouped weight tensor) and pointwise conv both sit
+        # in Conv-BN-ReLU structures -> both prune dO.
+        assert [site.name for site in sites] == ["dsb.dw", "dsb.pw"]
+        assert all(site.side is PruneSide.OUTPUT_GRAD for site in sites)
+        assert sites[0].layer.groups == 4
+        assert sites[0].layer.weight.data.shape == (4, 1, 3, 3)
+
+    def test_depthwise_block_inside_sequential(self, rng):
+        model = Sequential(
+            [
+                Conv2D(3, 4, 3, rng=rng, name="stem"),
+                ReLU(),
+                DepthwiseSeparableBlock(4, 8, rng=rng, name="dsb"),
+            ]
+        )
+        sites = find_pruning_sites(model)
+        assert [site.name for site in sites] == ["stem", "dsb.dw", "dsb.pw"]
+        assert sites[0].side is PruneSide.INPUT_GRAD
 
 
 class TestLayerPruner:
