@@ -39,13 +39,14 @@ class ScheduleResult:
 class Controller:
     """Schedules row operations over the PE groups of one accelerator."""
 
-    def __init__(self, config: ArchConfig) -> None:
+    def __init__(self, config: ArchConfig, backend: str = "vector") -> None:
         self.config = config
         self.groups = [
             PEGroup(
                 num_pes=config.pes_per_group,
                 zero_skipping=config.sparse_dataflow,
                 amortize_weight_load=config.weight_reload_overhead == 0.0,
+                backend=backend,
             )
             for _ in range(config.num_groups)
         ]
@@ -63,6 +64,30 @@ class Controller:
         load-balances internally across its PEs.  Result order matches input
         order so the caller can reassemble feature maps.
         """
+        return self._run(ops, apply_relu, accumulate_gradients, batched=False)
+
+    def run_batch(
+        self,
+        ops: list[RowOp],
+        apply_relu: bool = False,
+        accumulate_gradients: bool = False,
+    ) -> ScheduleResult:
+        """Batched equivalent of :meth:`run_ops` (identical results and stats).
+
+        Every group executes its share through the pooled vector kernels
+        (:meth:`PEGroup.run_batch`), so one layer-step of row operations
+        costs a handful of numpy calls per group instead of a Python loop
+        per operation.
+        """
+        return self._run(ops, apply_relu, accumulate_gradients, batched=True)
+
+    def _run(
+        self,
+        ops: list[RowOp],
+        apply_relu: bool,
+        accumulate_gradients: bool,
+        batched: bool,
+    ) -> ScheduleResult:
         if not ops:
             return ScheduleResult(results=[], stats=PEOpStats.zero(), cycles=0, per_group_cycles=[])
 
@@ -78,7 +103,8 @@ class Controller:
             if not indices:
                 per_group_cycles.append(0)
                 continue
-            group_result = group.run_ops(
+            execute = group.run_batch if batched else group.run_ops
+            group_result = execute(
                 [ops[i] for i in indices],
                 apply_relu=apply_relu,
                 accumulate_gradients=accumulate_gradients,

@@ -12,20 +12,41 @@ masked off — the look-ahead logic means skipped operands cost no stall cycles.
 the dataflow can be validated end-to-end against the dense reference
 convolution) and the event counts (cycles, MACs, register accesses) that the
 performance/energy model consumes.
+
+Two execution backends produce **bit-identical** results and stats:
+
+* ``backend="vector"`` (default) — the pooled numpy scatter/gather kernels of
+  :mod:`repro.arch.kernels`; orders of magnitude faster, used everywhere.
+* ``backend="scalar"`` — the original per-operand Python loops, kept as the
+  executable specification for differential testing
+  (``tests/arch/test_pe_parity.py``).
+
+``PE.run_batch`` (and the matching APIs on
+:class:`~repro.arch.pe_group.PEGroup` and
+:class:`~repro.arch.controller.Controller`) executes a whole layer-step of
+row operations through the pooled kernels in a handful of numpy calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from itertools import starmap
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
+from repro.arch import kernels as _kernels
 from repro.dataflow.ops import MSRCOp, OSRCOp, RowOp, SRCOp
 
+PE_BACKENDS = ("vector", "scalar")
 
-@dataclass(frozen=True)
-class PEOpStats:
-    """Event counts of one row operation executed on one PE."""
+
+class PEOpStats(NamedTuple):
+    """Event counts of one row operation executed on one PE.
+
+    A NamedTuple rather than a dataclass: the vectorized engine materialises
+    one instance per row operation (thousands per layer-step), and tuple
+    construction is an order of magnitude cheaper.
+    """
 
     cycles: int
     macs: int
@@ -34,7 +55,7 @@ class PEOpStats:
     weight_loads: int
     reg_accesses: int
 
-    def __add__(self, other: "PEOpStats") -> "PEOpStats":
+    def __add__(self, other: "PEOpStats") -> "PEOpStats":  # type: ignore[override]
         return PEOpStats(
             cycles=self.cycles + other.cycles,
             macs=self.macs + other.macs,
@@ -47,6 +68,74 @@ class PEOpStats:
     @classmethod
     def zero(cls) -> "PEOpStats":
         return cls(0, 0, 0, 0, 0, 0)
+
+
+def stats_from_arrays(arrays: _kernels.StatArrays) -> list[PEOpStats]:
+    """Wrap the kernels' per-op stat arrays into one PEOpStats per op.
+
+    ``tolist`` converts each column to plain Python ints in one C call; the
+    field order of ``STAT_KEYS`` matches the PEOpStats fields.
+    """
+    columns = (arrays[key].tolist() for key in _kernels.STAT_KEYS)
+    return list(starmap(PEOpStats, zip(*columns)))
+
+
+def stats_total(
+    arrays: _kernels.StatArrays, mask: np.ndarray | None = None
+) -> PEOpStats:
+    """Sum the kernels' per-op stat arrays into one aggregate PEOpStats.
+
+    ``mask`` restricts the sum to a boolean subset of the ops (used to
+    attribute totals to individual PEs after scheduling).
+    """
+    if mask is None:
+        return PEOpStats(*(int(arrays[key].sum()) for key in _kernels.STAT_KEYS))
+    return PEOpStats(*(int(arrays[key][mask].sum()) for key in _kernels.STAT_KEYS))
+
+
+def _arrays_from_stats(stats: Sequence[PEOpStats]) -> _kernels.StatArrays:
+    """Column-wise (SoA) view of a list of per-op stats."""
+    matrix = np.asarray(stats, dtype=np.int64).reshape(len(stats), len(_kernels.STAT_KEYS))
+    return {key: matrix[:, index] for index, key in enumerate(_kernels.STAT_KEYS)}
+
+
+def execute_ops_arrays(
+    ops: Sequence[RowOp],
+    zero_skipping: bool = True,
+    amortize_weight_load: bool = False,
+    backend: str = "vector",
+) -> tuple[list[np.ndarray], _kernels.StatArrays]:
+    """Stateless batch execution returning event counts in SoA form.
+
+    This is the engine's native interface — per-op results plus one int64
+    array per :class:`PEOpStats` field — and the shared primitive behind
+    ``PE.run_batch``, ``PEGroup.run_batch`` and ``Controller.run_batch``.
+    It touches no PE's accumulated totals, so callers can attribute the
+    stats to whichever PE the schedule assigns.  Use :func:`execute_ops`
+    when per-op ``PEOpStats`` objects are more convenient than arrays.
+    """
+    if backend not in PE_BACKENDS:
+        raise ValueError(f"unknown PE backend {backend!r}; expected one of {PE_BACKENDS}")
+    ops = list(ops)
+    if not ops:
+        return [], _kernels.execute_batch([], zero_skipping, amortize_weight_load)[1]
+    if backend == "scalar":
+        results, stats = _run_scalar_batch(ops, zero_skipping, amortize_weight_load)
+        return results, _arrays_from_stats(stats)
+    return _kernels.execute_batch(ops, zero_skipping, amortize_weight_load)
+
+
+def execute_ops(
+    ops: Sequence[RowOp],
+    zero_skipping: bool = True,
+    amortize_weight_load: bool = False,
+    backend: str = "vector",
+) -> tuple[list[np.ndarray], list[PEOpStats]]:
+    """Stateless batch execution returning one :class:`PEOpStats` per op."""
+    if backend == "scalar":
+        return _run_scalar_batch(ops, zero_skipping, amortize_weight_load)
+    results, arrays = execute_ops_arrays(ops, zero_skipping, amortize_weight_load, backend)
+    return results, stats_from_arrays(arrays)
 
 
 class PE:
@@ -63,11 +152,25 @@ class PE:
         previous operation's drain (the controller schedules row operations
         that reuse the same kernel row back to back), so they do not add
         cycles; they are still counted as register loads for energy.
+    backend:
+        ``"vector"`` (default) executes through the pooled numpy kernels;
+        ``"scalar"`` through the original per-operand Python loops.  Both
+        produce bit-identical values and stats.
     """
 
-    def __init__(self, zero_skipping: bool = True, amortize_weight_load: bool = False) -> None:
+    def __init__(
+        self,
+        zero_skipping: bool = True,
+        amortize_weight_load: bool = False,
+        backend: str = "vector",
+    ) -> None:
+        if backend not in PE_BACKENDS:
+            raise ValueError(
+                f"unknown PE backend {backend!r}; expected one of {PE_BACKENDS}"
+            )
         self.zero_skipping = zero_skipping
         self.amortize_weight_load = amortize_weight_load
+        self.backend = backend
         self.total_stats = PEOpStats.zero()
 
     # ------------------------------------------------------------------
@@ -75,184 +178,259 @@ class PE:
     # ------------------------------------------------------------------
     def run(self, op: RowOp) -> tuple[np.ndarray, PEOpStats]:
         """Execute one row operation; returns (result, stats)."""
-        if isinstance(op, SRCOp):
-            result, stats = self.run_src(op)
-        elif isinstance(op, MSRCOp):
-            result, stats = self.run_msrc(op)
-        elif isinstance(op, OSRCOp):
-            result, stats = self.run_osrc(op)
-        else:  # pragma: no cover - defensive
+        if not isinstance(op, (SRCOp, MSRCOp, OSRCOp)):
             raise TypeError(f"unsupported op type {type(op).__name__}")
+        if self.backend == "scalar":
+            result, stats = _run_scalar(op, self.zero_skipping, self.amortize_weight_load)
+        else:
+            results, stats_list = execute_ops(
+                [op], self.zero_skipping, self.amortize_weight_load, self.backend
+            )
+            result, stats = results[0], stats_list[0]
         self.total_stats = self.total_stats + stats
         return result, stats
 
-    # ------------------------------------------------------------------
-    # SRC — Forward step
-    # ------------------------------------------------------------------
+    def run_batch(
+        self, ops: Sequence[RowOp]
+    ) -> tuple[list[np.ndarray], list[PEOpStats]]:
+        """Execute a batch of row operations with pooled kernels.
+
+        Equivalent to ``[self.run(op) for op in ops]`` — same results, same
+        per-op stats, same ``total_stats`` accumulation — but the vector
+        backend executes the whole batch in a handful of numpy calls.
+        """
+        results, stats_list = execute_ops(
+            ops, self.zero_skipping, self.amortize_weight_load, self.backend
+        )
+        for stats in stats_list:
+            self.total_stats = self.total_stats + stats
+        return results, stats_list
+
+    # Per-type entry points, kept for API compatibility and targeted tests.
     def run_src(self, op: SRCOp) -> tuple[np.ndarray, PEOpStats]:
         """Sparse Row Convolution: dense kernel row x sparse input row."""
-        kernel = op.kernel_row
-        kernel_size = kernel.size
-        out = np.zeros(op.out_len, dtype=np.float64)
-
-        if self.zero_skipping:
-            positions = op.input_row.offsets
-            values = op.input_row.values
-        else:
-            dense = op.input_row.to_dense()
-            positions = np.arange(dense.size)
-            values = dense
-
-        processed = 0
-        macs = 0
-        for position, value in zip(positions, values):
-            processed += 1
-            macs += kernel_size
-            if value == 0.0:
-                continue
-            for k in range(kernel_size):
-                remainder = position - k
-                if remainder < 0:
-                    continue
-                if op.stride > 1 and remainder % op.stride != 0:
-                    continue
-                ow = remainder // op.stride
-                if 0 <= ow < op.out_len:
-                    out[ow] += value * kernel[k]
-
-        weight_loads = kernel_size
-        load_cycles = 0 if self.amortize_weight_load else kernel_size
-        cycles = load_cycles + processed
-        reg_accesses = 2 * macs + processed + weight_loads
-        stats = PEOpStats(
-            cycles=cycles,
-            macs=macs,
-            processed_operands=processed,
-            skipped_operands=int(op.input_row.length - processed)
-            if self.zero_skipping
-            else 0,
-            weight_loads=weight_loads,
-            reg_accesses=reg_accesses,
+        if self.backend == "scalar":
+            return _scalar_src(op, self.zero_skipping, self.amortize_weight_load)
+        results, stats = execute_ops(
+            [op], self.zero_skipping, self.amortize_weight_load, self.backend
         )
-        return out, stats
+        return results[0], stats[0]
 
-    # ------------------------------------------------------------------
-    # MSRC — GTA step
-    # ------------------------------------------------------------------
     def run_msrc(self, op: MSRCOp) -> tuple[np.ndarray, PEOpStats]:
         """Masked Sparse Row Convolution: scatter dO into masked dI positions."""
-        kernel = op.kernel_row
-        kernel_size = kernel.size
-        out = np.zeros(op.out_len, dtype=np.float64)
-        mask = op.output_mask
-
-        if self.zero_skipping:
-            positions = op.grad_row.offsets
-            values = op.grad_row.values
-        else:
-            dense = op.grad_row.to_dense()
-            positions = np.arange(dense.size)
-            values = dense
-
-        processed = 0
-        skipped = 0
-        macs = 0
-        for position, value in zip(positions, values):
-            start = position * op.stride
-            targets = [
-                start + k
-                for k in range(kernel_size)
-                if start + k < op.out_len and mask[start + k]
-            ]
-            if self.zero_skipping and not targets:
-                # Every output this operand would touch is masked off: the
-                # look-ahead logic skips it without spending a cycle.
-                skipped += 1
-                continue
-            processed += 1
-            if not self.zero_skipping:
-                targets = [start + k for k in range(kernel_size) if start + k < op.out_len]
-            macs += len(targets)
-            if value != 0.0:
-                for target in targets:
-                    out[target] += value * kernel[target - start]
-
-        if not self.zero_skipping:
-            # The dense baseline has no mask either: it computes every position
-            # and lets the ReLU backward zero them later.
-            out_unmasked = out
-        else:
-            out_unmasked = out * mask
-
-        weight_loads = kernel_size
-        load_cycles = 0 if self.amortize_weight_load else kernel_size
-        cycles = load_cycles + processed
-        reg_accesses = 2 * macs + processed + weight_loads
-        stats = PEOpStats(
-            cycles=cycles,
-            macs=macs,
-            processed_operands=processed,
-            skipped_operands=skipped
-            + (int(op.grad_row.length - op.grad_row.nnz) if self.zero_skipping else 0),
-            weight_loads=weight_loads,
-            reg_accesses=reg_accesses,
+        if self.backend == "scalar":
+            return _scalar_msrc(op, self.zero_skipping, self.amortize_weight_load)
+        results, stats = execute_ops(
+            [op], self.zero_skipping, self.amortize_weight_load, self.backend
         )
-        return out_unmasked, stats
+        return results[0], stats[0]
 
-    # ------------------------------------------------------------------
-    # OSRC — GTW step
-    # ------------------------------------------------------------------
     def run_osrc(self, op: OSRCOp) -> tuple[np.ndarray, PEOpStats]:
         """Output Store Row Convolution: two sparse rows, K-element result."""
-        kernel_size = op.kernel_size
-        dw = np.zeros(kernel_size, dtype=np.float64)
-        grad_dense = op.grad_row.to_dense()
-        grad_nnz_positions = set(op.grad_row.offsets.tolist())
-
-        if self.zero_skipping:
-            positions = op.input_row.offsets
-            values = op.input_row.values
-        else:
-            dense = op.input_row.to_dense()
-            positions = np.arange(dense.size)
-            values = dense
-
-        processed = 0
-        skipped = 0
-        macs = 0
-        for position, value in zip(positions, values):
-            # Pairings: dw[kw] needs input[ow*stride + kw] * grad[ow].
-            pairings = []
-            for kw in range(kernel_size):
-                remainder = position - kw
-                if remainder < 0:
-                    continue
-                if op.stride > 1 and remainder % op.stride != 0:
-                    continue
-                ow = remainder // op.stride
-                if ow >= op.grad_row.length:
-                    continue
-                if self.zero_skipping and ow not in grad_nnz_positions:
-                    continue
-                pairings.append((kw, ow))
-            if self.zero_skipping and not pairings:
-                skipped += 1
-                continue
-            processed += 1
-            macs += len(pairings)
-            if value != 0.0:
-                for kw, ow in pairings:
-                    dw[kw] += value * grad_dense[ow]
-
-        cycles = processed
-        reg_accesses = 2 * macs + processed + op.grad_row.nnz
-        stats = PEOpStats(
-            cycles=cycles,
-            macs=macs,
-            processed_operands=processed,
-            skipped_operands=skipped
-            + (int(op.input_row.length - op.input_row.nnz) if self.zero_skipping else 0),
-            weight_loads=0,
-            reg_accesses=reg_accesses,
+        if self.backend == "scalar":
+            return _scalar_osrc(op, self.zero_skipping, self.amortize_weight_load)
+        results, stats = execute_ops(
+            [op], self.zero_skipping, self.amortize_weight_load, self.backend
         )
-        return dw, stats
+        return results[0], stats[0]
+
+
+# ---------------------------------------------------------------------------
+# Scalar backend — the executable specification of the PE semantics
+# ---------------------------------------------------------------------------
+
+def _run_scalar_batch(
+    ops: Sequence[RowOp], zero_skipping: bool, amortize_weight_load: bool
+) -> tuple[list[np.ndarray], list[PEOpStats]]:
+    results: list[np.ndarray] = []
+    stats: list[PEOpStats] = []
+    for op in ops:
+        result, op_stats = _run_scalar(op, zero_skipping, amortize_weight_load)
+        results.append(result)
+        stats.append(op_stats)
+    return results, stats
+
+
+def _run_scalar(
+    op: RowOp, zero_skipping: bool, amortize_weight_load: bool
+) -> tuple[np.ndarray, PEOpStats]:
+    if isinstance(op, SRCOp):
+        return _scalar_src(op, zero_skipping, amortize_weight_load)
+    if isinstance(op, MSRCOp):
+        return _scalar_msrc(op, zero_skipping, amortize_weight_load)
+    if isinstance(op, OSRCOp):
+        return _scalar_osrc(op, zero_skipping, amortize_weight_load)
+    raise TypeError(f"unsupported op type {type(op).__name__}")  # pragma: no cover
+
+
+def _scalar_src(
+    op: SRCOp, zero_skipping: bool, amortize_weight_load: bool
+) -> tuple[np.ndarray, PEOpStats]:
+    """SRC — Forward step."""
+    kernel = op.kernel_row
+    kernel_size = kernel.size
+    out = np.zeros(op.out_len, dtype=np.float64)
+
+    if zero_skipping:
+        positions = op.input_row.offsets
+        values = op.input_row.values
+    else:
+        dense = op.input_row.to_dense()
+        positions = np.arange(dense.size)
+        values = dense
+
+    processed = 0
+    macs = 0
+    for position, value in zip(positions, values):
+        processed += 1
+        macs += kernel_size
+        if value == 0.0:
+            continue
+        for k in range(kernel_size):
+            remainder = position - k
+            if remainder < 0:
+                continue
+            if op.stride > 1 and remainder % op.stride != 0:
+                continue
+            ow = remainder // op.stride
+            if 0 <= ow < op.out_len:
+                out[ow] += value * kernel[k]
+
+    weight_loads = kernel_size
+    load_cycles = 0 if amortize_weight_load else kernel_size
+    cycles = load_cycles + processed
+    reg_accesses = 2 * macs + processed + weight_loads
+    stats = PEOpStats(
+        cycles=cycles,
+        macs=macs,
+        processed_operands=processed,
+        skipped_operands=int(op.input_row.length - processed) if zero_skipping else 0,
+        weight_loads=weight_loads,
+        reg_accesses=reg_accesses,
+    )
+    return out, stats
+
+
+def _scalar_msrc(
+    op: MSRCOp, zero_skipping: bool, amortize_weight_load: bool
+) -> tuple[np.ndarray, PEOpStats]:
+    """MSRC — GTA step."""
+    kernel = op.kernel_row
+    kernel_size = kernel.size
+    out = np.zeros(op.out_len, dtype=np.float64)
+    mask = op.output_mask
+
+    if zero_skipping:
+        positions = op.grad_row.offsets
+        values = op.grad_row.values
+    else:
+        dense = op.grad_row.to_dense()
+        positions = np.arange(dense.size)
+        values = dense
+
+    processed = 0
+    skipped = 0
+    macs = 0
+    for position, value in zip(positions, values):
+        start = position * op.stride
+        targets = [
+            start + k
+            for k in range(kernel_size)
+            if start + k < op.out_len and mask[start + k]
+        ]
+        if zero_skipping and not targets:
+            # Every output this operand would touch is masked off: the
+            # look-ahead logic skips it without spending a cycle.
+            skipped += 1
+            continue
+        processed += 1
+        if not zero_skipping:
+            targets = [start + k for k in range(kernel_size) if start + k < op.out_len]
+        macs += len(targets)
+        if value != 0.0:
+            for target in targets:
+                out[target] += value * kernel[target - start]
+
+    if not zero_skipping:
+        # The dense baseline has no mask either: it computes every position
+        # and lets the ReLU backward zero them later.
+        out_unmasked = out
+    else:
+        out_unmasked = out * mask
+
+    weight_loads = kernel_size
+    load_cycles = 0 if amortize_weight_load else kernel_size
+    cycles = load_cycles + processed
+    reg_accesses = 2 * macs + processed + weight_loads
+    stats = PEOpStats(
+        cycles=cycles,
+        macs=macs,
+        processed_operands=processed,
+        skipped_operands=skipped
+        + (int(op.grad_row.length - op.grad_row.nnz) if zero_skipping else 0),
+        weight_loads=weight_loads,
+        reg_accesses=reg_accesses,
+    )
+    return out_unmasked, stats
+
+
+def _scalar_osrc(
+    op: OSRCOp, zero_skipping: bool, amortize_weight_load: bool
+) -> tuple[np.ndarray, PEOpStats]:
+    """OSRC — GTW step."""
+    del amortize_weight_load  # OSRC loads no kernel row
+    kernel_size = op.kernel_size
+    dw = np.zeros(kernel_size, dtype=np.float64)
+    grad_dense = op.grad_row.to_dense()
+    # Boolean membership array instead of a per-op Python set: O(1) numpy
+    # lookups and no per-op ``set(offsets.tolist())`` rebuild.
+    grad_nonzero = np.zeros(op.grad_row.length, dtype=bool)
+    grad_nonzero[op.grad_row.offsets] = True
+
+    if zero_skipping:
+        positions = op.input_row.offsets
+        values = op.input_row.values
+    else:
+        dense = op.input_row.to_dense()
+        positions = np.arange(dense.size)
+        values = dense
+
+    processed = 0
+    skipped = 0
+    macs = 0
+    for position, value in zip(positions, values):
+        # Pairings: dw[kw] needs input[ow*stride + kw] * grad[ow].
+        pairings = []
+        for kw in range(kernel_size):
+            remainder = position - kw
+            if remainder < 0:
+                continue
+            if op.stride > 1 and remainder % op.stride != 0:
+                continue
+            ow = remainder // op.stride
+            if ow >= op.grad_row.length:
+                continue
+            if zero_skipping and not grad_nonzero[ow]:
+                continue
+            pairings.append((kw, ow))
+        if zero_skipping and not pairings:
+            skipped += 1
+            continue
+        processed += 1
+        macs += len(pairings)
+        if value != 0.0:
+            for kw, ow in pairings:
+                dw[kw] += value * grad_dense[ow]
+
+    cycles = processed
+    reg_accesses = 2 * macs + processed + op.grad_row.nnz
+    stats = PEOpStats(
+        cycles=cycles,
+        macs=macs,
+        processed_operands=processed,
+        skipped_operands=skipped
+        + (int(op.input_row.length - op.input_row.nnz) if zero_skipping else 0),
+        weight_loads=0,
+        reg_accesses=reg_accesses,
+    )
+    return dw, stats

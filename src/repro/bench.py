@@ -1,0 +1,284 @@
+"""``python -m repro bench`` — the staged performance benchmark.
+
+Times the stages of the evaluation pipeline — reduced-model *training*
+(density measurement), program *compilation*, workload *simulation* and the
+row-operation *validation* path — and writes the measurements to
+``BENCH_repro.json``, seeding the repository's performance trajectory.
+
+The row-op validation stage doubles as the equivalence benchmark for the
+vectorized execution engine: it decomposes one convolution layer into its
+full SRC/MSRC/OSRC operation set, executes it on both PE backends, asserts
+bit-identical values and event counts, and reports the scalar/vector speedup
+(the acceptance bar is >= 10x).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.arch.pe import execute_ops, execute_ops_arrays, stats_from_arrays
+from repro.dataflow.compiler import compile_training_iteration
+from repro.dataflow.decompose import (
+    accumulate_forward,
+    accumulate_gta,
+    accumulate_gtw,
+    decompose_forward,
+    decompose_gta,
+    decompose_gtw,
+)
+from repro.dataflow.reference import forward_by_rows, gta_by_rows, gtw_by_rows
+from repro.eval.common import ExperimentScale
+from repro.eval.density_cache import density_cache_key
+from repro.eval.fig8 import (
+    FAMILY_REFERENCE_MODELS,
+    densities_for_workload,
+    measure_family_densities,
+)
+from repro.explore.cache import ResultCache
+from repro.models.spec import ConvLayerSpec, ConvStructure
+from repro.models.zoo import get_model_spec, model_family
+from repro.sim.runner import compare_workload
+
+DEFAULT_BENCH_PATH = "BENCH_repro.json"
+
+# The workload every bench run times (small enough to train in seconds,
+# representative of the Conv-ReLU family the paper leads with).
+BENCH_WORKLOAD: tuple[tuple[str, str], ...] = (("AlexNet", "CIFAR-10"),)
+
+# Scales: ``--smoke`` finishes in well under a minute on CI; the default run
+# matches the quick experiment scale used by the benchmark suite.
+SMOKE_SCALE = ExperimentScale(num_samples=96, epochs=1)
+FULL_SCALE = ExperimentScale.quick()
+
+
+def _rowop_layer(smoke: bool) -> ConvLayerSpec:
+    """The convolution layer the row-op validation stage decomposes.
+
+    The full-scale layer exercises the large-kernel geometry class of the
+    paper's workloads (AlexNet's 5x5/11x11 convolutions, ResNet's 7x7 stem)
+    at reduced channel counts and unit stride — the densest row-pairing
+    pattern — so the scalar reference pass stays affordable while every
+    operand still pairs with K kernel taps.
+    """
+    if smoke:
+        return ConvLayerSpec(
+            name="bench_conv_smoke",
+            in_channels=4,
+            out_channels=8,
+            kernel=3,
+            stride=1,
+            padding=1,
+            in_height=12,
+            in_width=12,
+            structure=ConvStructure.CONV_RELU,
+        )
+    return ConvLayerSpec(
+        name="bench_conv",
+        in_channels=6,
+        out_channels=12,
+        kernel=7,
+        stride=1,
+        padding=3,
+        in_height=24,
+        in_width=24,
+        structure=ConvStructure.CONV_RELU,
+    )
+
+
+@dataclass
+class BenchResult:
+    """All stage timings of one ``repro bench`` run."""
+
+    smoke: bool
+    stages: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def rowop_speedup(self) -> float:
+        return float(self.stages["rowop_validate"]["speedup"])
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": 1,
+            "bench": "repro",
+            "smoke": self.smoke,
+            "workload": "/".join(BENCH_WORKLOAD[0]),
+            "created_unix": time.time(),
+            "stages": self.stages,
+            "rowop_speedup": self.rowop_speedup,
+        }
+
+    def format(self) -> str:
+        lines = [f"{'stage':<16} {'seconds':>10}  notes"]
+        for name, stage in self.stages.items():
+            notes = ", ".join(
+                f"{key}={value:.3g}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in stage.items()
+                if key != "seconds"
+            )
+            lines.append(f"{name:<16} {stage['seconds']:>10.3f}  {notes}")
+        lines.append(f"row-op scalar/vector speedup: {self.rowop_speedup:.1f}x")
+        return "\n".join(lines)
+
+
+def _bench_rowops(smoke: bool, seed: int = 7) -> dict[str, Any]:
+    """Time and cross-validate both PE backends on one decomposed layer."""
+    layer = _rowop_layer(smoke)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(layer.in_channels, layer.in_height, layer.in_width))
+    x *= rng.random(x.shape) < 0.5
+    weight = rng.normal(
+        size=(layer.out_channels, layer.in_channels, layer.kernel, layer.kernel)
+    )
+    grad_out = rng.normal(size=(layer.out_channels, layer.out_height, layer.out_width))
+    grad_out *= rng.random(grad_out.shape) < 0.3
+    mask = rng.random((layer.in_channels, layer.in_height, layer.in_width)) < 0.5
+
+    ops = (
+        decompose_forward(layer, x, weight)
+        + decompose_gta(layer, grad_out, weight, mask)
+        + decompose_gtw(layer, grad_out, x)
+    )
+
+    # Untimed warm-up so the timed vector passes do not pay one-off numpy
+    # setup, page-fault and allocator costs.
+    execute_ops_arrays(ops, backend="vector")
+
+    # Validate both PE modes: the sparse (zero-skipping) dataflow and the
+    # dense-baseline PE that the paper's comparison also simulates.  The
+    # vector pass is cheap enough to repeat, so its time is the best of two
+    # runs (standard noise suppression); the scalar pass runs once.
+    scalar_seconds = 0.0
+    vector_seconds = 0.0
+    vector_results = None
+    for zero_skipping in (True, False):
+        start = time.perf_counter()
+        scalar_results, scalar_stats = execute_ops(
+            ops, zero_skipping=zero_skipping, backend="scalar"
+        )
+        scalar_seconds += time.perf_counter() - start
+
+        mode_seconds = []
+        for _ in range(2):
+            start = time.perf_counter()
+            mode_results, vector_arrays = execute_ops_arrays(
+                ops, zero_skipping=zero_skipping, backend="vector"
+            )
+            mode_seconds.append(time.perf_counter() - start)
+        vector_seconds += min(mode_seconds)
+
+        # Hard equivalence gate: values and every per-op event count must be
+        # bit-identical between the backends.
+        for index, (scalar_row, vector_row) in enumerate(
+            zip(scalar_results, mode_results)
+        ):
+            if not np.array_equal(scalar_row, vector_row):
+                raise AssertionError(
+                    f"row-op {index} (zero_skipping={zero_skipping}): "
+                    "scalar/vector values differ"
+                )
+        if scalar_stats != stats_from_arrays(vector_arrays):
+            raise AssertionError(
+                f"row-op stats differ between backends (zero_skipping={zero_skipping})"
+            )
+        if zero_skipping:
+            vector_results = mode_results
+
+    # And the decomposition itself stays exact against the row-wise reference.
+    n_fwd = layer.out_channels * layer.out_height * layer.in_channels * layer.kernel
+    n_gta = layer.in_channels * layer.out_channels * layer.out_height * layer.kernel
+    fwd_ops, gta_ops, gtw_ops = (
+        ops[:n_fwd],
+        ops[n_fwd : n_fwd + n_gta],
+        ops[n_fwd + n_gta :],
+    )
+    fwd = accumulate_forward(layer, fwd_ops, vector_results[:n_fwd])
+    gta = accumulate_gta(layer, gta_ops, vector_results[n_fwd : n_fwd + n_gta])
+    gtw = accumulate_gtw(layer, gtw_ops, vector_results[n_fwd + n_gta :])
+    np.testing.assert_allclose(
+        fwd, forward_by_rows(x, weight, None, layer.stride, layer.padding), atol=1e-12
+    )
+    np.testing.assert_allclose(
+        gta,
+        gta_by_rows(
+            grad_out, weight, x.shape, layer.stride, layer.padding, mask=mask
+        ),
+        atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        gtw, gtw_by_rows(grad_out, x, layer.kernel, layer.stride, layer.padding),
+        atol=1e-12,
+    )
+
+    return {
+        "seconds": vector_seconds,
+        "scalar_seconds": scalar_seconds,
+        "vector_seconds": vector_seconds,
+        "speedup": scalar_seconds / max(vector_seconds, 1e-12),
+        "ops": len(ops),
+        "exact": True,
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    out: str | Path | None = DEFAULT_BENCH_PATH,
+    density_cache: ResultCache | None = None,
+    pruning_rate: float = 0.9,
+) -> BenchResult:
+    """Run every bench stage; write ``out`` (unless ``None``) and return results."""
+    scale = SMOKE_SCALE if smoke else FULL_SCALE
+    result = BenchResult(smoke=smoke)
+
+    # Stage 1 — train: measure densities by training the reduced model.
+    # The cache is keyed by the *family reference* model that
+    # measure_family_densities actually trains, not the workload name.
+    model_name, dataset_name = BENCH_WORKLOAD[0]
+    reference_model = FAMILY_REFERENCE_MODELS[model_family(model_name)]
+    cache_hit = density_cache is not None and density_cache_key(
+        reference_model, pruning_rate, scale
+    ) in density_cache
+    start = time.perf_counter()
+    measured = measure_family_densities(
+        BENCH_WORKLOAD, pruning_rate=pruning_rate, scale=scale, cache=density_cache
+    )
+    result.stages["train"] = {
+        "seconds": time.perf_counter() - start,
+        "cache_hit": cache_hit,
+        "epochs": scale.epochs,
+        "samples": scale.num_samples,
+    }
+
+    # Stage 2 — compile: lower the full-size spec to instruction programs.
+    spec = get_model_spec(model_name, dataset_name)
+    densities = densities_for_workload(model_name, dataset_name, measured)
+    start = time.perf_counter()
+    sparse_program = compile_training_iteration(spec, densities=densities, sparse=True)
+    dense_program = compile_training_iteration(spec, densities=None, sparse=False)
+    result.stages["compile"] = {
+        "seconds": time.perf_counter() - start,
+        "instructions": len(sparse_program.instructions)
+        + len(dense_program.instructions),
+    }
+
+    # Stage 3 — simulate: SparseTrain vs the dense baseline on the workload.
+    start = time.perf_counter()
+    comparison = compare_workload(spec, densities)
+    result.stages["simulate"] = {
+        "seconds": time.perf_counter() - start,
+        "speedup": float(comparison.speedup),
+        "energy_efficiency": float(comparison.energy_efficiency),
+    }
+
+    # Stage 4 — row-op validation: both PE backends over one decomposed layer.
+    result.stages["rowop_validate"] = _bench_rowops(smoke)
+
+    if out is not None:
+        payload = result.to_payload()
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return result

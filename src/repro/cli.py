@@ -13,7 +13,14 @@ Subcommands
     the cache, or loading a previous export) and optionally export them.
 ``fig8`` / ``fig9``
     Regenerate the paper's latency (Fig. 8) and energy (Fig. 9) comparisons
-    with the measured-density pipeline.
+    with the measured-density pipeline.  Density measurements are memoized on
+    disk (``--no-cache`` disables) and ``--workers N`` fans the per-workload
+    simulations out over processes.
+``bench``
+    Time the pipeline stage by stage (train, compile, simulate, row-op
+    validate) and write ``BENCH_repro.json`` — the repository's performance
+    trajectory.  The row-op stage cross-validates the scalar and vectorized
+    PE backends and reports their speedup.
 
 Every run prints the same tables the library returns, so a CLI invocation is
 a reproducible, copy-pasteable experiment description.
@@ -250,13 +257,26 @@ def _fig_workloads(args: argparse.Namespace) -> tuple[tuple[str, str], ...]:
     return PAPER_FIG8_WORKLOADS if args.paper else QUICK_FIG8_WORKLOADS
 
 
+def _density_cache(args: argparse.Namespace):
+    """Disk cache for measured densities, honoring --no-cache/--cache-dir."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.eval.density_cache import default_density_cache
+
+    return default_density_cache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
+
+
 def cmd_fig8(args: argparse.Namespace) -> int:
     from repro.eval.common import ExperimentScale
     from repro.eval.fig8 import run_fig8
 
     scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
     result = run_fig8(
-        workloads=_fig_workloads(args), pruning_rate=args.pruning_rate, scale=scale
+        workloads=_fig_workloads(args),
+        pruning_rate=args.pruning_rate,
+        scale=scale,
+        density_cache=_density_cache(args),
+        max_workers=args.workers,
     )
     print(result.format())
     return 0
@@ -268,9 +288,27 @@ def cmd_fig9(args: argparse.Namespace) -> int:
 
     scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
     result = run_fig9(
-        workloads=_fig_workloads(args), pruning_rate=args.pruning_rate, scale=scale
+        workloads=_fig_workloads(args),
+        pruning_rate=args.pruning_rate,
+        scale=scale,
+        density_cache=_density_cache(args),
+        max_workers=args.workers,
     )
     print(result.format())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+
+    result = run_bench(
+        smoke=args.smoke,
+        out=args.out,
+        density_cache=_density_cache(args),
+        pruning_rate=args.pruning_rate,
+    )
+    print(result.format())
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -326,7 +364,41 @@ def build_parser() -> argparse.ArgumentParser:
             help="use the larger, slower experiment scale",
         )
         fig.add_argument("--pruning-rate", type=float, default=0.9)
+        fig.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="simulate workloads across N worker processes (default: serial)",
+        )
+        fig.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help="directory of the measured-density cache (default: %(default)s)",
+        )
+        fig.add_argument(
+            "--no-cache", action="store_true",
+            help="measure densities fresh instead of using the disk cache",
+        )
         fig.set_defaults(func=func)
+
+    bench = sub.add_parser(
+        "bench", help="time the pipeline stages and write BENCH_repro.json"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny scale for CI smoke runs (seconds instead of minutes)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_repro.json",
+        help="benchmark output file (default: %(default)s)",
+    )
+    bench.add_argument("--pruning-rate", type=float, default=0.9)
+    bench.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="directory of the measured-density cache (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="measure densities fresh instead of using the disk cache",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -8,6 +8,7 @@ from repro.dataflow.compiler import (
 from repro.dataflow.compressed import (
     CompressedFeatureMap,
     CompressedRow,
+    CompressedRowBatch,
     compress_feature_map,
     compression_ratio,
 )
@@ -50,6 +51,7 @@ from repro.dataflow.reference import (
 
 __all__ = [
     "CompressedRow",
+    "CompressedRowBatch",
     "CompressedFeatureMap",
     "compress_feature_map",
     "compression_ratio",

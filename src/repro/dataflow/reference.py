@@ -11,16 +11,18 @@ The paper decomposes every 2-D convolution of the three training steps into
 * **GTW / OSRC** — one kernel row of ``dW`` is the length-``K`` correlation of
   an input row with an output-gradient row, accumulated over output rows.
 
-These functions execute the decomposition numerically with explicit Python
-loops over rows.  They are intentionally simple and slow — their job is to
-*prove the decomposition is exact* (tests compare them against the im2col
-kernels in :mod:`repro.nn.functional`) and to provide the ground truth the
-PE-level cycle simulator validates against.
+These functions execute the decomposition numerically and provide the ground
+truth the PE-level cycle simulator validates against.  They are implemented
+with vectorized numpy window/gather arithmetic (``sliding_window_view`` plus
+``einsum`` contractions and K x K strided scatter-adds) so the validated path
+runs at numpy speed; the original per-element loop semantics live on as the
+scalar PE backend (``PE(backend="scalar")``) for differential testing.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.functional import conv_output_size
 from repro.utils.validation import check_group_split
@@ -44,6 +46,12 @@ def _pad_input(x: np.ndarray, padding: int) -> np.ndarray:
     return np.pad(x, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
 
 
+def _row_windows(x_padded: np.ndarray, kernel: int, stride: int, out_w: int) -> np.ndarray:
+    """Strided windows ``w[c, ih, ow, kw] = x_padded[c, ih, ow * stride + kw]``."""
+    windows = sliding_window_view(x_padded, kernel, axis=2)
+    return windows[:, :, ::stride, :][:, :, :out_w]
+
+
 def row_convolution(
     input_row: np.ndarray, kernel_row: np.ndarray, stride: int, out_len: int
 ) -> np.ndarray:
@@ -51,12 +59,15 @@ def row_convolution(
 
     ``out[ow] = sum_k input_row[ow * stride + k] * kernel_row[k]``
     """
-    kernel_size = kernel_row.size
-    out = np.zeros(out_len, dtype=np.float64)
-    for ow in range(out_len):
-        start = ow * stride
-        out[ow] = float(np.dot(input_row[start : start + kernel_size], kernel_row))
-    return out
+    input_row = np.asarray(input_row, dtype=np.float64)
+    kernel_row = np.asarray(kernel_row, dtype=np.float64)
+    windows = sliding_window_view(input_row, kernel_row.size)[::stride][:out_len]
+    if windows.shape[0] != out_len:
+        raise ValueError(
+            f"out_len {out_len} inconsistent with input length {input_row.size}, "
+            f"kernel {kernel_row.size}, stride {stride}"
+        )
+    return windows @ kernel_row
 
 
 def forward_by_rows(
@@ -81,6 +92,8 @@ def forward_by_rows(
         Channel groups; output channel ``f`` only reads the input channels of
         group ``f // (F / groups)``.
     """
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
     channels, height, width = x.shape
     out_channels, _, kernel, _ = weight.shape
     group_in, group_out = _check_grouped_weight(weight, channels, groups)
@@ -88,19 +101,23 @@ def forward_by_rows(
     out_w = conv_output_size(width, kernel, stride, padding)
     x_padded = _pad_input(x, padding)
 
+    # windows[c, ih, ow, kw] = x_padded[c, ih, ow*stride + kw]
+    windows = _row_windows(x_padded, kernel, stride, out_w)
+    # row_index[oh, kr] = the padded input row feeding output row oh via
+    # kernel row kr — gathering it turns the SRC accumulation over
+    # (c_local, kr, kw) into one einsum contraction per group.
+    row_index = stride * np.arange(out_h)[:, None] + np.arange(kernel)[None, :]
+
     out = np.zeros((out_channels, out_h, out_w), dtype=np.float64)
-    for f in range(out_channels):
-        channel_base = (f // group_out) * group_in
-        for oh in range(out_h):
-            acc = np.zeros(out_w, dtype=np.float64)
-            for c_local in range(group_in):
-                for kr in range(kernel):
-                    input_row = x_padded[channel_base + c_local, oh * stride + kr]
-                    kernel_row = weight[f, c_local, kr]
-                    acc += row_convolution(input_row, kernel_row, stride, out_w)
-            if bias is not None:
-                acc += bias[f]
-            out[f, oh] = acc
+    for g in range(groups):
+        win_g = windows[g * group_in : (g + 1) * group_in][:, row_index]
+        w_g = weight[g * group_out : (g + 1) * group_out]
+        # win_g: (C/g, OH, KR, OW, KW); w_g: (F/g, C/g, KR, KW)
+        out[g * group_out : (g + 1) * group_out] = np.einsum(
+            "chkwj,fckj->fhw", win_g, w_g, optimize=True
+        )
+    if bias is not None:
+        out += bias[:, None, None]
     return out
 
 
@@ -122,6 +139,8 @@ def gta_by_rows(
     exactly zero, which is safe because the following ReLU backward would
     zero them anyway.
     """
+    grad_out = np.asarray(grad_out, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
     channels, height, width = in_shape
     out_channels, _, kernel, _ = weight.shape
     group_in, group_out = _check_grouped_weight(weight, channels, groups)
@@ -129,23 +148,23 @@ def gta_by_rows(
     padded_h, padded_w = height + 2 * padding, width + 2 * padding
 
     grad_padded = np.zeros((channels, padded_h, padded_w), dtype=np.float64)
-    for f in range(out_channels):
-        channel_base = (f // group_out) * group_in
-        for oh in range(out_h):
-            for c_local in range(group_in):
-                c = channel_base + c_local
-                for kr in range(kernel):
-                    ih = oh * stride + kr
-                    row = grad_out[f, oh]
-                    kernel_row = weight[f, c_local, kr]
-                    # Scatter: each dO value contributes to K consecutive
-                    # positions of the padded dI row.
-                    for ow in range(out_w):
-                        value = row[ow]
-                        if value == 0.0:
-                            continue
-                        start = ow * stride
-                        grad_padded[c, ih, start : start + kernel] += value * kernel_row
+    h_span = (out_h - 1) * stride + 1
+    w_span = (out_w - 1) * stride + 1
+    for g in range(groups):
+        grad_g = grad_out[g * group_out : (g + 1) * group_out]
+        w_g = weight[g * group_out : (g + 1) * group_out]
+        # contrib[c, oh, kr, ow, kw] = sum_f dO[f, oh, ow] * W[f, c, kr, kw]:
+        # the value each MSRC scatter adds at dI[c, oh*stride+kr, ow*stride+kw].
+        contrib = np.einsum("fhw,fckj->chkwj", grad_g, w_g, optimize=True)
+        target = grad_padded[g * group_in : (g + 1) * group_in]
+        # K x K strided slice-adds replace the per-value Python scatter; the
+        # (kr, kw) shifts overlap for stride < K, so each shift is a separate
+        # accumulate over disjoint strided positions.
+        for kr in range(kernel):
+            for kw in range(kernel):
+                target[:, kr : kr + h_span : stride, kw : kw + w_span : stride] += (
+                    contrib[:, :, kr, :, kw]
+                )
 
     grad_input = grad_padded[:, padding : padding + height, padding : padding + width]
     if mask is not None:
@@ -172,26 +191,24 @@ def gtw_by_rows(
     pair is one OSRC operation whose K results live in the PE's scratchpad
     (Reg-2) for the duration of the row.
     """
+    grad_out = np.asarray(grad_out, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
     out_channels, out_h, out_w = grad_out.shape
     channels = x.shape[0]
     group_in, group_out = check_group_split(channels, out_channels, groups)
     x_padded = _pad_input(x, padding)
 
+    windows = _row_windows(x_padded, kernel, stride, out_w)
+    row_index = stride * np.arange(out_h)[:, None] + np.arange(kernel)[None, :]
+
     grad_weight = np.zeros((out_channels, group_in, kernel, kernel), dtype=np.float64)
-    for f in range(out_channels):
-        channel_base = (f // group_out) * group_in
-        for c_local in range(group_in):
-            for kr in range(kernel):
-                acc = np.zeros(kernel, dtype=np.float64)
-                for oh in range(out_h):
-                    input_row = x_padded[channel_base + c_local, oh * stride + kr]
-                    grad_row = grad_out[f, oh]
-                    for kw in range(kernel):
-                        # Strided dot product between the gradient row and the
-                        # input row shifted by kw.
-                        segment = input_row[kw : kw + (out_w - 1) * stride + 1 : stride]
-                        acc[kw] += float(np.dot(grad_row, segment))
-                grad_weight[f, c_local, kr] = acc
+    for g in range(groups):
+        win_g = windows[g * group_in : (g + 1) * group_in][:, row_index]
+        grad_g = grad_out[g * group_out : (g + 1) * group_out]
+        # win_g: (C/g, OH, KR, OW, KW); grad_g: (F/g, OH, OW)
+        grad_weight[g * group_out : (g + 1) * group_out] = np.einsum(
+            "fhw,chkwj->fckj", grad_g, win_g, optimize=True
+        )
     return grad_weight
 
 

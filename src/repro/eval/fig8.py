@@ -27,10 +27,12 @@ from repro.arch.config import ArchConfig
 from repro.arch.energy import EnergyModel
 from repro.dataflow.counts import LayerDensities
 from repro.eval.common import ExperimentScale, build_reduced_model, synthetic_dataset_for
+from repro.eval.density_cache import load_cached_densities, store_cached_densities
+from repro.explore.cache import ResultCache
 from repro.models.zoo import get_model_spec, model_family
 from repro.pruning.config import PruningConfig
 from repro.sim.report import format_latency_table
-from repro.sim.runner import WorkloadResult, compare_workload
+from repro.sim.runner import WorkloadJob, WorkloadResult, simulate_many
 from repro.sim.trace import MeasuredDensities, map_densities_to_spec, profile_training_densities
 
 # The (model, dataset) grid of the paper's Fig. 8 / Fig. 9.
@@ -111,9 +113,19 @@ def measure_model_densities(
     model_name: str,
     pruning_rate: float = 0.9,
     scale: ExperimentScale | None = None,
+    cache: ResultCache | None = None,
 ) -> MeasuredDensities:
-    """Measure per-layer densities of one model family on synthetic data."""
+    """Measure per-layer densities of one model family on synthetic data.
+
+    Pass ``cache`` (see :mod:`repro.eval.density_cache`) to memoize the
+    measurement on disk: the reduced-model training — the slowest stage of
+    the fig8/fig9 pipeline — is skipped whenever an identical (model,
+    pruning rate, scale) configuration was measured before.
+    """
     scale = scale if scale is not None else ExperimentScale.quick()
+    cached = load_cached_densities(cache, model_name, pruning_rate, scale)
+    if cached is not None:
+        return cached
     train, _ = synthetic_dataset_for("CIFAR-10", scale)
     model = build_reduced_model(model_name, train.num_classes, scale)
     pruning = (
@@ -123,7 +135,7 @@ def measure_model_densities(
     )
     # Conv-ReLU families (no batch norm) train with the smaller step size.
     lr = 0.01 if model_family(model_name) in ("AlexNet", "VGG") else 0.05
-    return profile_training_densities(
+    measured = profile_training_densities(
         model,
         train,
         pruning=pruning,
@@ -132,6 +144,8 @@ def measure_model_densities(
         lr=lr,
         seed=scale.seed,
     )
+    store_cached_densities(cache, model_name, pruning_rate, scale, measured)
+    return measured
 
 
 def densities_for_workload(
@@ -151,12 +165,14 @@ def measure_family_densities(
     workloads: tuple[tuple[str, str], ...],
     pruning_rate: float = 0.9,
     scale: ExperimentScale | None = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, MeasuredDensities]:
     """Measure densities for every model family appearing in ``workloads``.
 
     One reduced model is trained per family (not per workload), mirroring the
     paper's setup where each family's sparsity statistics transfer across
-    datasets and depths.
+    datasets and depths.  ``cache`` memoizes the per-family measurements on
+    disk (see :func:`measure_model_densities`).
     """
     families = []
     for model_name, _ in workloads:
@@ -165,7 +181,7 @@ def measure_family_densities(
             families.append(family)
     return {
         family: measure_model_densities(
-            FAMILY_REFERENCE_MODELS[family], pruning_rate, scale
+            FAMILY_REFERENCE_MODELS[family], pruning_rate, scale, cache=cache
         )
         for family in families
     }
@@ -179,28 +195,36 @@ def run_fig8(
     baseline_config: ArchConfig | None = None,
     energy_model: EnergyModel | None = None,
     measured: dict[str, MeasuredDensities] | None = None,
+    density_cache: ResultCache | None = None,
+    max_workers: int | None = None,
 ) -> Fig8Result:
     """Regenerate the Fig. 8 latency/speedup comparison.
 
     ``measured`` can be passed to reuse density measurements across calls
-    (e.g. Fig. 9 reuses Fig. 8's measurements); otherwise one reduced AlexNet
-    and one reduced ResNet are trained and profiled here.
+    (e.g. Fig. 9 reuses Fig. 8's measurements); otherwise one reduced model
+    per family is trained and profiled here (memoized on disk when
+    ``density_cache`` is given).  ``max_workers`` fans the per-workload
+    simulations out over worker processes via
+    :func:`repro.sim.runner.simulate_many`; the default runs serially with
+    identical results.
     """
     scale = scale if scale is not None else ExperimentScale.quick()
     if measured is None:
-        measured = measure_family_densities(workloads, pruning_rate, scale)
+        measured = measure_family_densities(
+            workloads, pruning_rate, scale, cache=density_cache
+        )
 
-    result = Fig8Result()
+    jobs = []
     for model_name, dataset_name in workloads:
         spec = get_model_spec(model_name, dataset_name)
         densities = densities_for_workload(model_name, dataset_name, measured)
-        result.workloads.append(
-            compare_workload(
-                spec,
-                densities,
+        jobs.append(
+            WorkloadJob(
+                spec=spec,
+                densities=densities,
                 sparse_config=sparse_config,
                 baseline_config=baseline_config,
                 energy_model=energy_model,
             )
         )
-    return result
+    return Fig8Result(workloads=simulate_many(jobs, max_workers=max_workers))

@@ -24,6 +24,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.energy import EnergyModel
 from repro.eval.common import ExperimentScale
 from repro.eval.fig8 import QUICK_FIG8_WORKLOADS, Fig8Result, run_fig8
+from repro.explore.cache import ResultCache
 from repro.sim.report import format_breakdown, format_energy_table
 from repro.sim.runner import WorkloadResult
 from repro.sim.trace import MeasuredDensities
@@ -88,11 +89,14 @@ def run_fig9(
     energy_model: EnergyModel | None = None,
     measured: dict[str, MeasuredDensities] | None = None,
     fig8_result: Fig8Result | None = None,
+    density_cache: ResultCache | None = None,
+    max_workers: int | None = None,
 ) -> Fig9Result:
     """Regenerate the Fig. 9 energy comparison.
 
     Pass ``fig8_result`` to reuse an already-simulated Fig. 8 run (the two
     figures share the same workload simulations in the paper as well).
+    ``density_cache`` / ``max_workers`` are forwarded to :func:`run_fig8`.
     """
     if fig8_result is None:
         fig8_result = run_fig8(
@@ -103,5 +107,7 @@ def run_fig9(
             baseline_config=baseline_config,
             energy_model=energy_model,
             measured=measured,
+            density_cache=density_cache,
+            max_workers=max_workers,
         )
     return Fig9Result(workloads=list(fig8_result.workloads))

@@ -15,6 +15,8 @@ kernel width).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.utils.validation import check_group_split
@@ -35,15 +37,24 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def _im2col_indices(
-    in_shape: tuple[int, int, int, int],
+@lru_cache(maxsize=256)
+def _im2col_indices_cached(
+    channels: int,
+    height: int,
+    width: int,
     kernel_h: int,
     kernel_w: int,
     stride: int,
     padding: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Compute the (k, i, j) gather indices for im2col."""
-    _, channels, height, width = in_shape
+    """Build (and memoize) the (k, i, j) gather indices for one geometry.
+
+    The indices depend only on the layer geometry, never on the batch or the
+    data, so training reuses one cached copy per (shape, kernel, stride,
+    padding) instead of rebuilding the index tensors on every forward and
+    backward call.  The cached arrays are marked read-only: every consumer
+    only gathers/scatters through them.
+    """
     out_h = conv_output_size(height, kernel_h, stride, padding)
     out_w = conv_output_size(width, kernel_w, stride, padding)
 
@@ -55,7 +66,34 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    for array in (k, i, j):
+        array.setflags(write=False)
     return k, i, j, out_h, out_w
+
+
+def _im2col_indices(
+    in_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Memoized (k, i, j) gather indices for im2col (batch size irrelevant)."""
+    _, channels, height, width = in_shape
+    return _im2col_indices_cached(
+        int(channels), int(height), int(width),
+        int(kernel_h), int(kernel_w), int(stride), int(padding),
+    )
+
+
+def im2col_cache_info():
+    """Hit/miss statistics of the im2col index cache (for benchmarks/tests)."""
+    return _im2col_indices_cached.cache_info()
+
+
+def im2col_cache_clear() -> None:
+    """Drop all memoized im2col index tensors."""
+    _im2col_indices_cached.cache_clear()
 
 
 def im2col(

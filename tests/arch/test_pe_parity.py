@@ -1,0 +1,298 @@
+"""Scalar-vs-vectorized PE backend parity: the equivalence suite.
+
+The vectorized execution engine (``PE(backend="vector")``, the default) must
+be **bit-exact** against the scalar per-operand loops
+(``PE(backend="scalar")``), in values and in every :class:`PEOpStats` field.
+These seeded property tests sweep randomized rows (including explicit stored
+zeros and empty rows), strides > 1, random masks, grouped/depthwise layers
+and both ``zero_skipping`` modes, through the single-op, ``run_batch``,
+``PEGroup`` and ``Controller`` entry points.
+
+CI treats a skip of this file as a failure: the equivalence guarantee is the
+contract that lets every other test run on the fast backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.controller import Controller
+from repro.arch.pe import PE, PEOpStats, execute_ops, execute_ops_arrays, stats_from_arrays
+from repro.arch.pe_group import PEGroup
+from repro.dataflow.compressed import CompressedRow
+from repro.dataflow.decompose import decompose_forward, decompose_gta, decompose_gtw
+from repro.dataflow.ops import MSRCOp, OSRCOp, SRCOp
+from repro.models.spec import ConvLayerSpec, ConvStructure
+
+
+def _random_compressed_row(rng: np.random.Generator, length: int) -> CompressedRow:
+    """Random sparse row; sometimes with explicit stored zeros or empty."""
+    density = rng.random()
+    row = rng.normal(size=length) * (rng.random(length) < density)
+    compressed = CompressedRow.from_dense(row)
+    if compressed.nnz and rng.random() < 0.25:
+        # Inject an explicitly stored zero: the scalar backend counts it as
+        # processed but adds nothing; the vector backend must match.
+        values = compressed.values.copy()
+        values[int(rng.integers(0, compressed.nnz))] = 0.0
+        compressed = CompressedRow(
+            values=values, offsets=compressed.offsets, length=length
+        )
+    return compressed
+
+
+def _random_op(rng: np.random.Generator, kind: str):
+    stride = int(rng.integers(1, 4))
+    kernel_size = int(rng.integers(1, 8))
+    length = int(rng.integers(kernel_size, 40))
+    row = _random_compressed_row(rng, length)
+    kernel = rng.normal(size=kernel_size)
+    if kind == "src":
+        out_len = (length - kernel_size) // stride + 1
+        return SRCOp(kernel_row=kernel, input_row=row, stride=stride, out_len=out_len)
+    if kind == "msrc":
+        out_len = int(rng.integers(1, 40))
+        mask = rng.random(out_len) < rng.random()
+        return MSRCOp(
+            kernel_row=kernel,
+            grad_row=row,
+            output_mask=mask,
+            stride=stride,
+            out_len=out_len,
+        )
+    grad = _random_compressed_row(rng, int(rng.integers(1, 30)))
+    return OSRCOp(
+        input_row=row, grad_row=grad, kernel_size=kernel_size, stride=stride
+    )
+
+
+def _random_ops(seed: int, count: int = 40) -> list:
+    rng = np.random.default_rng(seed)
+    kinds = ["src", "msrc", "osrc"]
+    return [_random_op(rng, kinds[i % 3]) for i in range(count)]
+
+
+def _assert_identical(scalar, vector, context: str) -> None:
+    scalar_result, scalar_stats = scalar
+    vector_result, vector_stats = vector
+    np.testing.assert_array_equal(
+        scalar_result, vector_result, err_msg=f"values differ: {context}"
+    )
+    assert scalar_stats == vector_stats, (
+        f"stats differ: {context}\n scalar={scalar_stats}\n vector={vector_stats}"
+    )
+
+
+class TestSingleOpParity:
+    """Every op type, bit-exact values and every stats field."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("zero_skipping", [True, False])
+    @pytest.mark.parametrize("amortize", [True, False])
+    def test_randomized_ops(self, seed, zero_skipping, amortize):
+        scalar_pe = PE(zero_skipping, amortize, backend="scalar")
+        vector_pe = PE(zero_skipping, amortize, backend="vector")
+        for op in _random_ops(seed):
+            _assert_identical(
+                scalar_pe.run(op), vector_pe.run(op), f"{type(op).__name__} seed={seed}"
+            )
+        assert scalar_pe.total_stats == vector_pe.total_stats
+
+    def test_empty_rows(self):
+        empty = CompressedRow.from_dense(np.zeros(6))
+        ops = [
+            SRCOp(kernel_row=np.ones(3), input_row=empty, stride=1, out_len=4),
+            MSRCOp(
+                kernel_row=np.ones(3),
+                grad_row=empty,
+                output_mask=np.ones(8, dtype=bool),
+                stride=1,
+                out_len=8,
+            ),
+            OSRCOp(input_row=empty, grad_row=empty, kernel_size=3, stride=1),
+        ]
+        for zero_skipping in (True, False):
+            for op in ops:
+                _assert_identical(
+                    PE(zero_skipping, backend="scalar").run(op),
+                    PE(zero_skipping, backend="vector").run(op),
+                    f"empty {type(op).__name__}",
+                )
+
+    def test_per_type_entry_points(self, rng):
+        src = _random_op(rng, "src")
+        msrc = _random_op(rng, "msrc")
+        osrc = _random_op(rng, "osrc")
+        scalar_pe = PE(backend="scalar")
+        vector_pe = PE(backend="vector")
+        _assert_identical(scalar_pe.run_src(src), vector_pe.run_src(src), "run_src")
+        _assert_identical(scalar_pe.run_msrc(msrc), vector_pe.run_msrc(msrc), "run_msrc")
+        _assert_identical(scalar_pe.run_osrc(osrc), vector_pe.run_osrc(osrc), "run_osrc")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            PE(backend="simd")
+        with pytest.raises(ValueError):
+            execute_ops([], backend="simd")
+        with pytest.raises(ValueError):
+            execute_ops_arrays([], backend="simd")
+
+
+class TestBatchParity:
+    """run_batch / execute_ops pool heterogeneous batches without drift."""
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    @pytest.mark.parametrize("zero_skipping", [True, False])
+    def test_execute_ops_matches_sequential(self, seed, zero_skipping):
+        ops = _random_ops(seed, count=60)
+        scalar_results, scalar_stats = execute_ops(
+            ops, zero_skipping=zero_skipping, backend="scalar"
+        )
+        vector_results, vector_stats = execute_ops(
+            ops, zero_skipping=zero_skipping, backend="vector"
+        )
+        assert len(vector_results) == len(ops)
+        for index, (s, v) in enumerate(zip(scalar_results, vector_results)):
+            np.testing.assert_array_equal(s, v, err_msg=f"op {index}")
+        assert scalar_stats == vector_stats
+
+    def test_stat_arrays_match_stats_list(self):
+        ops = _random_ops(12, count=30)
+        _, stats_list = execute_ops(ops, backend="vector")
+        _, arrays = execute_ops_arrays(ops, backend="vector")
+        assert stats_from_arrays(arrays) == stats_list
+
+    def test_pe_run_batch_accumulates_totals(self):
+        ops = _random_ops(13, count=24)
+        loop_pe = PE(backend="vector")
+        batch_pe = PE(backend="vector")
+        loop_outputs = [loop_pe.run(op) for op in ops]
+        batch_results, batch_stats = batch_pe.run_batch(ops)
+        for (loop_result, loop_stats), batch_result, batch_stat in zip(
+            loop_outputs, batch_results, batch_stats
+        ):
+            np.testing.assert_array_equal(loop_result, batch_result)
+            assert loop_stats == batch_stat
+        assert loop_pe.total_stats == batch_pe.total_stats
+
+    def test_empty_batch(self):
+        results, stats = PE().run_batch([])
+        assert results == [] and stats == []
+
+
+class TestGroupAndControllerParity:
+    """The scheduled layers produce identical GroupResult/ScheduleResult."""
+
+    @pytest.mark.parametrize("zero_skipping", [True, False])
+    def test_pe_group_run_batch_equals_run_ops(self, zero_skipping):
+        ops = _random_ops(20, count=50)
+        group_loop = PEGroup(num_pes=3, zero_skipping=zero_skipping)
+        group_batch = PEGroup(num_pes=3, zero_skipping=zero_skipping)
+        loop_result = group_loop.run_ops(ops, apply_relu=True)
+        batch_result = group_batch.run_batch(ops, apply_relu=True)
+        assert loop_result.stats == batch_result.stats
+        assert loop_result.cycles == batch_result.cycles
+        assert loop_result.ppu_cycles == batch_result.ppu_cycles
+        for s, v in zip(loop_result.results, batch_result.results):
+            np.testing.assert_array_equal(s, v)
+        for pe_loop, pe_batch in zip(group_loop.pes, group_batch.pes):
+            assert pe_loop.total_stats == pe_batch.total_stats
+        assert group_loop.ppu.stats == group_batch.ppu.stats
+
+    def test_controller_run_batch_equals_run_ops(self):
+        config = ArchConfig(num_pes=9, pes_per_group=3)
+        ops = _random_ops(21, count=40)
+        loop_result = Controller(config).run_ops(ops)
+        batch_result = Controller(config).run_batch(ops)
+        assert loop_result.stats == batch_result.stats
+        assert loop_result.cycles == batch_result.cycles
+        assert loop_result.per_group_cycles == batch_result.per_group_cycles
+        for s, v in zip(loop_result.results, batch_result.results):
+            np.testing.assert_array_equal(s, v)
+
+    def test_controller_scalar_backend_matches_vector(self):
+        config = ArchConfig(num_pes=6, pes_per_group=3)
+        ops = _random_ops(22, count=30)
+        scalar_result = Controller(config, backend="scalar").run_ops(ops)
+        vector_result = Controller(config, backend="vector").run_batch(ops)
+        assert scalar_result.stats == vector_result.stats
+        assert scalar_result.cycles == vector_result.cycles
+        for s, v in zip(scalar_result.results, vector_result.results):
+            np.testing.assert_array_equal(s, v)
+
+    def test_empty_ops(self):
+        group = PEGroup()
+        result = group.run_batch([])
+        assert result.results == [] and result.cycles == 0
+        assert result.stats == PEOpStats.zero()
+
+
+class TestDecomposedLayerParity:
+    """Full decomposed layers — including strides > 1 and channel groups."""
+
+    @pytest.mark.parametrize(
+        "groups,stride",
+        [(1, 1), (1, 2), (2, 1), (2, 2), (4, 1)],
+    )
+    def test_grouped_strided_layers(self, groups, stride):
+        layer = ConvLayerSpec(
+            name=f"parity_g{groups}_s{stride}",
+            in_channels=4,
+            out_channels=8,
+            kernel=3,
+            stride=stride,
+            padding=1,
+            in_height=9,
+            in_width=9,
+            structure=ConvStructure.CONV_RELU,
+            groups=groups,
+        )
+        rng = np.random.default_rng(100 * groups + stride)
+        x = rng.normal(size=(4, 9, 9)) * (rng.random((4, 9, 9)) < 0.5)
+        weight = rng.normal(size=(8, 4 // groups, 3, 3))
+        grad_out = rng.normal(size=(8, layer.out_height, layer.out_width))
+        grad_out *= rng.random(grad_out.shape) < 0.4
+        mask = rng.random((4, 9, 9)) < 0.5
+
+        ops = (
+            decompose_forward(layer, x, weight)
+            + decompose_gta(layer, grad_out, weight, mask)
+            + decompose_gtw(layer, grad_out, x)
+        )
+        for zero_skipping in (True, False):
+            scalar_results, scalar_stats = execute_ops(
+                ops, zero_skipping=zero_skipping, backend="scalar"
+            )
+            vector_results, vector_stats = execute_ops(
+                ops, zero_skipping=zero_skipping, backend="vector"
+            )
+            for index, (s, v) in enumerate(zip(scalar_results, vector_results)):
+                np.testing.assert_array_equal(
+                    s, v, err_msg=f"op {index} ({ops[index].tag})"
+                )
+            assert scalar_stats == vector_stats
+
+    def test_depthwise_layer(self):
+        layer = ConvLayerSpec(
+            name="parity_depthwise",
+            in_channels=6,
+            out_channels=6,
+            kernel=3,
+            stride=1,
+            padding=1,
+            in_height=8,
+            in_width=8,
+            structure=ConvStructure.CONV_BN_RELU,
+            groups=6,
+        )
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(6, 8, 8)) * (rng.random((6, 8, 8)) < 0.6)
+        weight = rng.normal(size=(6, 1, 3, 3))
+        ops = decompose_forward(layer, x, weight)
+        scalar_results, scalar_stats = execute_ops(ops, backend="scalar")
+        vector_results, vector_stats = execute_ops(ops, backend="vector")
+        for s, v in zip(scalar_results, vector_results):
+            np.testing.assert_array_equal(s, v)
+        assert scalar_stats == vector_stats

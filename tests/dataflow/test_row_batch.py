@@ -1,0 +1,110 @@
+"""Tests for the structure-of-arrays ``CompressedRowBatch`` layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataflow.compressed import CompressedRow, CompressedRowBatch
+
+
+def _random_rows(rng, count=12, length=10):
+    rows = []
+    for _ in range(count):
+        row = rng.normal(size=length) * (rng.random(length) < rng.random())
+        rows.append(CompressedRow.from_dense(row))
+    return rows
+
+
+class TestFromRows:
+    def test_round_trip(self, rng):
+        rows = _random_rows(rng)
+        batch = CompressedRowBatch.from_rows(rows)
+        assert batch.n_rows == len(rows) == len(batch)
+        assert batch.nnz == sum(row.nnz for row in rows)
+        for index, row in enumerate(rows):
+            restored = batch.row(index)
+            np.testing.assert_array_equal(restored.values, row.values)
+            np.testing.assert_array_equal(restored.offsets, row.offsets)
+            assert restored.length == row.length
+
+    def test_iteration_matches_rows(self, rng):
+        rows = _random_rows(rng, count=5)
+        for original, restored in zip(rows, CompressedRowBatch.from_rows(rows)):
+            np.testing.assert_array_equal(original.to_dense(), restored.to_dense())
+
+    def test_mixed_lengths(self, rng):
+        rows = [
+            CompressedRow.from_dense(rng.normal(size=length))
+            for length in (3, 7, 1, 12)
+        ]
+        batch = CompressedRowBatch.from_rows(rows)
+        np.testing.assert_array_equal(batch.lengths, [3, 7, 1, 12])
+        with pytest.raises(ValueError):
+            batch.to_dense()
+
+    def test_empty_batch(self):
+        batch = CompressedRowBatch.from_rows([])
+        assert batch.n_rows == 0 and batch.nnz == 0
+        assert batch.to_dense().size == 0
+
+    def test_all_zero_rows(self):
+        rows = [CompressedRow.from_dense(np.zeros(4)) for _ in range(3)]
+        batch = CompressedRowBatch.from_rows(rows)
+        assert batch.nnz == 0
+        np.testing.assert_array_equal(batch.nnz_per_row, [0, 0, 0])
+        np.testing.assert_array_equal(batch.to_dense(), np.zeros((3, 4)))
+
+
+class TestFromDense:
+    def test_matches_from_rows(self, rng):
+        matrix = rng.normal(size=(6, 9)) * (rng.random((6, 9)) < 0.5)
+        via_dense = CompressedRowBatch.from_dense(matrix)
+        via_rows = CompressedRowBatch.from_rows(
+            [CompressedRow.from_dense(row) for row in matrix]
+        )
+        np.testing.assert_array_equal(via_dense.values, via_rows.values)
+        np.testing.assert_array_equal(via_dense.offsets, via_rows.offsets)
+        np.testing.assert_array_equal(via_dense.row_starts, via_rows.row_starts)
+        np.testing.assert_array_equal(via_dense.to_dense(), matrix)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            CompressedRowBatch.from_dense(rng.normal(size=8))
+
+
+class TestValidationAndHelpers:
+    def test_inconsistent_extents_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedRowBatch(
+                values=np.ones(2),
+                offsets=np.zeros(2, dtype=np.int64),
+                row_starts=np.array([0, 1], dtype=np.int64),  # spans 1, pools hold 2
+                lengths=np.array([4], dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            CompressedRowBatch(
+                values=np.ones(2),
+                offsets=np.zeros(2, dtype=np.int64),
+                row_starts=np.array([0, 2], dtype=np.int64),
+                lengths=np.array([4, 4], dtype=np.int64),  # 2 lengths, 1 row
+            )
+        with pytest.raises(ValueError):
+            CompressedRowBatch(
+                values=np.ones(2),
+                offsets=np.zeros(3, dtype=np.int64),  # shape mismatch
+                row_starts=np.array([0, 2], dtype=np.int64),
+                lengths=np.array([4], dtype=np.int64),
+            )
+
+    def test_flat_positions(self):
+        rows = [
+            CompressedRow.from_dense(np.array([0.0, 2.0, 0.0])),
+            CompressedRow.from_dense(np.array([5.0, 0.0])),
+        ]
+        batch = CompressedRowBatch.from_rows(rows)
+        # Row 0 occupies dense positions [0, 3); row 1 [3, 5).
+        np.testing.assert_array_equal(batch.flat_positions(), [1, 3])
+        pooled = np.zeros(5)
+        pooled[batch.flat_positions()] = batch.values
+        np.testing.assert_array_equal(pooled, [0.0, 2.0, 0.0, 5.0, 0.0])

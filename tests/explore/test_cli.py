@@ -172,9 +172,23 @@ class TestParserWiring:
             ["pareto", "--objectives", "latency_us"],
             ["fig8", "--paper", "--pruning-rate", "0.8"],
             ["fig9", "--thorough"],
+            ["bench", "--smoke", "--out", "bench.json"],
         ):
             namespace = parser.parse_args(args)
             assert callable(namespace.func)
+
+    def test_fig_commands_accept_workers_and_cache_flags(self):
+        parser = build_parser()
+        for command in ("fig8", "fig9"):
+            namespace = parser.parse_args(
+                [command, "--workers", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+            )
+            assert namespace.workers == 4
+            assert namespace.no_cache is True
+            assert namespace.cache_dir == "/tmp/c"
+        # Default: caching on, serial simulation.
+        namespace = parser.parse_args(["fig8"])
+        assert namespace.workers is None and namespace.no_cache is False
 
     def test_requires_a_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,84 @@
+"""Tests for the ``repro bench`` harness and its CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import SMOKE_SCALE, BenchResult, run_bench
+from repro.cli import main
+from repro.explore.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def smoke_result(tmp_path_factory):
+    """One shared smoke bench run (trains a tiny model once per module)."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_repro.json"
+    result = run_bench(smoke=True, out=out, density_cache=None)
+    return result, out
+
+
+class TestRunBench:
+    def test_stages_present(self, smoke_result):
+        result, _ = smoke_result
+        assert set(result.stages) == {"train", "compile", "simulate", "rowop_validate"}
+        for stage in result.stages.values():
+            assert stage["seconds"] >= 0.0
+
+    def test_rowop_stage_is_exact_and_faster(self, smoke_result):
+        result, _ = smoke_result
+        rowop = result.stages["rowop_validate"]
+        assert rowop["exact"] is True
+        assert rowop["ops"] > 0
+        # The acceptance bar (>= 10x) is asserted on the full-scale bench in
+        # CI-adjacent runs; the smoke layer is tiny, so only require a clear
+        # win here to keep the test robust on loaded machines.
+        assert rowop["speedup"] > 2.0
+
+    def test_payload_written(self, smoke_result):
+        result, out = smoke_result
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == 1
+        assert payload["smoke"] is True
+        assert payload["rowop_speedup"] == result.rowop_speedup
+        assert set(payload["stages"]) == set(result.stages)
+
+    def test_format_mentions_speedup(self, smoke_result):
+        result, _ = smoke_result
+        text = result.format()
+        assert "rowop_validate" in text and "speedup" in text
+
+    def test_out_none_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_bench(smoke=True, out=None, density_cache=None)
+        assert isinstance(result, BenchResult)
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_density_cache_hit_recorded(self, tmp_path):
+        cache = ResultCache(tmp_path / "densities.jsonl")
+        first = run_bench(smoke=True, out=None, density_cache=cache)
+        assert first.stages["train"]["cache_hit"] is False
+        second = run_bench(smoke=True, out=None, density_cache=cache)
+        assert second.stages["train"]["cache_hit"] is True
+        # The cached re-run skips retraining entirely.
+        assert second.stages["train"]["seconds"] <= first.stages["train"]["seconds"]
+
+
+class TestBenchCLI:
+    def test_cli_smoke(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--smoke", "--out", str(out),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "rowop_validate" in captured
+        assert json.loads(out.read_text())["smoke"] is True
+
+    def test_smoke_scale_is_small(self):
+        assert SMOKE_SCALE.num_samples <= 128 and SMOKE_SCALE.epochs == 1
