@@ -1,0 +1,10 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Keeps ``pip install -e .`` working on setups whose pip/setuptools predate
+PEP 660 editable wheels (and offline environments without the ``wheel``
+package, via ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

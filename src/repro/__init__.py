@@ -24,9 +24,10 @@ substrate they depend on:
   analysis and the ``python -m repro`` command line (:mod:`repro.cli`).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import (
+    api,
     arch,
     baselines,
     data,
@@ -42,6 +43,7 @@ from repro import (
 
 __all__ = [
     "__version__",
+    "api",
     "nn",
     "data",
     "models",

@@ -1,0 +1,114 @@
+"""The shared worker-pool execution primitive of the experiment pipeline.
+
+Before the :mod:`repro.api` layer existed, every batch-parallel caller —
+``sim.runner.simulate_many``, the exploration engine, the fig8/fig9
+``--workers`` path — carried its own copy of the same ``ProcessPoolExecutor``
+dance (chunk sizing, ordered results, the serial fallback for sandboxed
+interpreters).  :class:`Runner` is that dance written once; every pipeline
+stage that fans work out does so through a ``Runner`` owned by the pipeline
+context.
+
+The contract:
+
+* results come back in input order, regardless of worker completion order;
+* the callable and every item must be picklable when the pool is used;
+* pool failures (sandboxes that forbid ``fork``/``spawn``, surfacing as
+  ``OSError``/``PermissionError``/``BrokenProcessPool``) fall back to the
+  in-process serial path, resuming after the last delivered result, so the
+  output is identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+
+class Runner:
+    """Order-preserving ``map`` over a worker-process pool with serial fallback.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process count.  ``None`` lets ``ProcessPoolExecutor`` pick
+        (one per CPU) when the pool is used at all.
+    parallel:
+        Master switch.  ``False`` always takes the in-process serial path —
+        deterministic, test-friendly, and the only option where spawning
+        processes is forbidden.  Even when ``True``, batches of one item run
+        serially (a pool would only add overhead).
+    """
+
+    def __init__(self, max_workers: int | None = None, parallel: bool = True) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.parallel = parallel
+
+    # ------------------------------------------------------------------
+    def _chunksize(self, num_items: int) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, num_items // (4 * workers))
+
+    def _use_pool(self, num_items: int) -> bool:
+        return self.parallel and num_items > 1 and (self.max_workers or 2) > 1
+
+    # ------------------------------------------------------------------
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Stream ``fn(item)`` results in input order.
+
+        If the pool breaks partway through, the serial path resumes after the
+        last result already delivered, so every item is executed exactly once
+        from the caller's point of view.
+        """
+        pending = list(items)
+        delivered = 0
+        if self._use_pool(len(pending)):
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    for result in pool.map(
+                        fn, pending, chunksize=self._chunksize(len(pending))
+                    ):
+                        delivered += 1
+                        yield result
+                    return
+            except _POOL_ERRORS:
+                pass  # sandboxed interpreter: finish on the serial path
+        for item in pending[delivered:]:
+            yield fn(item)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
+        """``list(self.imap(fn, items))`` — the all-at-once convenience form."""
+        return list(self.imap(fn, items))
+
+    def describe(self) -> str:
+        mode = "parallel" if self.parallel else "serial"
+        workers = self.max_workers if self.max_workers is not None else "auto"
+        return f"Runner({mode}, max_workers={workers})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def default_runner(
+    max_workers: int | None = None, parallel: bool | None = None
+) -> Runner:
+    """The pipeline-context runner for a worker-count request.
+
+    Mirrors the historical ``simulate_many`` semantics: no explicit worker
+    count (or an explicit 1) means serial execution, anything larger opts into
+    the pool.  Pass ``parallel`` to override that inference.
+    """
+    if parallel is None:
+        parallel = max_workers is not None and max_workers > 1
+    return Runner(max_workers=max_workers, parallel=parallel)
+
+
+__all__ = ["Runner", "default_runner"]

@@ -157,7 +157,8 @@ class ArchConfig:
     def with_pes(self, num_pes: int) -> "ArchConfig":
         """Deprecated: use :meth:`evolve` (``config.evolve(num_pes=...)``)."""
         warnings.warn(
-            "ArchConfig.with_pes is deprecated; use evolve(num_pes=...)",
+            "ArchConfig.with_pes is deprecated and will be removed in the "
+            "next major release (2.0); use evolve(num_pes=...)",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -166,7 +167,8 @@ class ArchConfig:
     def with_buffer(self, buffer_kib: int) -> "ArchConfig":
         """Deprecated: use :meth:`evolve` (``config.evolve(buffer_kib=...)``)."""
         warnings.warn(
-            "ArchConfig.with_buffer is deprecated; use evolve(buffer_kib=...)",
+            "ArchConfig.with_buffer is deprecated and will be removed in the "
+            "next major release (2.0); use evolve(buffer_kib=...)",
             DeprecationWarning,
             stacklevel=2,
         )

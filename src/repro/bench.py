@@ -22,6 +22,16 @@ from typing import Any
 
 import numpy as np
 
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    RunOptions,
+    Stage,
+    get_experiment,
+    register_experiment,
+)
 from repro.arch.pe import execute_ops, execute_ops_arrays, stats_from_arrays
 from repro.dataflow.compiler import compile_training_iteration
 from repro.dataflow.decompose import (
@@ -34,16 +44,11 @@ from repro.dataflow.decompose import (
 )
 from repro.dataflow.reference import forward_by_rows, gta_by_rows, gtw_by_rows
 from repro.eval.common import ExperimentScale
-from repro.eval.density_cache import density_cache_key
-from repro.eval.fig8 import (
-    FAMILY_REFERENCE_MODELS,
-    densities_for_workload,
-    measure_family_densities,
-)
+from repro.eval.fig8 import densities_for_workload, train_stage
 from repro.explore.cache import ResultCache
 from repro.models.spec import ConvLayerSpec, ConvStructure
-from repro.models.zoo import get_model_spec, model_family
-from repro.sim.runner import compare_workload
+from repro.models.zoo import get_model_spec
+from repro.sim.runner import WorkloadJob, _run_job
 
 DEFAULT_BENCH_PATH = "BENCH_repro.json"
 
@@ -53,7 +58,7 @@ BENCH_WORKLOAD: tuple[tuple[str, str], ...] = (("AlexNet", "CIFAR-10"),)
 
 # Scales: ``--smoke`` finishes in well under a minute on CI; the default run
 # matches the quick experiment scale used by the benchmark suite.
-SMOKE_SCALE = ExperimentScale(num_samples=96, epochs=1)
+SMOKE_SCALE = ExperimentScale.smoke()
 FULL_SCALE = ExperimentScale.quick()
 
 
@@ -225,60 +230,124 @@ def _bench_rowops(smoke: bool, seed: int = 7) -> dict[str, Any]:
     }
 
 
+# ---------------------------------------------------------------------------
+# The bench pipeline: train -> compile -> simulate -> report
+# ---------------------------------------------------------------------------
+# The ``train`` stage is the fig8 pipeline's density-measurement stage run
+# over BENCH_WORKLOAD, so bench shares both the measurement code path and the
+# on-disk density cache (same content keys) with the figure harnesses.
+
+def _is_smoke(request: ExperimentRequest) -> bool:
+    return request.scale == SMOKE_SCALE
+
+
+def _train_stage(ctx: PipelineContext):
+    """``train`` — the fig8 density-measurement stage over the bench workload.
+
+    A ``run bench`` request without explicit workloads means "the standard
+    bench workload", not the fig8 quick grid the shared stage would default
+    to, so the request is pinned to BENCH_WORKLOAD before delegating.
+    """
+    if not ctx.request.workloads:
+        ctx.request = ExperimentRequest(
+            experiment=ctx.request.experiment,
+            workloads=BENCH_WORKLOAD,
+            pruning_rate=ctx.request.pruning_rate,
+            scale=ctx.request.scale,
+            params=ctx.request.params,
+        )
+    return train_stage(ctx)
+
+
+def _compile_stage(ctx: PipelineContext) -> dict[str, Any]:
+    """``compile`` — lower the full-size spec to instruction programs."""
+    model_name, dataset_name = ctx.request.workloads[0]
+    spec = get_model_spec(model_name, dataset_name)
+    densities = densities_for_workload(model_name, dataset_name, ctx["train"])
+    sparse_program = compile_training_iteration(spec, densities=densities, sparse=True)
+    dense_program = compile_training_iteration(spec, densities=None, sparse=False)
+    return {
+        "spec": spec,
+        "densities": densities,
+        "instructions": len(sparse_program.instructions)
+        + len(dense_program.instructions),
+    }
+
+
+def _simulate_stage(ctx: PipelineContext):
+    """``simulate`` — SparseTrain vs the dense baseline on the workload."""
+    compiled = ctx["compile"]
+    job = WorkloadJob(spec=compiled["spec"], densities=compiled["densities"])
+    return ctx.runner.map(_run_job, [job])[0]
+
+
+def _report_stage(ctx: PipelineContext) -> ExperimentReport:
+    request = ctx.request
+    smoke = _is_smoke(request)
+    comparison = ctx["simulate"]
+    result = BenchResult(smoke=smoke)
+    result.stages["train"] = {
+        "seconds": ctx.timings["train"],
+        "cache_hit": ctx.stage_cache_hit("train"),
+        "epochs": request.scale.epochs,
+        "samples": request.scale.num_samples,
+    }
+    result.stages["compile"] = {
+        "seconds": ctx.timings["compile"],
+        "instructions": ctx["compile"]["instructions"],
+    }
+    result.stages["simulate"] = {
+        "seconds": ctx.timings["simulate"],
+        "speedup": float(comparison.speedup),
+        "energy_efficiency": float(comparison.energy_efficiency),
+    }
+    # Row-op validation: both PE backends over one decomposed layer.
+    result.stages["rowop_validate"] = _bench_rowops(smoke)
+    return ExperimentReport(
+        payload=result.to_payload(), summary=result.format(), native=result
+    )
+
+
+@register_experiment(
+    "bench",
+    description="Staged performance benchmark (train/compile/simulate/row-op validate)",
+)
+def build_bench_pipeline(request: ExperimentRequest) -> Pipeline:
+    return Pipeline(
+        "bench",
+        [
+            Stage("train", _train_stage, "measure densities (timed, cached)"),
+            Stage("compile", _compile_stage, "lower to instruction programs"),
+            Stage("simulate", _simulate_stage, "SparseTrain vs dense baseline"),
+            Stage("report", _report_stage, "stage timings + row-op validation"),
+        ],
+    )
+
+
 def run_bench(
     smoke: bool = False,
     out: str | Path | None = DEFAULT_BENCH_PATH,
     density_cache: ResultCache | None = None,
     pruning_rate: float = 0.9,
 ) -> BenchResult:
-    """Run every bench stage; write ``out`` (unless ``None``) and return results."""
-    scale = SMOKE_SCALE if smoke else FULL_SCALE
-    result = BenchResult(smoke=smoke)
+    """Run every bench stage; write ``out`` (unless ``None``) and return results.
 
-    # Stage 1 — train: measure densities by training the reduced model.
-    # The cache is keyed by the *family reference* model that
-    # measure_family_densities actually trains, not the workload name.
-    model_name, dataset_name = BENCH_WORKLOAD[0]
-    reference_model = FAMILY_REFERENCE_MODELS[model_family(model_name)]
-    cache_hit = density_cache is not None and density_cache_key(
-        reference_model, pruning_rate, scale
-    ) in density_cache
-    start = time.perf_counter()
-    measured = measure_family_densities(
-        BENCH_WORKLOAD, pruning_rate=pruning_rate, scale=scale, cache=density_cache
+    A thin wrapper over the registered ``bench`` experiment pipeline; the
+    stage timings in the result are the pipeline's own stage clock.
+    """
+    request = ExperimentRequest(
+        experiment="bench",
+        workloads=BENCH_WORKLOAD,
+        pruning_rate=pruning_rate,
+        scale=SMOKE_SCALE if smoke else FULL_SCALE,
     )
-    result.stages["train"] = {
-        "seconds": time.perf_counter() - start,
-        "cache_hit": cache_hit,
-        "epochs": scale.epochs,
-        "samples": scale.num_samples,
-    }
-
-    # Stage 2 — compile: lower the full-size spec to instruction programs.
-    spec = get_model_spec(model_name, dataset_name)
-    densities = densities_for_workload(model_name, dataset_name, measured)
-    start = time.perf_counter()
-    sparse_program = compile_training_iteration(spec, densities=densities, sparse=True)
-    dense_program = compile_training_iteration(spec, densities=None, sparse=False)
-    result.stages["compile"] = {
-        "seconds": time.perf_counter() - start,
-        "instructions": len(sparse_program.instructions)
-        + len(dense_program.instructions),
-    }
-
-    # Stage 3 — simulate: SparseTrain vs the dense baseline on the workload.
-    start = time.perf_counter()
-    comparison = compare_workload(spec, densities)
-    result.stages["simulate"] = {
-        "seconds": time.perf_counter() - start,
-        "speedup": float(comparison.speedup),
-        "energy_efficiency": float(comparison.energy_efficiency),
-    }
-
-    # Stage 4 — row-op validation: both PE backends over one decomposed layer.
-    result.stages["rowop_validate"] = _bench_rowops(smoke)
-
+    result = get_experiment("bench").run(
+        request,
+        options=RunOptions(),
+        extras={"density_cache": density_cache},
+    )
+    bench_result: BenchResult = result.native
     if out is not None:
-        payload = result.to_payload()
+        payload = bench_result.to_payload()
         Path(out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return result
+    return bench_result

@@ -1,7 +1,19 @@
 """``python -m repro`` — the reproduction and exploration command line.
 
+Every subcommand dispatches through the :mod:`repro.api` experiment registry:
+the CLI builds a typed :class:`~repro.api.ExperimentRequest` plus
+:class:`~repro.api.RunOptions` and executes the registered pipeline — the
+same path library callers and services use.
+
 Subcommands
 -----------
+``list``
+    Show every registered experiment and workload.
+``run``
+    Run any registered experiment by name (``python -m repro run fig8
+    --json``), with generic workload/scale/parameter flags.  ``--json``
+    prints (or ``--out`` writes) the full serialized
+    :class:`~repro.api.ExperimentResult`.
 ``sweep``
     Run a design-space sweep (PE count x buffer size x pruning rate, times a
     workload list) through the exploration engine: parallel evaluation,
@@ -29,13 +41,19 @@ a reproducible, copy-pasteable experiment description.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 from typing import Sequence
 
-from repro.explore.cache import DEFAULT_CACHE_DIR, DEFAULT_CACHE_FILE, ResultCache
-from repro.explore.engine import DesignPoint, ExplorationEngine, points_for
+from repro.api import (
+    ExperimentRequest,
+    RunOptions,
+    list_experiments,
+    list_workloads,
+    run_experiment,
+)
+from repro.explore.cache import DEFAULT_CACHE_DIR
 from repro.explore.pareto import parse_objectives, pareto_by_workload
 from repro.explore.report import (
     export_records,
@@ -43,7 +61,6 @@ from repro.explore.report import (
     format_records_table,
     load_records,
 )
-from repro.explore.space import DesignSpace, grid_axis
 from repro.models.zoo import normalize_dataset_name, normalize_model_name
 
 DEFAULT_WORKLOADS = (
@@ -160,36 +177,36 @@ def _selected_workloads(args: argparse.Namespace, default: str) -> list[tuple[st
     return _parse_workloads(default)
 
 
-def _build_points(args: argparse.Namespace) -> list[DesignPoint]:
+def _sweep_request(args: argparse.Namespace, experiment: str) -> ExperimentRequest:
+    """The sweep/pareto request for the space arguments."""
     if args.smoke:
         workloads = _selected_workloads(args, SMOKE_WORKLOADS)
-        space = DesignSpace(
-            axes=(
-                grid_axis("num_pes", _parse_list(SMOKE_PES, int)),
-                grid_axis("buffer_kib", _parse_list(SMOKE_BUFFERS, int)),
-                grid_axis("pruning_rate", _parse_list(SMOKE_RATES, float)),
-            )
-        )
-        return points_for(space, workloads)
-    workloads = _selected_workloads(args, args.workloads)
-    space = DesignSpace(
-        axes=(
-            grid_axis("num_pes", _parse_list(args.pes, int)),
-            grid_axis("buffer_kib", _parse_list(args.buffers, int)),
-            grid_axis("pruning_rate", _parse_list(args.pruning_rates, float)),
-        )
+        pes, buffers, rates = SMOKE_PES, SMOKE_BUFFERS, SMOKE_RATES
+        sample, seed = None, 0
+    else:
+        workloads = _selected_workloads(args, args.workloads)
+        pes, buffers, rates = args.pes, args.buffers, args.pruning_rates
+        sample, seed = args.sample, args.seed
+    params = {
+        "pes": list(_parse_list(pes, int)),
+        "buffers": list(_parse_list(buffers, int)),
+        "pruning_rates": list(_parse_list(rates, float)),
+        "sample": sample,
+        "seed": seed,
+    }
+    if experiment == "pareto":
+        params["objectives"] = list(_parse_list(args.objectives, str))
+    return ExperimentRequest(
+        experiment=experiment, workloads=tuple(workloads), params=params
     )
-    return points_for(space, workloads, sample=args.sample, seed=args.seed)
 
 
-def _build_engine(args: argparse.Namespace) -> ExplorationEngine:
-    cache = None
-    if not args.no_cache:
-        cache = ResultCache(Path(args.cache_dir) / DEFAULT_CACHE_FILE)
-    return ExplorationEngine(
-        cache=cache,
+def _engine_options(args: argparse.Namespace) -> RunOptions:
+    return RunOptions(
         max_workers=args.jobs,
         parallel=not args.serial,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -201,21 +218,14 @@ def _check_export_suffix(path: str | None) -> None:
         )
 
 
-def _run_sweep(args: argparse.Namespace):
-    points = _build_points(args)
-    engine = _build_engine(args)
-    start = time.perf_counter()
-    records = engine.run(points)
-    elapsed = time.perf_counter() - start
-    return records, engine, elapsed
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
     _check_export_suffix(args.out)
-    records, engine, elapsed = _run_sweep(args)
+    result = run_experiment(_sweep_request(args, "sweep"), _engine_options(args))
+    records = result.native["records"]
     ranked = sorted(records, key=lambda r: r.latency_us)
     print(format_records_table(ranked, limit=args.top))
-    print(f"\n{engine.stats.describe()} in {elapsed:.2f}s")
+    elapsed = sum(result.stage_seconds.values())
+    print(f"\n{result.native['stats']} in {elapsed:.2f}s")
     if args.out:
         export_records(records, args.out)
         print(f"wrote {len(records)} records to {args.out}")
@@ -228,10 +238,12 @@ def cmd_pareto(args: argparse.Namespace) -> int:
     if getattr(args, "from_file", None):
         records = load_records(args.from_file)
         print(f"loaded {len(records)} records from {args.from_file}")
+        frontiers = pareto_by_workload(records, objectives)
     else:
-        records, engine, elapsed = _run_sweep(args)
-        print(f"{engine.stats.describe()} in {elapsed:.2f}s")
-    frontiers = pareto_by_workload(records, objectives)
+        result = run_experiment(_sweep_request(args, "pareto"), _engine_options(args))
+        elapsed = sum(result.stage_seconds.values())
+        print(f"{result.native['stats']} in {elapsed:.2f}s")
+        frontiers = result.native["frontiers"]
     combined = []
     for workload in sorted(frontiers):
         frontier = frontiers[workload]
@@ -266,36 +278,31 @@ def _density_cache(args: argparse.Namespace):
     return default_density_cache(getattr(args, "cache_dir", DEFAULT_CACHE_DIR))
 
 
-def cmd_fig8(args: argparse.Namespace) -> int:
+def _run_fig(args: argparse.Namespace, experiment: str) -> int:
     from repro.eval.common import ExperimentScale
-    from repro.eval.fig8 import run_fig8
 
-    scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
-    result = run_fig8(
+    request = ExperimentRequest(
+        experiment=experiment,
         workloads=_fig_workloads(args),
         pruning_rate=args.pruning_rate,
-        scale=scale,
-        density_cache=_density_cache(args),
-        max_workers=args.workers,
+        scale=ExperimentScale.thorough() if args.thorough else None,
     )
-    print(result.format())
+    options = RunOptions(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    result = run_experiment(request, options)
+    print(result.summary)
     return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    return _run_fig(args, "fig8")
 
 
 def cmd_fig9(args: argparse.Namespace) -> int:
-    from repro.eval.common import ExperimentScale
-    from repro.eval.fig9 import run_fig9
-
-    scale = ExperimentScale.thorough() if args.thorough else ExperimentScale.quick()
-    result = run_fig9(
-        workloads=_fig_workloads(args),
-        pruning_rate=args.pruning_rate,
-        scale=scale,
-        density_cache=_density_cache(args),
-        max_workers=args.workers,
-    )
-    print(result.format())
-    return 0
+    return _run_fig(args, "fig9")
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -312,12 +319,117 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_set_params(pairs: Sequence[str]) -> dict:
+    """Parse ``--set key=value`` pairs; values are JSON when they parse."""
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.eval.common import ExperimentScale
+
+    scale_name = "smoke" if args.smoke else args.scale
+    workloads: tuple[tuple[str, str], ...] = ()
+    if args.workloads:
+        workloads = tuple(_parse_workloads(args.workloads))
+    request = ExperimentRequest(
+        experiment=args.experiment,
+        workloads=workloads,
+        pruning_rate=args.pruning_rate,
+        scale=ExperimentScale.preset(scale_name),
+        params=tuple(_parse_set_params(args.set or []).items()),
+    )
+    options = RunOptions(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    result = run_experiment(request, options)
+    text = result.to_json()
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+    if args.json:
+        print(text)
+    else:
+        print(result.summary)
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment in list_experiments():
+        print(f"  {experiment.name:<16} {experiment.description}")
+    print()
+    print("workloads (any registered model x dataset):")
+    for workload in list_workloads():
+        print(
+            f"  {workload.name:<14} family={workload.family:<10} "
+            f"datasets={','.join(workload.datasets)}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="SparseTrain reproduction: sweeps, Pareto analysis, paper figures.",
+        description=(
+            "SparseTrain reproduction: registry-driven experiments, sweeps, "
+            "Pareto analysis, paper figures."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    listing = sub.add_parser("list", help="list registered experiments and workloads")
+    listing.set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="run any registered experiment by name")
+    run.add_argument("experiment", help="registered experiment name (see `repro list`)")
+    run.add_argument(
+        "--workloads", default=None,
+        help="comma-separated <model>/<dataset> pairs (default: the experiment's grid)",
+    )
+    run.add_argument("--pruning-rate", type=float, default=0.9)
+    run.add_argument(
+        "--scale", choices=("quick", "thorough", "smoke"), default="quick",
+        help="experiment scale preset (default: %(default)s)",
+    )
+    run.add_argument(
+        "--smoke", action="store_true", help="shorthand for --scale smoke"
+    )
+    run.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="experiment-specific parameter (JSON values accepted; repeatable)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for fan-out stages (default: serial)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the full JSON ExperimentResult instead of the summary",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON ExperimentResult to FILE",
+    )
+    run.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="persistent stage-cache directory (default: %(default)s)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent stage caches"
+    )
+    run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="run a design-space sweep")
     _add_space_arguments(sweep)
@@ -409,8 +521,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.func(args)
     except (ValueError, FileNotFoundError) as exc:
-        # Bad axis values, unknown objectives, missing --from files: report
-        # cleanly instead of dumping a traceback at the terminal.
+        # Bad axis values, unknown experiment/workload/objective names,
+        # missing --from files: report cleanly (with the registry's listing
+        # of valid names where applicable) instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -72,6 +72,22 @@ class ExperimentScale:
         return cls()
 
     @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """Tiny settings for CI smoke runs (seconds instead of minutes)."""
+        return cls(num_samples=96, epochs=1)
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentScale":
+        """Look up a named preset (``quick``, ``thorough``, ``smoke``)."""
+        presets = {"quick": cls.quick, "thorough": cls.thorough, "smoke": cls.smoke}
+        try:
+            return presets[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scale preset {name!r}; choose from {sorted(presets)}"
+            ) from None
+
+    @classmethod
     def thorough(cls) -> "ExperimentScale":
         """Larger settings for a closer (slower) reproduction."""
         return cls(

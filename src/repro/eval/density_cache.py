@@ -18,6 +18,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.api.request import scale_to_dict
 from repro.dataflow.counts import LayerDensities
 from repro.eval.common import ExperimentScale
 from repro.explore.cache import DEFAULT_CACHE_DIR, ResultCache, stable_key
@@ -40,10 +41,7 @@ def density_cache_key(
     model_name: str, pruning_rate: float, scale: ExperimentScale
 ) -> str:
     """Stable content hash identifying one density measurement."""
-    scale_payload = {
-        key: list(value) if isinstance(value, tuple) else value
-        for key, value in asdict(scale).items()
-    }
+    scale_payload = scale_to_dict(scale)
     return stable_key(
         {
             "kind": "measured-densities",

@@ -5,16 +5,22 @@ training latency per sample of the dense baseline and of SparseTrain, and
 annotates the speedup: up to ~4.5x for AlexNet on CIFAR-10 and ~2.7x on
 average.
 
-Pipeline of this harness:
+The harness executes as a registered :mod:`repro.api` pipeline
+(``train -> profile -> compile -> simulate -> report``):
 
-1. *Measure densities* — train reduced AlexNet/ResNet models on synthetic data
-   with pruning enabled and profile the per-layer operand densities
-   (:mod:`repro.sim.trace`).
-2. *Map onto full-size specs* — assign the measured densities to the paper's
-   exact AlexNet/ResNet-18/34 layer geometries by relative depth.
-3. *Simulate* — compile sparse and dense programs, run them on the
-   SparseTrain and dense-baseline configurations (168 PEs, 386 KB buffer
-   each) and report per-sample latency and speedup.
+1. ``train`` — train reduced per-family models on synthetic data with pruning
+   enabled and profile the per-layer operand densities
+   (:mod:`repro.sim.trace`); memoized on disk through the pipeline's
+   per-stage cache hook.
+2. ``profile`` — assign the measured densities to the paper's exact
+   AlexNet/ResNet-18/34 layer geometries by relative depth.
+3. ``compile`` — lower each workload into a picklable
+   :class:`~repro.sim.runner.WorkloadJob` (program compilation itself runs
+   inside the simulate workers so it parallelises with them).
+4. ``simulate`` — run SparseTrain and the dense baseline (168 PEs, 386 KB
+   buffer each) on every job through the shared worker-pool
+   :class:`~repro.api.runner.Runner`.
+5. ``report`` — per-sample latency and speedup tables.
 """
 
 from __future__ import annotations
@@ -23,16 +29,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    RunOptions,
+    Stage,
+    get_experiment,
+    register_experiment,
+)
 from repro.arch.config import ArchConfig
 from repro.arch.energy import EnergyModel
 from repro.dataflow.counts import LayerDensities
 from repro.eval.common import ExperimentScale, build_reduced_model, synthetic_dataset_for
-from repro.eval.density_cache import load_cached_densities, store_cached_densities
+from repro.eval.density_cache import (
+    density_cache_key,
+    deserialize_measured,
+    load_cached_densities,
+    serialize_measured,
+    store_cached_densities,
+)
 from repro.explore.cache import ResultCache
 from repro.models.zoo import get_model_spec, model_family
 from repro.pruning.config import PruningConfig
 from repro.sim.report import format_latency_table
-from repro.sim.runner import WorkloadJob, WorkloadResult, simulate_many
+from repro.sim.runner import WorkloadJob, WorkloadResult, _run_job
 from repro.sim.trace import MeasuredDensities, map_densities_to_spec, profile_training_densities
 
 # The (model, dataset) grid of the paper's Fig. 8 / Fig. 9.
@@ -109,6 +131,30 @@ class Fig8Result:
         return format_latency_table(self.workloads)
 
 
+def _measure_densities_uncached(
+    model_name: str, pruning_rate: float, scale: ExperimentScale
+) -> MeasuredDensities:
+    """The raw density measurement: train a reduced model and profile it."""
+    train, _ = synthetic_dataset_for("CIFAR-10", scale)
+    model = build_reduced_model(model_name, train.num_classes, scale)
+    pruning = (
+        PruningConfig(target_sparsity=pruning_rate, fifo_depth=3, seed=scale.seed)
+        if pruning_rate > 0.0
+        else None
+    )
+    # Conv-ReLU families (no batch norm) train with the smaller step size.
+    lr = 0.01 if model_family(model_name) in ("AlexNet", "VGG") else 0.05
+    return profile_training_densities(
+        model,
+        train,
+        pruning=pruning,
+        epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        lr=lr,
+        seed=scale.seed,
+    )
+
+
 def measure_model_densities(
     model_name: str,
     pruning_rate: float = 0.9,
@@ -126,24 +172,7 @@ def measure_model_densities(
     cached = load_cached_densities(cache, model_name, pruning_rate, scale)
     if cached is not None:
         return cached
-    train, _ = synthetic_dataset_for("CIFAR-10", scale)
-    model = build_reduced_model(model_name, train.num_classes, scale)
-    pruning = (
-        PruningConfig(target_sparsity=pruning_rate, fifo_depth=3, seed=scale.seed)
-        if pruning_rate > 0.0
-        else None
-    )
-    # Conv-ReLU families (no batch norm) train with the smaller step size.
-    lr = 0.01 if model_family(model_name) in ("AlexNet", "VGG") else 0.05
-    measured = profile_training_densities(
-        model,
-        train,
-        pruning=pruning,
-        epochs=scale.epochs,
-        batch_size=scale.batch_size,
-        lr=lr,
-        seed=scale.seed,
-    )
+    measured = _measure_densities_uncached(model_name, pruning_rate, scale)
     store_cached_densities(cache, model_name, pruning_rate, scale, measured)
     return measured
 
@@ -187,6 +216,131 @@ def measure_family_densities(
     }
 
 
+# ---------------------------------------------------------------------------
+# The fig8 pipeline (shared by fig9 and bench)
+# ---------------------------------------------------------------------------
+
+def request_workloads(request: ExperimentRequest) -> tuple[tuple[str, str], ...]:
+    """The request's workloads, defaulting to the quick Fig. 8 subset."""
+    return request.workloads or QUICK_FIG8_WORKLOADS
+
+
+def density_store(ctx: PipelineContext):
+    """The density cache for a pipeline run.
+
+    Library wrappers pass the cache (or an explicit ``None`` to disable
+    caching) through extras; registry/CLI runs derive it from the run
+    options (``--cache-dir`` / ``--no-cache``).
+    """
+    if "density_cache" in ctx.extras:
+        return ctx.extras["density_cache"]
+    return ctx.options.density_cache()
+
+
+def train_stage(ctx: PipelineContext) -> dict[str, MeasuredDensities]:
+    """``train`` — measure per-family densities, one reduced model per family.
+
+    Each family's measurement goes through the pipeline's per-stage cache
+    hook with the :func:`repro.eval.density_cache.density_cache_key` content
+    hash, so fig8, fig9 and bench runs share measurements on disk.
+    """
+    request = ctx.request
+    preloaded = ctx.extras.get("measured")
+    if preloaded is not None:
+        return dict(preloaded)
+    store = density_store(ctx)
+    measured: dict[str, MeasuredDensities] = {}
+    for model_name, _ in request_workloads(request):
+        family = model_family(model_name)
+        if family in measured:
+            continue
+        reference = FAMILY_REFERENCE_MODELS[family]
+        measured[family] = ctx.cached(
+            density_cache_key(reference, request.pruning_rate, request.scale),
+            lambda reference=reference: _measure_densities_uncached(
+                reference, request.pruning_rate, request.scale
+            ),
+            store=store,
+            serialize=serialize_measured,
+            deserialize=deserialize_measured,
+        )
+    return measured
+
+
+def profile_stage(ctx: PipelineContext) -> dict[tuple[str, str], dict[str, LayerDensities]]:
+    """``profile`` — map measured family densities onto full-size specs."""
+    measured = ctx["train"]
+    return {
+        (model_name, dataset_name): densities_for_workload(
+            model_name, dataset_name, measured
+        )
+        for model_name, dataset_name in request_workloads(ctx.request)
+    }
+
+
+def compile_stage(ctx: PipelineContext) -> list[WorkloadJob]:
+    """``compile`` — lower every workload into a picklable simulation job."""
+    densities_by_workload = ctx["profile"]
+    extras = ctx.extras
+    return [
+        WorkloadJob(
+            spec=get_model_spec(model_name, dataset_name),
+            densities=densities_by_workload[(model_name, dataset_name)],
+            sparse_config=extras.get("sparse_config"),
+            baseline_config=extras.get("baseline_config"),
+            energy_model=extras.get("energy_model"),
+        )
+        for model_name, dataset_name in request_workloads(ctx.request)
+    ]
+
+
+def simulate_stage(ctx: PipelineContext) -> list[WorkloadResult]:
+    """``simulate`` — both architectures per job, fanned out by the Runner."""
+    return ctx.runner.map(_run_job, ctx["compile"])
+
+
+def workload_payload(result_workloads: list[WorkloadResult]) -> dict[str, dict[str, float]]:
+    """JSON-native per-workload metrics shared by the fig8/fig9 payloads."""
+    return {
+        w.workload_name: {
+            "speedup": float(w.speedup),
+            "energy_efficiency": float(w.energy_efficiency),
+            "latency_us": float(w.comparison.sparsetrain.latency_us),
+            "baseline_latency_us": float(w.comparison.baseline.latency_us),
+            "energy_uj": float(w.comparison.sparsetrain.energy_uj),
+            "baseline_energy_uj": float(w.comparison.baseline.energy_uj),
+        }
+        for w in result_workloads
+    }
+
+
+def _fig8_report_stage(ctx: PipelineContext) -> ExperimentReport:
+    result = Fig8Result(workloads=list(ctx["simulate"]))
+    payload = {
+        "workloads": workload_payload(result.workloads),
+        "mean_speedup": result.mean_speedup,
+        "max_speedup": result.max_speedup,
+    }
+    return ExperimentReport(payload=payload, summary=result.format(), native=result)
+
+
+@register_experiment(
+    "fig8",
+    description="Fig. 8 — per-sample training latency and speedup vs the dense baseline",
+)
+def build_fig8_pipeline(request: ExperimentRequest) -> Pipeline:
+    return Pipeline(
+        "fig8",
+        [
+            Stage("train", train_stage, "measure per-family operand densities"),
+            Stage("profile", profile_stage, "map densities onto full-size specs"),
+            Stage("compile", compile_stage, "lower workloads into simulation jobs"),
+            Stage("simulate", simulate_stage, "SparseTrain vs dense baseline"),
+            Stage("report", _fig8_report_stage, "latency/speedup tables"),
+        ],
+    )
+
+
 def run_fig8(
     workloads: tuple[tuple[str, str], ...] = QUICK_FIG8_WORKLOADS,
     pruning_rate: float = 0.9,
@@ -200,31 +354,30 @@ def run_fig8(
 ) -> Fig8Result:
     """Regenerate the Fig. 8 latency/speedup comparison.
 
+    A thin wrapper over the registered ``fig8`` experiment pipeline.
     ``measured`` can be passed to reuse density measurements across calls
     (e.g. Fig. 9 reuses Fig. 8's measurements); otherwise one reduced model
-    per family is trained and profiled here (memoized on disk when
-    ``density_cache`` is given).  ``max_workers`` fans the per-workload
-    simulations out over worker processes via
-    :func:`repro.sim.runner.simulate_many`; the default runs serially with
+    per family is trained and profiled by the ``train`` stage (memoized on
+    disk when ``density_cache`` is given).  ``max_workers`` fans the
+    per-workload simulations out over worker processes through the shared
+    :class:`~repro.api.runner.Runner`; the default runs serially with
     identical results.
     """
-    scale = scale if scale is not None else ExperimentScale.quick()
-    if measured is None:
-        measured = measure_family_densities(
-            workloads, pruning_rate, scale, cache=density_cache
-        )
-
-    jobs = []
-    for model_name, dataset_name in workloads:
-        spec = get_model_spec(model_name, dataset_name)
-        densities = densities_for_workload(model_name, dataset_name, measured)
-        jobs.append(
-            WorkloadJob(
-                spec=spec,
-                densities=densities,
-                sparse_config=sparse_config,
-                baseline_config=baseline_config,
-                energy_model=energy_model,
-            )
-        )
-    return Fig8Result(workloads=simulate_many(jobs, max_workers=max_workers))
+    request = ExperimentRequest(
+        experiment="fig8",
+        workloads=tuple(workloads),
+        pruning_rate=pruning_rate,
+        scale=scale,
+    )
+    result = get_experiment("fig8").run(
+        request,
+        options=RunOptions(max_workers=max_workers),
+        extras={
+            "measured": measured,
+            "density_cache": density_cache,
+            "sparse_config": sparse_config,
+            "baseline_config": baseline_config,
+            "energy_model": energy_model,
+        },
+    )
+    return result.native

@@ -20,10 +20,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    RunOptions,
+    Stage,
+    get_experiment,
+    register_experiment,
+)
 from repro.arch.config import ArchConfig
 from repro.arch.energy import EnergyModel
 from repro.eval.common import ExperimentScale
-from repro.eval.fig8 import QUICK_FIG8_WORKLOADS, Fig8Result, run_fig8
+from repro.eval.fig8 import (
+    QUICK_FIG8_WORKLOADS,
+    Fig8Result,
+    compile_stage,
+    profile_stage,
+    simulate_stage,
+    train_stage,
+    workload_payload,
+)
 from repro.explore.cache import ResultCache
 from repro.sim.report import format_breakdown, format_energy_table
 from repro.sim.runner import WorkloadResult
@@ -80,6 +98,36 @@ class Fig9Result:
         return "\n".join(lines)
 
 
+def _fig9_report_stage(ctx: PipelineContext) -> ExperimentReport:
+    result = Fig9Result(workloads=list(ctx["simulate"]))
+    payload = {
+        "workloads": workload_payload(result.workloads),
+        "mean_efficiency": result.mean_efficiency,
+        "baseline_sram_fractions": result.baseline_sram_fractions,
+        "sram_reductions": result.sram_reductions,
+        "combinational_reductions": result.combinational_reductions,
+    }
+    return ExperimentReport(payload=payload, summary=result.format(), native=result)
+
+
+@register_experiment(
+    "fig9",
+    description="Fig. 9 — per-sample training energy, breakdown and efficiency gain",
+)
+def build_fig9_pipeline(request: ExperimentRequest) -> Pipeline:
+    """The fig8 stage graph with the energy-oriented report stage."""
+    return Pipeline(
+        "fig9",
+        [
+            Stage("train", train_stage, "measure per-family operand densities"),
+            Stage("profile", profile_stage, "map densities onto full-size specs"),
+            Stage("compile", compile_stage, "lower workloads into simulation jobs"),
+            Stage("simulate", simulate_stage, "SparseTrain vs dense baseline"),
+            Stage("report", _fig9_report_stage, "energy tables and breakdowns"),
+        ],
+    )
+
+
 def run_fig9(
     workloads: tuple[tuple[str, str], ...] = QUICK_FIG8_WORKLOADS,
     pruning_rate: float = 0.9,
@@ -95,19 +143,27 @@ def run_fig9(
     """Regenerate the Fig. 9 energy comparison.
 
     Pass ``fig8_result`` to reuse an already-simulated Fig. 8 run (the two
-    figures share the same workload simulations in the paper as well).
-    ``density_cache`` / ``max_workers`` are forwarded to :func:`run_fig8`.
+    figures share the same workload simulations in the paper as well);
+    otherwise the registered ``fig9`` experiment pipeline runs the shared
+    train/profile/compile/simulate stages itself.
     """
-    if fig8_result is None:
-        fig8_result = run_fig8(
-            workloads=workloads,
-            pruning_rate=pruning_rate,
-            scale=scale,
-            sparse_config=sparse_config,
-            baseline_config=baseline_config,
-            energy_model=energy_model,
-            measured=measured,
-            density_cache=density_cache,
-            max_workers=max_workers,
-        )
-    return Fig9Result(workloads=list(fig8_result.workloads))
+    if fig8_result is not None:
+        return Fig9Result(workloads=list(fig8_result.workloads))
+    request = ExperimentRequest(
+        experiment="fig9",
+        workloads=tuple(workloads),
+        pruning_rate=pruning_rate,
+        scale=scale,
+    )
+    result = get_experiment("fig9").run(
+        request,
+        options=RunOptions(max_workers=max_workers),
+        extras={
+            "measured": measured,
+            "density_cache": density_cache,
+            "sparse_config": sparse_config,
+            "baseline_config": baseline_config,
+            "energy_model": energy_model,
+        },
+    )
+    return result.native

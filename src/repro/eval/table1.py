@@ -24,10 +24,19 @@ verifying the claim rather than restating it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    Stage,
+    get_experiment,
+    register_experiment,
+)
 from repro.eval.common import (
     ExperimentScale,
     build_reduced_model,
@@ -69,25 +78,28 @@ class Table1Result:
         )
 
 
-def run_table1(
-    model_name: str = "ResNet-18",
-    pruning_rate: float = 0.9,
-    scale: ExperimentScale | None = None,
-) -> Table1Result:
-    """Measure the Table I sparsity summary for one (reduced) model.
+# ---------------------------------------------------------------------------
+# The table1 pipeline: train -> profile -> report
+# ---------------------------------------------------------------------------
 
-    The default configuration is a reduced ResNet-18 with pruning at p = 90%,
-    the representative Conv-BN-ReLU case; pass ``pruning_rate=0.0`` to observe
-    natural sparsity only.
-    """
-    scale = scale if scale is not None else ExperimentScale.quick()
+def _model_name(request: ExperimentRequest) -> str:
+    if request.workloads:
+        return request.workloads[0][0]
+    return request.param("model", "ResNet-18")
+
+
+def _train_stage(ctx: PipelineContext) -> dict:
+    """``train`` — train the reduced model with pruning and profiling hooks."""
+    request = ctx.request
+    model_name = _model_name(request)
+    scale = request.scale
     train, _ = synthetic_dataset_for("CIFAR-10", scale)
     model = build_reduced_model(model_name, train.num_classes, scale)
 
     callbacks = []
-    if pruning_rate > 0.0:
+    if request.pruning_rate > 0.0:
         controller = PruningController(
-            model, PruningConfig(target_sparsity=pruning_rate, fifo_depth=3)
+            model, PruningConfig(target_sparsity=request.pruning_rate, fifo_depth=3)
         )
         callbacks.append(controller)
     profiler = SparsityProfiler(model)
@@ -112,6 +124,18 @@ def run_table1(
         batch_size=scale.batch_size,
         shuffle_rng=training_rng(scale, "table1", model_name),
     )
+    return {
+        "model": model,
+        "profiler": profiler,
+        "output_densities": output_densities,
+    }
+
+
+def _profile_stage(ctx: PipelineContext) -> tuple[DataTypeSparsity, ...]:
+    """``profile`` — derive the six data-type densities and classify them."""
+    trained = ctx["train"]
+    model, profiler = trained["model"], trained["profiler"]
+    output_densities = trained["output_densities"]
 
     convs = list(iter_convs(model))
     weight_density = float(np.mean([density(conv.weight.data) for conv in convs]))
@@ -131,12 +155,65 @@ def run_table1(
     )
     output_density = float(np.mean(output_densities)) if output_densities else 1.0
 
-    rows = summarize_data_types(
-        weight_density=weight_density,
-        weight_grad_density=weight_grad_density,
-        input_density=input_density,
-        grad_input_density=grad_input_density,
-        output_density=output_density,
-        grad_output_density=grad_output_density,
+    return tuple(
+        summarize_data_types(
+            weight_density=weight_density,
+            weight_grad_density=weight_grad_density,
+            input_density=input_density,
+            grad_input_density=grad_input_density,
+            output_density=output_density,
+            grad_output_density=grad_output_density,
+        )
     )
-    return Table1Result(model=model_name, pruning_rate=pruning_rate, rows=tuple(rows))
+
+
+def _report_stage(ctx: PipelineContext) -> ExperimentReport:
+    request = ctx.request
+    result = Table1Result(
+        model=_model_name(request),
+        pruning_rate=request.pruning_rate,
+        rows=ctx["profile"],
+    )
+    payload = {
+        "model": result.model,
+        "pruning_rate": result.pruning_rate,
+        "matches_paper": result.matches_paper(),
+        "rows": [asdict(row) for row in result.rows],
+    }
+    return ExperimentReport(payload=payload, summary=result.format(), native=result)
+
+
+@register_experiment(
+    "table1",
+    description="Table I — measured sparsity class of the six training data types",
+)
+def build_table1_pipeline(request: ExperimentRequest) -> Pipeline:
+    return Pipeline(
+        "table1",
+        [
+            Stage("train", _train_stage, "train the reduced model with hooks"),
+            Stage("profile", _profile_stage, "summarize data-type densities"),
+            Stage("report", _report_stage, "Table I classification"),
+        ],
+    )
+
+
+def run_table1(
+    model_name: str = "ResNet-18",
+    pruning_rate: float = 0.9,
+    scale: ExperimentScale | None = None,
+) -> Table1Result:
+    """Measure the Table I sparsity summary for one (reduced) model.
+
+    A thin wrapper over the registered ``table1`` experiment pipeline.  The
+    default configuration is a reduced ResNet-18 with pruning at p = 90%,
+    the representative Conv-BN-ReLU case; pass ``pruning_rate=0.0`` to observe
+    natural sparsity only.
+    """
+    request = ExperimentRequest(
+        experiment="table1",
+        pruning_rate=pruning_rate,
+        scale=scale,
+        params={"model": model_name},
+    )
+    return get_experiment("table1").run(request).native

@@ -23,6 +23,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    Stage,
+    get_experiment,
+    register_experiment,
+)
 from repro.eval.common import (
     ExperimentScale,
     build_reduced_model,
@@ -107,8 +116,13 @@ class Table2Result:
             header += f"{f'p={rate:.0%}':>16}"
         lines = [header, "-" * len(header)]
         for model, dataset in self.rows():
-            base = self.baseline(model, dataset)
-            line = f"{model:<14}{dataset:<12}{base.accuracy * 100:>8.2f}/{base.grad_density:>6.3f}"
+            try:
+                base = self.baseline(model, dataset)
+                base_text = f"{base.accuracy * 100:>8.2f}/{base.grad_density:>6.3f}"
+            except KeyError:
+                # Grids swept without an unpruned baseline row still format.
+                base_text = f"{'--':>15}"
+            line = f"{model:<14}{dataset:<12}{base_text}"
             for rate in rates:
                 try:
                     cell = self.cell(model, dataset, rate)
@@ -178,6 +192,64 @@ def train_one_cell(
     )
 
 
+# ---------------------------------------------------------------------------
+# The table2 pipeline: train -> report
+# ---------------------------------------------------------------------------
+
+def _train_stage(ctx: PipelineContext) -> list[Table2Cell]:
+    """``train`` — one training run per (model, dataset, pruning-rate) cell."""
+    request = ctx.request
+    models = request.param("models", ["AlexNet", "ResNet-18"])
+    datasets = request.param("datasets", ["CIFAR-10"])
+    rates = request.param("pruning_rates", list(PAPER_PRUNING_RATES))
+    cells = []
+    for model_name in models:
+        for dataset_name in datasets:
+            for rate in rates:
+                cells.append(
+                    train_one_cell(model_name, dataset_name, rate, request.scale)
+                )
+    return cells
+
+
+def _report_stage(ctx: PipelineContext) -> ExperimentReport:
+    result = Table2Result(cells=list(ctx["train"]))
+    try:
+        max_drop = result.max_accuracy_drop(0.9)
+    except KeyError:
+        # No unpruned baseline cells in this grid: the drop is undefined.
+        max_drop = None
+    payload = {
+        "max_accuracy_drop_p90": max_drop,
+        "cells": [
+            {
+                "model": cell.model,
+                "dataset": cell.dataset,
+                "pruning_rate": cell.pruning_rate,
+                "accuracy": cell.accuracy,
+                "train_accuracy": cell.train_accuracy,
+                "grad_density": cell.grad_density,
+            }
+            for cell in result.cells
+        ],
+    }
+    return ExperimentReport(payload=payload, summary=result.format(), native=result)
+
+
+@register_experiment(
+    "table2",
+    description="Table II — accuracy and gradient density vs pruning rate p",
+)
+def build_table2_pipeline(request: ExperimentRequest) -> Pipeline:
+    return Pipeline(
+        "table2",
+        [
+            Stage("train", _train_stage, "train every grid cell"),
+            Stage("report", _report_stage, "accuracy / rho_nnz table"),
+        ],
+    )
+
+
 def run_table2(
     models: tuple[str, ...] = ("AlexNet", "ResNet-18"),
     datasets: tuple[str, ...] = ("CIFAR-10",),
@@ -186,17 +258,19 @@ def run_table2(
 ) -> Table2Result:
     """Run the Table II grid.
 
-    The default grid (two models, one dataset, five pruning rates) is sized so
+    A thin wrapper over the registered ``table2`` experiment pipeline.  The
+    default grid (two models, one dataset, five pruning rates) is sized so
     the whole experiment runs in a couple of minutes; pass more models,
     datasets and :meth:`ExperimentScale.thorough` for a closer reproduction of
     the paper's 11-row table.
     """
-    scale = scale if scale is not None else ExperimentScale.quick()
-    result = Table2Result()
-    for model_name in models:
-        for dataset_name in datasets:
-            for rate in pruning_rates:
-                result.cells.append(
-                    train_one_cell(model_name, dataset_name, rate, scale)
-                )
-    return result
+    request = ExperimentRequest(
+        experiment="table2",
+        scale=scale,
+        params={
+            "models": list(models),
+            "datasets": list(datasets),
+            "pruning_rates": list(pruning_rates),
+        },
+    )
+    return get_experiment("table2").run(request).native

@@ -22,11 +22,10 @@ monkeypatch to prove a cached pass performs zero simulator calls.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.api.runner import Runner
 
 from repro.arch.area import estimate_area
 from repro.arch.config import ArchConfig, dense_baseline_config, sparsetrain_config
@@ -314,18 +313,9 @@ class ExplorationEngine:
             yield record
 
     def _execute(self, misses: list[DesignPoint]) -> Iterator[EvaluationRecord]:
-        done: set[str] = set()
-        if self.parallel and len(misses) > 1:
-            workers = self.max_workers or os.cpu_count() or 1
-            chunksize = max(1, len(misses) // (4 * workers))
-            try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    for record in pool.map(evaluate_point, misses, chunksize=chunksize):
-                        done.add(record.key)
-                        yield record
-                    return
-            except (OSError, PermissionError, BrokenProcessPool):
-                pass  # sandboxed interpreter: finish on the serial path
-        for point in misses:
-            if point.key not in done:
-                yield evaluate_point(point)
+        # The shared Runner primitive owns the pool, chunk sizing and the
+        # serial fallback; ``evaluate_point`` is resolved through the module
+        # global so tests can monkeypatch it to prove a cached pass performs
+        # zero simulator calls.
+        runner = Runner(max_workers=self.max_workers, parallel=self.parallel)
+        yield from runner.imap(evaluate_point, misses)

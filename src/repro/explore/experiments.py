@@ -1,0 +1,167 @@
+"""Registered ``sweep`` and ``pareto`` experiments over the exploration engine.
+
+These wrap the design-space subsystem in the :mod:`repro.api` pipeline shape
+(``compile -> simulate -> report``):
+
+* ``compile`` builds the concrete :class:`DesignPoint` grid from the
+  request's workloads and the ``pes`` / ``buffers`` / ``pruning_rates``
+  parameters (optionally a seeded random subsample);
+* ``simulate`` evaluates the points through :class:`ExplorationEngine` —
+  deduplication, the persistent sweep cache resolved from the run options,
+  and worker-pool fan-out through the shared Runner primitive;
+* ``report`` renders the latency-ranked table (``sweep``) or per-workload
+  Pareto frontiers (``pareto``).
+
+``python -m repro sweep`` / ``pareto`` / ``run sweep`` all dispatch here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api import (
+    ExperimentReport,
+    ExperimentRequest,
+    Pipeline,
+    PipelineContext,
+    Stage,
+    register_experiment,
+)
+from repro.explore.engine import DesignPoint, ExplorationEngine, points_for
+from repro.explore.pareto import parse_objectives, pareto_by_workload
+from repro.explore.space import DesignSpace, grid_axis
+from repro.explore.report import format_frontier, format_records_table
+
+# Default sweep grid (kept in sync with the CLI's documented defaults).
+DEFAULT_SWEEP_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("AlexNet", "CIFAR-10"),
+    ("ResNet-18", "CIFAR-10"),
+    ("VGG-16", "CIFAR-10"),
+    ("MobileNetV1", "CIFAR-10"),
+)
+DEFAULT_PES: tuple[int, ...] = (84, 168, 336, 672)
+DEFAULT_BUFFERS: tuple[int, ...] = (192, 386, 772)
+DEFAULT_RATES: tuple[float, ...] = (0.5, 0.7, 0.9, 0.95)
+DEFAULT_OBJECTIVE_NAMES: tuple[str, ...] = ("latency_us", "energy_uj", "area_mm2")
+
+
+def _compile_stage(ctx: PipelineContext) -> list[DesignPoint]:
+    """``compile`` — cross the parameter grid with the workload list."""
+    request = ctx.request
+    workloads = request.workloads or DEFAULT_SWEEP_WORKLOADS
+    space = DesignSpace(
+        axes=(
+            grid_axis("num_pes", tuple(request.param("pes", list(DEFAULT_PES)))),
+            grid_axis(
+                "buffer_kib", tuple(request.param("buffers", list(DEFAULT_BUFFERS)))
+            ),
+            grid_axis(
+                "pruning_rate",
+                tuple(request.param("pruning_rates", list(DEFAULT_RATES))),
+            ),
+        )
+    )
+    return points_for(
+        space,
+        workloads,
+        sample=request.param("sample"),
+        seed=request.param("seed", 0),
+    )
+
+
+def _simulate_stage(ctx: PipelineContext) -> dict[str, Any]:
+    """``simulate`` — evaluate through the cached, parallel engine."""
+    options = ctx.options
+    cache = ctx.extras.get("sweep_cache")
+    if cache is None and "sweep_cache" not in ctx.extras:
+        cache = options.sweep_cache()
+    engine = ExplorationEngine(
+        cache=cache,
+        max_workers=options.max_workers,
+        parallel=options.parallel,
+    )
+    records = engine.run(ctx["compile"])
+    return {"records": records, "stats": engine.stats.describe()}
+
+
+def _sweep_report_stage(ctx: PipelineContext) -> ExperimentReport:
+    simulated = ctx["simulate"]
+    records, stats = simulated["records"], simulated["stats"]
+    ranked = sorted(records, key=lambda r: r.latency_us)
+    top = ctx.request.param("top", 16)
+    summary = format_records_table(ranked, limit=top) + f"\n\n{stats}"
+    payload = {
+        "records": [record.to_dict() for record in records],
+        "stats": stats,
+    }
+    return ExperimentReport(
+        payload=payload, summary=summary, native={"records": records, "stats": stats}
+    )
+
+
+def _pareto_report_stage(ctx: PipelineContext) -> ExperimentReport:
+    simulated = ctx["simulate"]
+    records, stats = simulated["records"], simulated["stats"]
+    objectives = parse_objectives(
+        tuple(ctx.request.param("objectives", list(DEFAULT_OBJECTIVE_NAMES)))
+    )
+    frontiers = pareto_by_workload(records, objectives)
+    lines = [stats]
+    for workload in sorted(frontiers):
+        lines.append("")
+        lines.append(f"[{workload}]")
+        lines.append(format_frontier(frontiers[workload], objectives))
+    payload = {
+        "stats": stats,
+        "frontiers": {
+            workload: [record.to_dict() for record in frontier]
+            for workload, frontier in frontiers.items()
+        },
+    }
+    return ExperimentReport(
+        payload=payload,
+        summary="\n".join(lines),
+        native={"records": records, "frontiers": frontiers, "stats": stats},
+    )
+
+
+@register_experiment(
+    "sweep",
+    description="Design-space sweep (PE count x buffer x pruning rate x workloads)",
+)
+def build_sweep_pipeline(request: ExperimentRequest) -> Pipeline:
+    return Pipeline(
+        "sweep",
+        [
+            Stage("compile", _compile_stage, "build the design-point grid"),
+            Stage("simulate", _simulate_stage, "cached, parallel engine evaluation"),
+            Stage("report", _sweep_report_stage, "latency-ranked records table"),
+        ],
+    )
+
+
+@register_experiment(
+    "pareto",
+    description="Per-workload Pareto frontiers over a design-space sweep",
+)
+def build_pareto_pipeline(request: ExperimentRequest) -> Pipeline:
+    # Fail on a bad objective list at build time, before any simulation runs.
+    parse_objectives(tuple(request.param("objectives", list(DEFAULT_OBJECTIVE_NAMES))))
+    return Pipeline(
+        "pareto",
+        [
+            Stage("compile", _compile_stage, "build the design-point grid"),
+            Stage("simulate", _simulate_stage, "cached, parallel engine evaluation"),
+            Stage("report", _pareto_report_stage, "Pareto frontier extraction"),
+        ],
+    )
+
+
+__all__ = [
+    "DEFAULT_SWEEP_WORKLOADS",
+    "DEFAULT_PES",
+    "DEFAULT_BUFFERS",
+    "DEFAULT_RATES",
+    "build_pareto_pipeline",
+    "build_sweep_pipeline",
+]

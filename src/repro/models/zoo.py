@@ -7,15 +7,24 @@ objects so the latency/energy harness can iterate over them;
 ``extended_workloads`` adds the VGG and MobileNet families this reproduction
 grows beyond the paper, and ``model_family`` groups every supported model
 name into the family whose reduced model measures its densities.
+
+Every supported model is registered into the :mod:`repro.api` workload
+registry (``@register_workload``); :func:`get_model_spec` and the experiment
+pipelines resolve names through that registry, so adding a model family is a
+registry entry here rather than new dispatch code in every harness.
 """
 
 from __future__ import annotations
 
+from repro.api.registry import WORKLOADS, register_workload
 from repro.models.alexnet import alexnet_cifar_spec, alexnet_imagenet_spec
 from repro.models.mobilenet import mobilenet_spec
-from repro.models.resnet import resnet_spec
+from repro.models.resnet import resnet_spec, supported_depths
 from repro.models.spec import ModelSpec
-from repro.models.vgg import vgg_spec
+from repro.models.vgg import supported_vgg_depths, vgg_spec
+
+# The dataset grid every registered workload supports.
+KNOWN_DATASETS: tuple[str, ...] = ("CIFAR-10", "CIFAR-100", "ImageNet")
 
 
 def normalize_model_name(model: str) -> str:
@@ -48,14 +57,13 @@ def model_family(model: str) -> str:
     reduced model and map them onto every full-size member by relative depth.
     """
     name = normalize_model_name(model)
-    if name == "AlexNet":
-        return "AlexNet"
+    if name in WORKLOADS:
+        return WORKLOADS.get(name).family
+    # Unregistered depths of a registered family still map onto it.
     if name.startswith("ResNet-"):
         return "ResNet"
     if name.startswith("VGG-"):
         return "VGG"
-    if name.startswith("MobileNetV1"):
-        return "MobileNet"
     raise ValueError(f"unknown model {model!r}; no density-measurement family")
 
 
@@ -71,8 +79,53 @@ def normalize_dataset_name(dataset: str) -> str:
     return dataset.strip()
 
 
+# ---------------------------------------------------------------------------
+# Workload registry entries
+# ---------------------------------------------------------------------------
+
+def _alexnet_workload(dataset: str) -> ModelSpec:
+    if dataset == "ImageNet":
+        return alexnet_imagenet_spec()
+    if dataset == "CIFAR-10":
+        return alexnet_cifar_spec(10)
+    if dataset == "CIFAR-100":
+        return alexnet_cifar_spec(100)
+    raise ValueError(f"unknown dataset {dataset!r} for AlexNet")
+
+
+register_workload(
+    "AlexNet",
+    family="AlexNet",
+    datasets=KNOWN_DATASETS,
+    description="Conv-ReLU, prunes dI (paper Section IV-A)",
+)(_alexnet_workload)
+
+for _depth in supported_depths():
+    register_workload(
+        f"ResNet-{_depth}",
+        family="ResNet",
+        datasets=KNOWN_DATASETS,
+        description="Conv-BN-ReLU, prunes dO",
+    )(lambda dataset, _depth=_depth: resnet_spec(_depth, dataset))
+
+for _depth in supported_vgg_depths():
+    register_workload(
+        f"VGG-{_depth}",
+        family="VGG",
+        datasets=KNOWN_DATASETS,
+        description="uniform 3x3 Conv-ReLU stacks, prunes dI",
+    )(lambda dataset, _depth=_depth: vgg_spec(_depth, dataset))
+
+register_workload(
+    "MobileNetV1",
+    family="MobileNet",
+    datasets=KNOWN_DATASETS,
+    description="depthwise-separable Conv-BN-ReLU, prunes dO",
+)(lambda dataset: mobilenet_spec(dataset))
+
+
 def get_model_spec(model: str, dataset: str) -> ModelSpec:
-    """Look up a model/dataset combination by name.
+    """Look up a model/dataset combination through the workload registry.
 
     Parameters
     ----------
@@ -87,32 +140,35 @@ def get_model_spec(model: str, dataset: str) -> ModelSpec:
     """
     model_name = normalize_model_name(model)
     dataset_name = normalize_dataset_name(dataset)
-    if model_name == "AlexNet":
-        if dataset_name == "ImageNet":
-            return alexnet_imagenet_spec()
-        if dataset_name == "CIFAR-10":
-            return alexnet_cifar_spec(10)
-        if dataset_name == "CIFAR-100":
-            return alexnet_cifar_spec(100)
-        raise ValueError(f"unknown dataset {dataset!r} for AlexNet")
-    if model_name == "MobileNetV1":
-        return mobilenet_spec(dataset_name)
-    if model_name.lower().startswith(("vgg-", "vgg")):
-        try:
-            depth = int(model_name.split("-", 1)[1])
-        except (IndexError, ValueError) as exc:
-            raise ValueError(f"cannot parse VGG depth from {model!r}") from exc
-        return vgg_spec(depth, dataset_name)
-    if model_name.lower().startswith(("resnet-", "resnet")):
-        try:
-            depth = int(normalize_model_name(model_name).split("-", 1)[1])
-        except (IndexError, ValueError) as exc:
-            raise ValueError(f"cannot parse ResNet depth from {model!r}") from exc
-        return resnet_spec(depth, dataset_name)
-    raise ValueError(
-        f"unknown model {model!r}; expected AlexNet, ResNet-<depth>, "
-        f"VGG-<depth> or MobileNetV1"
-    )
+    if model_name not in WORKLOADS:
+        # Keep the specific parse errors for family-prefixed names so typos
+        # like "ResNet-abc" name the model instead of listing the registry.
+        key = model_name.lower()
+        if key.startswith("resnet"):
+            depth = key.partition("-")[2]
+            if depth.isdigit():
+                raise ValueError(
+                    f"unsupported ResNet depth {depth}; choose from {supported_depths()}"
+                )
+            raise ValueError(f"cannot parse ResNet depth from {model!r}")
+        if key.startswith("vgg"):
+            depth = key.partition("-")[2]
+            if depth.isdigit():
+                raise ValueError(
+                    f"unsupported VGG depth {depth}; choose from {supported_vgg_depths()}"
+                )
+            raise ValueError(f"cannot parse VGG depth from {model!r}")
+        raise ValueError(
+            f"unknown model {model!r}; registered workload models: "
+            f"{', '.join(WORKLOADS.names())}"
+        )
+    workload = WORKLOADS.get(model_name)
+    if dataset_name not in workload.datasets:
+        raise ValueError(
+            f"unknown dataset {dataset!r} for {model_name}; known datasets: "
+            f"{', '.join(workload.datasets)}"
+        )
+    return workload.spec(dataset_name)
 
 
 def paper_workloads(include_imagenet: bool = True) -> list[ModelSpec]:

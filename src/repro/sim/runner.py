@@ -9,10 +9,10 @@ speedup and energy-efficiency numbers the paper's Fig. 8 / Fig. 9 report.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
+
+from repro.api.runner import default_runner
 
 from repro.arch.accelerator import AcceleratorSimulator
 from repro.arch.config import ArchConfig, dense_baseline_config, sparsetrain_config
@@ -123,21 +123,12 @@ def simulate_many(
     """Run a batch of workload comparisons, optionally across processes.
 
     ``max_workers=None`` or ``1`` runs serially in-process (deterministic,
-    test-friendly); larger values fan the jobs out over a
-    ``ProcessPoolExecutor``.  Results are returned in job order either way.
-    This is the light-weight batch primitive for callers that already hold
-    specs and densities; design-space sweeps over architecture/pruning knobs
-    (with caching and deduplication) live in :mod:`repro.explore`.
+    test-friendly); larger values fan the jobs out over worker processes via
+    the shared :class:`repro.api.runner.Runner` primitive (which also owns
+    the serial fallback for sandboxes that forbid spawning).  Results are
+    returned in job order either way.  This is the light-weight batch
+    primitive for callers that already hold specs and densities;
+    design-space sweeps over architecture/pruning knobs (with caching and
+    deduplication) live in :mod:`repro.explore`.
     """
-    jobs = list(jobs)
-    if max_workers is not None and max_workers > 1 and len(jobs) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                chunksize = max(1, len(jobs) // (max_workers * 4))
-                return list(pool.map(_run_job, jobs, chunksize=chunksize))
-        except (OSError, PermissionError, BrokenProcessPool):
-            # Sandboxed environments may forbid spawning worker processes
-            # (surfacing as BrokenProcessPool from map, not at construction);
-            # the serial path below produces identical results.
-            pass
-    return [_run_job(job) for job in jobs]
+    return default_runner(max_workers).map(_run_job, list(jobs))

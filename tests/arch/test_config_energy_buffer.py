@@ -75,9 +75,10 @@ class TestArchConfig:
             ArchConfig.from_dict({"num_pe": 84})
 
     def test_with_pes_and_with_buffer_deprecated(self):
-        with pytest.deprecated_call():
+        # The deprecation cycle promises a removal note in the message.
+        with pytest.warns(DeprecationWarning, match="will be removed"):
             config = sparsetrain_config().with_pes(84)
-        with pytest.deprecated_call():
+        with pytest.warns(DeprecationWarning, match="will be removed"):
             config = config.with_buffer(128)
         assert config.num_pes == 84
         assert config.buffer_kib == 128
