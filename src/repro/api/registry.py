@@ -114,8 +114,14 @@ class Experiment:
         request: ExperimentRequest,
         options: RunOptions | None = None,
         extras: dict[str, Any] | None = None,
+        on_stage: Callable[[str, float], None] | None = None,
     ) -> ExperimentResult:
-        """Execute the pipeline for ``request`` and package the result."""
+        """Execute the pipeline for ``request`` and package the result.
+
+        ``on_stage`` is the per-stage progress callback
+        (``on_stage(stage_name, seconds)``), invoked as each stage completes —
+        the hook the job service uses to persist live stage timings.
+        """
         if request.experiment != self.name:
             raise ValueError(
                 f"request is for experiment {request.experiment!r}, "
@@ -132,6 +138,7 @@ class Experiment:
                 options.max_workers, None if options.parallel else False
             ),
             extras=dict(extras or {}),
+            on_stage=on_stage,
         )
         pipeline = self.pipeline(request)
         report = pipeline.run(ctx)
@@ -250,9 +257,10 @@ def run_experiment(
     request: ExperimentRequest,
     options: RunOptions | None = None,
     extras: dict[str, Any] | None = None,
+    on_stage: Callable[[str, float], None] | None = None,
 ) -> ExperimentResult:
     """Resolve ``request.experiment`` in the registry and execute it."""
-    return get_experiment(request.experiment).run(request, options, extras)
+    return get_experiment(request.experiment).run(request, options, extras, on_stage)
 
 
 __all__ = [

@@ -15,12 +15,18 @@ The contract:
 * pool failures (sandboxes that forbid ``fork``/``spawn``, surfacing as
   ``OSError``/``PermissionError``/``BrokenProcessPool``) fall back to the
   in-process serial path, resuming after the last delivered result, so the
-  output is identical either way.
+  output is identical either way;
+* an interrupt (``KeyboardInterrupt``/``SystemExit`` from SIGTERM) or a
+  worker exception mid-fan-out never orphans worker processes: queued
+  futures are cancelled, live workers terminated and joined, and the
+  exception re-raised.  Pass ``partial`` to :meth:`Runner.map` to keep the
+  results delivered before the interrupt.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
@@ -29,6 +35,27 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+# How long to wait for terminated workers to exit before abandoning them.
+_ABORT_JOIN_SECONDS = 5.0
+
+
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: cancel queued work, terminate and join workers.
+
+    The default ``shutdown(wait=True)`` of the executor's context manager
+    waits for every already-submitted future — on a KeyboardInterrupt during
+    a large fan-out that means minutes of zombie computation, and a parent
+    that dies first leaves orphaned workers.  This path is deliberately
+    impatient; it is only taken when the batch is already lost.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
+        process.terminate()
+    deadline = time.monotonic() + _ABORT_JOIN_SECONDS
+    for process in processes:
+        process.join(max(0.0, deadline - time.monotonic()))
 
 
 class Runner:
@@ -71,22 +98,46 @@ class Runner:
         pending = list(items)
         delivered = 0
         if self._use_pool(len(pending)):
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    for result in pool.map(
-                        fn, pending, chunksize=self._chunksize(len(pending))
-                    ):
-                        delivered += 1
-                        yield result
-                    return
+                for result in pool.map(
+                    fn, pending, chunksize=self._chunksize(len(pending))
+                ):
+                    delivered += 1
+                    yield result
             except _POOL_ERRORS:
-                pass  # sandboxed interpreter: finish on the serial path
+                # Sandboxed interpreter (fork/spawn forbidden) or a broken
+                # pool: clean up and finish on the serial path below.
+                _abort_pool(pool)
+            except BaseException:
+                # KeyboardInterrupt/SystemExit, a worker exception, or an
+                # abandoned generator (GeneratorExit): don't wait out the rest
+                # of the batch — kill the workers and surface the exception.
+                _abort_pool(pool)
+                raise
+            else:
+                pool.shutdown(wait=True)
+                return
         for item in pending[delivered:]:
             yield fn(item)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
-        """``list(self.imap(fn, items))`` — the all-at-once convenience form."""
-        return list(self.imap(fn, items))
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T] | Iterable[T],
+        partial: list[R] | None = None,
+    ) -> list[R]:
+        """``list(self.imap(fn, items))`` — the all-at-once convenience form.
+
+        ``partial``, when given, is a caller-owned list that every result is
+        appended to *as it is delivered*; if the batch is interrupted
+        (KeyboardInterrupt, SIGTERM, a worker exception), the exception
+        propagates but the list keeps everything completed so far.
+        """
+        results = partial if partial is not None else []
+        for result in self.imap(fn, items):
+            results.append(result)
+        return results
 
     def describe(self) -> str:
         mode = "parallel" if self.parallel else "serial"

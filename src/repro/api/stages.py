@@ -70,7 +70,14 @@ class Stage:
 
 @dataclass
 class PipelineContext:
-    """Mutable state threaded through one pipeline run."""
+    """Mutable state threaded through one pipeline run.
+
+    ``on_stage`` is the progress hook for long-running callers (the job
+    service, progress bars): invoked as ``on_stage(stage_name, seconds)``
+    right after each stage completes.  Exceptions from the callback propagate
+    and abort the run — a broken observer should fail loudly, not corrupt a
+    silently half-observed result.
+    """
 
     request: ExperimentRequest
     options: RunOptions = field(default_factory=RunOptions)
@@ -80,6 +87,7 @@ class PipelineContext:
     timings: dict[str, float] = field(default_factory=dict)
     cache_events: dict[str, list[tuple[str, bool]]] = field(default_factory=dict)
     current_stage: str | None = None
+    on_stage: Callable[[str, float], None] | None = None
 
     def __getitem__(self, stage: str) -> Any:
         try:
@@ -181,6 +189,8 @@ class Pipeline:
             artifact = stage.run(ctx)
             ctx.timings[stage.name] = time.perf_counter() - start
             ctx.artifacts[stage.name] = artifact
+            if ctx.on_stage is not None:
+                ctx.on_stage(stage.name, ctx.timings[stage.name])
         ctx.current_stage = None
         return artifact
 

@@ -33,6 +33,12 @@ Subcommands
     validate) and write ``BENCH_repro.json`` — the repository's performance
     trajectory.  The row-op stage cross-validates the scalar and vectorized
     PE backends and reports their speedup.
+``serve`` / ``submit`` / ``status`` / ``cancel``
+    The persistent experiment job service (:mod:`repro.serve`): ``serve``
+    runs the SQLite-backed scheduler + HTTP API in the foreground until
+    SIGINT/SIGTERM (then drains gracefully); the other verbs are thin
+    clients — submit a request (deduplicated by content hash, ``--wait``
+    blocks until done), inspect job states, cancel queued jobs.
 
 Every run prints the same tables the library returns, so a CLI invocation is
 a reproducible, copy-pasteable experiment description.
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -333,20 +340,30 @@ def _parse_set_params(pairs: Sequence[str]) -> dict:
     return params
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def request_from_args(args: argparse.Namespace) -> ExperimentRequest:
+    """The request described by the shared run/submit experiment flags.
+
+    ``repro run`` executes it locally; ``repro submit`` ships it to the job
+    service — one builder, so both front ends produce the same request (and
+    the same content hash) for the same flags.
+    """
     from repro.eval.common import ExperimentScale
 
     scale_name = "smoke" if args.smoke else args.scale
     workloads: tuple[tuple[str, str], ...] = ()
     if args.workloads:
         workloads = tuple(_parse_workloads(args.workloads))
-    request = ExperimentRequest(
+    return ExperimentRequest(
         experiment=args.experiment,
         workloads=workloads,
         pruning_rate=args.pruning_rate,
         scale=ExperimentScale.preset(scale_name),
         params=tuple(_parse_set_params(args.set or []).items()),
     )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    request = request_from_args(args)
     options = RunOptions(
         max_workers=args.workers,
         use_cache=not args.no_cache,
@@ -512,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=cmd_bench)
 
+    from repro.serve.cli import register_serve_commands
+
+    register_serve_commands(sub, default_cache_dir=DEFAULT_CACHE_DIR)
+
     return parser
 
 
@@ -526,6 +547,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # of valid names where applicable) instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro submit ... | head`): exit with
+        # the conventional SIGPIPE status, and point stdout at /dev/null so
+        # the interpreter's shutdown flush doesn't print a second traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ content hash of the full measurement description and store the serialized
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Mapping
@@ -86,8 +87,14 @@ def load_cached_densities(
         return None
     try:
         return deserialize_measured(record)
-    except (KeyError, TypeError):
+    except (KeyError, TypeError, ValueError):
         # A foreign/corrupted record under this key: fall back to measuring.
+        warnings.warn(
+            f"density cache {cache.path}: corrupt record for "
+            f"{model_name} (p={pruning_rate}); re-measuring",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
 
 

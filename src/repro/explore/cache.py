@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -43,6 +44,7 @@ class ResultCache:
     def _load(self) -> None:
         if not self.path.exists():
             return
+        corrupt = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -52,9 +54,16 @@ class ResultCache:
                     entry = json.loads(line)
                     self._records[entry["key"]] = entry["record"]
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    # A truncated final line (interrupted writer) only loses
-                    # that one entry; the point is simply re-simulated.
-                    continue
+                    # A truncated line (interrupted writer) only loses that
+                    # one entry; the point is simply re-simulated.
+                    corrupt += 1
+        if corrupt:
+            warnings.warn(
+                f"result cache {self.path}: skipped {corrupt} corrupt/truncated "
+                f"line(s) (torn write?); the affected entries will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __len__(self) -> int:
         return len(self._records)

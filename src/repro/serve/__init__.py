@@ -1,0 +1,66 @@
+"""``repro.serve`` — the persistent experiment job service.
+
+Turns the one-shot :mod:`repro.api` pipelines into a long-lived serving
+system: many clients share one warm process that queues, deduplicates,
+executes and persists experiments.
+
+* :class:`JobStore` (:mod:`repro.serve.store`) — SQLite persistence, jobs
+  keyed by :attr:`ExperimentRequest.content_hash` with states
+  ``queued/running/done/failed/cancelled``, per-stage timings, JSON results,
+  and crash recovery.
+* :class:`Scheduler` (:mod:`repro.serve.scheduler`) — drains the queue with
+  configurable concurrency, priority + FIFO ordering, hash-level dedup,
+  retry-with-backoff, and graceful drain on SIGINT/SIGTERM.
+* :class:`ExperimentServer` (:mod:`repro.serve.http_api`) — stdlib
+  ``ThreadingHTTPServer`` JSON API (``POST /jobs``, ``GET /jobs[/<id>]``,
+  ``DELETE /jobs/<id>``, ``GET /healthz``).
+* :class:`ServeClient` (:mod:`repro.serve.client`) — the urllib client the
+  ``repro submit/status/cancel`` CLI verbs are built on.
+
+Minimal embedded use (no HTTP)::
+
+    from repro.api import ExperimentRequest
+    from repro.serve import JobStore, Scheduler
+
+    scheduler = Scheduler(JobStore("serve.db"), concurrency=2)
+    scheduler.start()
+    job, deduped = scheduler.submit(ExperimentRequest(experiment="fig8"))
+    print(scheduler.wait(job.id).result().summary)
+    scheduler.stop()
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import (
+    DEFAULT_URL,
+    ServeClient,
+    ServeError,
+    ServeUnavailableError,
+)
+from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT, ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import (
+    AmbiguousJobError,
+    Job,
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    UnknownJobError,
+)
+
+__all__ = [
+    "AmbiguousJobError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_URL",
+    "ExperimentServer",
+    "Job",
+    "JobStore",
+    "STATES",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailableError",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]

@@ -1,0 +1,360 @@
+"""CLI verbs of the experiment job service: serve, submit, status, cancel.
+
+Registered into the main ``python -m repro`` parser by
+:func:`register_serve_commands`; the client-side verbs talk to a running
+service through :class:`~repro.serve.client.ServeClient`.
+
+Exit codes (``repro submit --wait`` is the scriptable one):
+
+====  =========================================================
+0     submitted (and, with ``--wait``, the job finished ``done``)
+1     the job finished ``failed`` or ``cancelled``
+2     bad arguments, unknown experiment, or no service reachable
+124   ``--wait --timeout`` expired before the job finished
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from typing import Any, Sequence
+
+DEFAULT_DB = ".repro-cache/serve.db"
+
+
+# ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent job service until SIGINT/SIGTERM, then drain."""
+    from repro.api.request import RunOptions
+    from repro.serve.http_api import ExperimentServer
+    from repro.serve.scheduler import Scheduler
+    from repro.serve.store import JobStore
+
+    store = JobStore(args.db)
+    options = RunOptions(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    scheduler = Scheduler(
+        store,
+        options=options,
+        concurrency=args.concurrency,
+        retry_base_delay=args.retry_delay,
+    )
+    # Bind the port *before* recovery/worker startup: the port doubles as the
+    # mutual-exclusion guard, so a second `repro serve` on the same DB dies
+    # here without having requeued (and re-run) a live service's jobs.
+    try:
+        server = ExperimentServer(scheduler, host=args.host, port=args.port)
+    except OSError as exc:
+        store.close()
+        print(
+            f"error: cannot bind {args.host}:{args.port} ({exc}); "
+            "is another repro serve already running?",
+            file=sys.stderr,
+        )
+        return 2
+    recovered = scheduler.start()
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    http_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    http_thread.start()
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(db={args.db}, concurrency={args.concurrency}, "
+        f"workers={args.workers or 'serial'})"
+    )
+    if recovered:
+        print(f"recovered {recovered} interrupted job(s) back into the queue")
+    sys.stdout.flush()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        print("repro serve: draining (running jobs finish, queue persists)")
+        sys.stdout.flush()
+        server.shutdown()
+        server.server_close()
+        drained = scheduler.stop(timeout=args.drain_timeout)
+        if drained:
+            # With a job still running past --drain-timeout, the store stays
+            # open: the worker (a daemon thread) may yet persist its result,
+            # and the job is requeued by crash recovery on the next start.
+            store.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print(
+            "repro serve: drained cleanly"
+            if drained
+            else "repro serve: drain timed out with jobs still running"
+        )
+    return 0 if drained else 1
+
+
+# ---------------------------------------------------------------------------
+# repro submit
+# ---------------------------------------------------------------------------
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.cli import request_from_args
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        request = request_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.url)
+    try:
+        response = client.submit(
+            request, priority=args.priority, max_retries=args.max_retries
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job = response["job"]
+    how = (
+        "deduped (attached to existing job)"
+        if response["deduped"]
+        else "queued (new job)"
+    )
+    print(
+        f"job {job['id'][:12]} [{request.experiment}] {job['state']} — {how}; "
+        f"submissions={job['submissions']} executions={job['executions']}"
+    )
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout=args.timeout)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 124
+    if job["state"] == "done":
+        result = job.get("result") or {}
+        summary = result.get("summary")
+        if summary:
+            print(summary)
+        print(f"job {job['id'][:12]} done in {_elapsed(job)}")
+        return 0
+    print(
+        f"job {job['id'][:12]} {job['state']}"
+        + (f": {job['error']}" if job.get("error") else ""),
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _elapsed(job: dict[str, Any]) -> str:
+    started, finished = job.get("started_at"), job.get("finished_at")
+    if started is None or finished is None:
+        return "?"
+    return f"{finished - started:.2f}s"
+
+
+# ---------------------------------------------------------------------------
+# repro status / cancel
+# ---------------------------------------------------------------------------
+
+def _format_job_line(job: dict[str, Any]) -> str:
+    timings = job.get("timings") or {}
+    stage = f" [{'/'.join(timings)}]" if timings and job["state"] == "running" else ""
+    error = f" error={job['error']!r}" if job.get("error") else ""
+    return (
+        f"{job['id'][:12]}  {job['experiment']:<12} {job['state']:<9} "
+        f"prio={job['priority']:<3} subs={job['submissions']} "
+        f"execs={job['executions']}{stage}{error}"
+    )
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.job:
+            job = client.job(args.job)
+            if args.json:
+                print(json.dumps(job, indent=2))
+            else:
+                print(_format_job_line(job))
+                for stage, seconds in (job.get("timings") or {}).items():
+                    print(f"  {stage:<10} {seconds:.3f}s")
+                result = job.get("result") or {}
+                if result.get("summary"):
+                    print()
+                    print(result["summary"])
+            return 0
+        health = client.health()
+        jobs = client.jobs(state=args.state, limit=args.limit)
+        if args.json:
+            print(json.dumps({"health": health, "jobs": jobs}, indent=2))
+            return 0
+        counts = " ".join(
+            f"{state}={n}" for state, n in health["jobs"].items() if n
+        )
+        print(
+            f"service up {health['uptime_s']:.0f}s, "
+            f"concurrency={health['scheduler']['concurrency']}: "
+            f"{counts or 'no jobs'}"
+        )
+        for job in jobs:
+            print(_format_job_line(job))
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        response = client.cancel(args.job)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job = response["job"]
+    if response["cancelled"]:
+        print(f"job {job['id'][:12]} cancelled")
+        return 0
+    print(
+        f"job {job['id'][:12]} is {job['state']} and was not cancelled "
+        "(only queued jobs can be)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Parser wiring
+# ---------------------------------------------------------------------------
+
+def register_serve_commands(
+    sub: "argparse._SubParsersAction", default_cache_dir: str
+) -> None:
+    """Add the serve/submit/status/cancel subparsers to the main CLI."""
+    from repro.serve.client import DEFAULT_URL
+    from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent experiment job service"
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST)
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument(
+        "--db", default=DEFAULT_DB,
+        help="SQLite job-store path (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=1, metavar="N",
+        help="jobs executed at once (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per job's fan-out stages (default: serial)",
+    )
+    serve.add_argument(
+        "--retry-delay", type=float, default=0.5, metavar="SECONDS",
+        help="base delay of the exponential retry backoff (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="give up draining after this long (default: wait forever)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=default_cache_dir,
+        help="persistent stage-cache directory (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent stage caches",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment to a running service"
+    )
+    submit.add_argument("experiment", help="registered experiment name")
+    submit.add_argument(
+        "--workloads", default=None,
+        help="comma-separated <model>/<dataset> pairs (default: the experiment's grid)",
+    )
+    submit.add_argument("--pruning-rate", type=float, default=0.9)
+    submit.add_argument(
+        "--scale", choices=("quick", "thorough", "smoke"), default="quick"
+    )
+    submit.add_argument(
+        "--smoke", action="store_true", help="shorthand for --scale smoke"
+    )
+    submit.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="experiment-specific parameter (JSON values accepted; repeatable)",
+    )
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--max-retries", type=int, default=0,
+        help="failed executions retried with exponential backoff",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes; exit 0 done / 1 failed",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="--wait deadline (default: wait forever)",
+    )
+    submit.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show service health and job states"
+    )
+    status.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (or unique prefix) for a detailed view",
+    )
+    status.add_argument(
+        "--state", default=None,
+        help="filter the listing by state (queued/running/done/failed/cancelled)",
+    )
+    status.add_argument("--limit", type=int, default=20)
+    status.add_argument("--json", action="store_true")
+    status.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    status.set_defaults(func=cmd_status)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job", help="job id (or unique prefix)")
+    cancel.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    cancel.set_defaults(func=cmd_cancel)
+
+
+__all__ = [
+    "DEFAULT_DB",
+    "cmd_cancel",
+    "cmd_serve",
+    "cmd_status",
+    "cmd_submit",
+    "register_serve_commands",
+]

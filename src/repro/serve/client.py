@@ -1,0 +1,139 @@
+"""Small urllib client for the experiment job service.
+
+The CLI verbs (``repro submit`` / ``status`` / ``cancel``) and tests talk to
+a running ``repro serve`` through this class; it mirrors the HTTP API
+one-to-one and stays dependency-free (``urllib.request`` only).  Server-side
+errors surface as :class:`ServeError` carrying the HTTP status and the
+server's ``{"error": ...}`` message; connection failures surface as
+:class:`ServeUnavailableError` so callers can distinguish "service said no"
+from "no service there".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.api.request import ExperimentRequest
+from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT
+from repro.serve.store import TERMINAL_STATES
+
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServeError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeUnavailableError(ServeError):
+    """No service reachable at the configured URL."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        RuntimeError.__init__(
+            self, f"cannot reach experiment service at {url}: {reason}"
+        )
+        self.status = 0
+        self.message = reason
+
+
+class ServeClient:
+    """JSON-over-HTTP client bound to one service URL."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = exc.reason
+            raise ServeError(exc.code, message or str(exc.reason)) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise ServeUnavailableError(self.url, str(reason)) from None
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def submit(
+        self,
+        request: ExperimentRequest | Mapping[str, Any],
+        priority: int = 0,
+        max_retries: int = 0,
+    ) -> dict[str, Any]:
+        """Submit a request; returns ``{"job": ..., "deduped": bool}``."""
+        payload = (
+            request.to_dict()
+            if isinstance(request, ExperimentRequest)
+            else dict(request)
+        )
+        return self._call(
+            "POST",
+            "/jobs",
+            {"request": payload, "priority": priority, "max_retries": max_retries},
+        )
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(
+        self,
+        state: str | None = None,
+        experiment: str | None = None,
+        limit: int = 200,
+    ) -> list[dict[str, Any]]:
+        query = [f"limit={limit}"]
+        if state:
+            query.append(f"state={state}")
+        if experiment:
+            query.append(f"experiment={experiment}")
+        return self._call("GET", "/jobs?" + "&".join(query))["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a queued job; returns ``{"job": ..., "cancelled": bool}``."""
+        return self._call("DELETE", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.25
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; raises ``TimeoutError`` otherwise."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id[:12]} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+__all__ = ["DEFAULT_URL", "ServeClient", "ServeError", "ServeUnavailableError"]

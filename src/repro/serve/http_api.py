@@ -1,0 +1,205 @@
+"""Stdlib HTTP JSON API in front of the job scheduler.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no web framework, no new
+dependency — because the payloads are small JSON documents and the heavy
+lifting happens in the scheduler's workers, not in request handlers.
+
+Routes
+------
+``POST /jobs``
+    Submit a serialized :class:`~repro.api.ExperimentRequest`.  Body is
+    either the bare request dict or ``{"request": {...}, "priority": int,
+    "max_retries": int}``.  Responds ``201`` with ``{"job": ..., "deduped":
+    false}`` for a brand-new execution, ``200`` with ``"deduped": true``
+    when the request attached to an existing in-flight/completed job.
+``GET /jobs``
+    List jobs, newest first; ``?state=queued`` and ``?experiment=fig8``
+    filter, ``?limit=N`` bounds.
+``GET /jobs/<id>``
+    One job (unique id prefixes accepted), including live stage timings and
+    — once done — the full serialized :class:`~repro.api.ExperimentResult`.
+``DELETE /jobs/<id>``
+    Cancel a queued job.  Responds with the (possibly unchanged) job and a
+    ``cancelled`` flag; running/terminal jobs are not interrupted.
+``GET /healthz``
+    Liveness: uptime, per-state job counts, scheduler configuration.
+
+Errors are JSON too: ``{"error": "<message>"}`` with 400 for malformed
+requests, 404 for unknown routes/jobs, 409 for ambiguous id prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.registry import UnknownNameError, get_experiment
+from repro.api.request import ExperimentRequest
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import AmbiguousJobError, JobStore, UnknownJobError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8377
+
+
+class ExperimentServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one scheduler + store pair."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.scheduler = scheduler
+        self.started_at = time.time()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def store(self) -> JobStore:
+        return self.scheduler.store
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ExperimentServer  # narrowed for readability
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default; the CLI's serve loop reports the interesting
+        # events (submissions, completions) from the store instead.
+        pass
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(self._health())
+            elif parts == ["jobs"]:
+                self._send_json(self._list_jobs(parse_qs(parsed.query)))
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self.server.store.find(parts[1])
+                self._send_json({"job": job.to_dict()})
+            else:
+                self._send_error(f"no route for GET {parsed.path}", 404)
+        except UnknownJobError as exc:
+            self._send_error(str(exc), 404)
+        except AmbiguousJobError as exc:
+            self._send_error(str(exc), 409)
+        except ValueError as exc:
+            self._send_error(str(exc), 400)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if [part for part in parsed.path.split("/") if part] != ["jobs"]:
+            self._send_error(f"no route for POST {parsed.path}", 404)
+            return
+        try:
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise ValueError(
+                    f"body must be a JSON object, got {type(body).__name__}"
+                )
+            request_payload = body.get("request", body)
+            if not isinstance(request_payload, dict):
+                raise ValueError("'request' must be a JSON object")
+            request = ExperimentRequest.from_dict(request_payload)
+            get_experiment(request.experiment)  # unknown names fail here
+            job, deduped = self.server.scheduler.submit(
+                request,
+                priority=int(body.get("priority", 0)),
+                max_retries=int(body.get("max_retries", 0)),
+                source=body.get("source") or self.client_address[0],
+            )
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            UnknownNameError,
+            ValueError,
+        ) as exc:
+            self._send_error(f"bad submission: {exc}", 400)
+            return
+        self._send_json(
+            {"job": job.to_dict(include_result=False), "deduped": deduped},
+            status=200 if deduped else 201,
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._send_error(f"no route for DELETE {parsed.path}", 404)
+            return
+        try:
+            job = self.server.store.find(parts[1])
+            job, cancelled = self.server.store.cancel(job.id)
+        except UnknownJobError as exc:
+            self._send_error(str(exc), 404)
+            return
+        except AmbiguousJobError as exc:
+            self._send_error(str(exc), 409)
+            return
+        self._send_json(
+            {"job": job.to_dict(include_result=False), "cancelled": cancelled}
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def _health(self) -> dict[str, Any]:
+        server = self.server
+        return {
+            "ok": True,
+            "uptime_s": time.time() - server.started_at,
+            "jobs": server.store.counts(),
+            "scheduler": {
+                "concurrency": server.scheduler.concurrency,
+                "running": server.scheduler.running,
+            },
+        }
+
+    def _list_jobs(self, query: dict[str, list[str]]) -> dict[str, Any]:
+        state = query.get("state", [None])[0]
+        experiment = query.get("experiment", [None])[0]
+        limit = int(query.get("limit", ["200"])[0])
+        jobs = self.server.store.list_jobs(
+            state=state, experiment=experiment, limit=limit
+        )
+        return {"jobs": [job.to_dict(include_result=False) for job in jobs]}
+
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ExperimentServer"]

@@ -1,0 +1,233 @@
+"""The job scheduler: drain the queue through the shared pipeline runner.
+
+A :class:`Scheduler` owns a :class:`~repro.serve.store.JobStore` and a small
+team of worker threads.  Each worker atomically claims the next due job
+(priority first, FIFO within a priority, retry-backoff gates respected),
+executes it through :func:`repro.api.run_experiment` — i.e. through the
+exact registered pipeline the CLI runs, including the shared
+:class:`~repro.api.Runner` process-pool fan-out and the persistent density /
+sweep disk caches, so a job whose stages were computed before short-circuits
+to cached artifacts — and persists the outcome.
+
+What the scheduler guarantees:
+
+* **hash-level dedup** — submission goes through the store's content-hash
+  key; an identical in-flight or completed request never executes twice
+  (see :meth:`JobStore.submit`).
+* **retry with exponential backoff** — a failed execution requeues the job
+  gated behind ``retry_base_delay * 2**(execution-1)`` seconds until the
+  job's retry budget (``max_retries``) is spent, then fails terminally.
+* **graceful drain** — :meth:`Scheduler.stop` lets every claimed job finish
+  (pipelines are not interrupted mid-stage), then joins the workers; jobs
+  still queued stay queued in the store and survive to the next start.
+  Combined with :meth:`JobStore.recover` on startup, a SIGKILL'd service
+  loses no work either — ``running`` rows are requeued.
+* **live progress** — each completed pipeline stage is streamed into the job
+  row through the :class:`~repro.api.PipelineContext` ``on_stage`` hook.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
+from repro.serve.store import TERMINAL_STATES, Job, JobStore
+
+# Execution callable signature: (request, options, on_stage) -> result.
+ExecuteFn = Callable[
+    [ExperimentRequest, RunOptions, Callable[[str, float], None]],
+    ExperimentResult,
+]
+
+
+def _default_execute(
+    request: ExperimentRequest,
+    options: RunOptions,
+    on_stage: Callable[[str, float], None],
+) -> ExperimentResult:
+    from repro.api.registry import run_experiment
+
+    return run_experiment(request, options=options, on_stage=on_stage)
+
+
+class Scheduler:
+    """Concurrency-bounded queue drainer over a :class:`JobStore`.
+
+    Parameters
+    ----------
+    store:
+        The persistent job store (shared with the HTTP API).
+    options:
+        The :class:`RunOptions` every job executes with — worker-pool size
+        for fan-out stages and the disk-cache location the pipelines
+        short-circuit to.
+    concurrency:
+        How many jobs run at once (worker threads; each job may additionally
+        fan out over worker *processes* through its pipeline's Runner).
+    retry_base_delay / retry_max_delay:
+        Exponential-backoff parameters for failed executions.
+    poll_interval:
+        How long an idle worker sleeps between queue checks; submissions
+        wake the workers immediately, so this only bounds retry-gate latency.
+    execute:
+        The execution callable, replaceable in tests.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        options: RunOptions | None = None,
+        concurrency: int = 1,
+        retry_base_delay: float = 0.5,
+        retry_max_delay: float = 60.0,
+        poll_interval: float = 0.2,
+        execute: ExecuteFn | None = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.store = store
+        self.options = options if options is not None else RunOptions()
+        self.concurrency = concurrency
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.poll_interval = poll_interval
+        self._execute = execute if execute is not None else _default_execute
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._wake = threading.Condition()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Recover interrupted jobs and start the worker threads.
+
+        Returns the number of jobs requeued by crash recovery.
+        """
+        if self._started:
+            raise RuntimeError("scheduler already started")
+        recovered = self.store.recover()
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(self.concurrency)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._started = True
+        return recovered
+
+    def stop(self, timeout: float | None = None) -> bool:
+        """Graceful drain: finish claimed jobs, keep the rest queued.
+
+        Returns ``True`` when every worker joined within ``timeout``.
+        """
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = True
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            drained = drained and not thread.is_alive()
+        if drained:
+            self._threads = []
+            self._started = False
+        return drained
+
+    @property
+    def running(self) -> bool:
+        return self._started and any(t.is_alive() for t in self._threads)
+
+    # ------------------------------------------------------------------
+    # Submission / waiting
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ExperimentRequest,
+        priority: int = 0,
+        max_retries: int | None = None,
+        source: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Submit through the store's dedup seam and wake a worker."""
+        job, deduped = self.store.submit(
+            request,
+            priority=priority,
+            max_retries=0 if max_retries is None else max_retries,
+            source=source,
+        )
+        with self._wake:
+            self._wake.notify_all()
+        return job, deduped
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.05
+    ) -> Job:
+        """Block until the job reaches a terminal state (or ``timeout``)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.store.get(job_id)
+            if job.state in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job.short_id} still {job.state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.claim_next()
+            if job is None:
+                with self._wake:
+                    if not self._stop.is_set():
+                        self._wake.wait(self.poll_interval)
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        def on_stage(stage: str, seconds: float) -> None:
+            self.store.record_stage(job.id, stage, seconds)
+
+        try:
+            result = self._execute(job.request(), self.options, on_stage)
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            self._record_failure(job, exc)
+        except BaseException:
+            # Interrupt during drain: put the job back so the next start
+            # (or the crash-recovery pass) re-runs it, then unwind.
+            self.store.mark_failed(
+                job.id, "interrupted during shutdown", retry_at=time.time()
+            )
+            raise
+        else:
+            self.store.mark_done(job.id, result)
+
+    def _record_failure(self, job: Job, exc: Exception) -> None:
+        error = f"{type(exc).__name__}: {exc}"
+        # ``claim_next`` already counted this execution; the budget is scoped
+        # to the current incarnation (a resubmitted failed job retries with a
+        # fresh budget, not one depleted by its history).
+        attempts = job.executions_this_incarnation
+        if attempts <= job.max_retries:
+            delay = min(
+                self.retry_max_delay,
+                self.retry_base_delay * (2 ** (attempts - 1)),
+            )
+            self.store.mark_failed(job.id, error, retry_at=time.time() + delay)
+        else:
+            self.store.mark_failed(job.id, error)
+
+
+__all__ = ["ExecuteFn", "Scheduler"]

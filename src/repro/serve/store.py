@@ -1,0 +1,483 @@
+"""SQLite-backed job store for the experiment service.
+
+One row per *unique* :class:`~repro.api.ExperimentRequest` — jobs are keyed
+by the request's content hash, which is exactly the dedup key: submitting an
+identical request again never creates a second job, it *attaches* a new row
+to the ``submissions`` table of the existing one.  The job row carries the
+scheduling state machine::
+
+    queued --> running --> done
+       ^          |
+       |          +------> failed     (after the retry budget is exhausted;
+       |          |                    transient failures requeue with a
+       |          +------> (requeued)  backoff gate in ``not_before``)
+       +--- cancelled                 (queued jobs only)
+
+plus the canonical request JSON, per-stage timings streamed in live while
+the job runs (via the pipeline's ``on_stage`` callback), the serialized
+:class:`~repro.api.ExperimentResult` once done, and an ``executions``
+counter — the acceptance check "submitted twice, executed once" reads
+``executions == 1`` and ``submissions == 2`` straight off the job row.
+
+The store is safe for many threads of one process (a single connection
+behind an ``RLock``; SQLite itself runs in WAL mode so readers in other
+processes — ``repro status --db`` — never block the service).  Crash
+recovery is :meth:`JobStore.recover`: jobs left ``running`` by a killed
+process are requeued on the next open.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.request import ExperimentRequest, ExperimentResult
+
+# Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES: frozenset[str] = frozenset({DONE, FAILED, CANCELLED})
+
+# Bump on incompatible schema changes; checked against PRAGMA user_version.
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id          TEXT PRIMARY KEY,          -- ExperimentRequest.content_hash
+    experiment  TEXT NOT NULL,
+    request     TEXT NOT NULL,             -- canonical request JSON
+    state       TEXT NOT NULL,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    not_before  REAL NOT NULL DEFAULT 0,   -- retry-backoff gate (epoch seconds)
+    executions  INTEGER NOT NULL DEFAULT 0,
+    max_retries INTEGER NOT NULL DEFAULT 0,
+    retry_base  INTEGER NOT NULL DEFAULT 0,  -- executions when last requeued
+                                             -- terminal: scopes the retry
+                                             -- budget to this incarnation
+    error       TEXT,
+    result      TEXT,                      -- serialized ExperimentResult JSON
+    timings     TEXT NOT NULL DEFAULT '{}' -- live per-stage seconds
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before, priority);
+CREATE TABLE IF NOT EXISTS submissions (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id       TEXT NOT NULL REFERENCES jobs (id),
+    submitted_at REAL NOT NULL,
+    source       TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_submissions_job ON submissions (job_id);
+"""
+
+_JOB_COLUMNS = (
+    "id, experiment, request, state, priority, created_at, started_at, "
+    "finished_at, not_before, executions, max_retries, retry_base, error, "
+    "result, timings, "
+    "(SELECT COUNT(*) FROM submissions s WHERE s.job_id = jobs.id) AS submissions"
+)
+
+
+class UnknownJobError(ValueError):
+    """Lookup of a job id (or prefix) that matches no stored job."""
+
+
+class AmbiguousJobError(ValueError):
+    """A job-id prefix that matches more than one stored job."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One stored job row, hydrated into a convenient immutable view."""
+
+    id: str
+    experiment: str
+    request_json: str
+    state: str
+    priority: int
+    created_at: float
+    started_at: float | None
+    finished_at: float | None
+    not_before: float
+    executions: int
+    max_retries: int
+    retry_base: int
+    submissions: int
+    error: str | None = None
+    result_json: str | None = field(default=None, repr=False)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def short_id(self) -> str:
+        return self.id[:12]
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def executions_this_incarnation(self) -> int:
+        """Executions since the job was last (re)submitted from a terminal
+        state — the count the retry budget is measured against."""
+        return self.executions - self.retry_base
+
+    def request(self) -> ExperimentRequest:
+        return ExperimentRequest.from_json(self.request_json)
+
+    def result(self) -> ExperimentResult | None:
+        """The stored :class:`ExperimentResult`, or ``None`` before ``done``."""
+        if self.result_json is None:
+            return None
+        return ExperimentResult.from_json(self.result_json)
+
+    def to_dict(self, include_result: bool = True) -> dict[str, Any]:
+        """JSON-native view — the HTTP API's and CLI's wire format."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "experiment": self.experiment,
+            "state": self.state,
+            "priority": self.priority,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "not_before": self.not_before,
+            "executions": self.executions,
+            "max_retries": self.max_retries,
+            "retry_base": self.retry_base,
+            "submissions": self.submissions,
+            "error": self.error,
+            "timings": dict(self.timings),
+            "request": json.loads(self.request_json),
+        }
+        if include_result:
+            payload["result"] = (
+                json.loads(self.result_json) if self.result_json else None
+            )
+        return payload
+
+
+def _job_from_row(row: sqlite3.Row) -> Job:
+    return Job(
+        id=row["id"],
+        experiment=row["experiment"],
+        request_json=row["request"],
+        state=row["state"],
+        priority=row["priority"],
+        created_at=row["created_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+        not_before=row["not_before"],
+        executions=row["executions"],
+        max_retries=row["max_retries"],
+        retry_base=row["retry_base"],
+        submissions=row["submissions"],
+        error=row["error"],
+        result_json=row["result"],
+        timings=dict(json.loads(row["timings"] or "{}")),
+    )
+
+
+class JobStore:
+    """Persistent job/result store over one SQLite database file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock, self._conn:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version not in (0, _SCHEMA_VERSION):
+                raise ValueError(
+                    f"job store {self.path} has schema version {version}, "
+                    f"this build expects {_SCHEMA_VERSION}"
+                )
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission (the dedup seam)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ExperimentRequest,
+        priority: int = 0,
+        max_retries: int = 0,
+        source: str | None = None,
+        now: float | None = None,
+    ) -> tuple[Job, bool]:
+        """Submit a request; returns ``(job, deduped)``.
+
+        The job id is the request's content hash.  A request whose job is
+        already ``queued``/``running``/``done`` only gains a submission row
+        (``deduped=True`` — no new execution will happen).  A ``failed`` or
+        ``cancelled`` job is *requeued* in place (``deduped=False`` — it will
+        execute again), keeping its execution history.
+        """
+        now = time.time() if now is None else now
+        job_id = request.content_hash
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO jobs (id, experiment, request, state, priority,"
+                    " created_at, max_retries) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        request.experiment,
+                        request.to_json(),
+                        QUEUED,
+                        priority,
+                        now,
+                        max_retries,
+                    ),
+                )
+                deduped = False
+            elif row["state"] in (QUEUED, RUNNING, DONE):
+                # Attach to the in-flight or completed job.  A queued job can
+                # still absorb a higher priority or a larger retry budget.
+                self._conn.execute(
+                    "UPDATE jobs SET priority=MAX(priority, ?),"
+                    " max_retries=MAX(max_retries, ?) WHERE id=? AND state=?",
+                    (priority, max_retries, job_id, QUEUED),
+                )
+                deduped = True
+            else:  # failed / cancelled: requeue the same job
+                # ``retry_base`` snapshots the execution count so the fresh
+                # ``max_retries`` budget applies to this incarnation only,
+                # not to the job's lifetime history.
+                self._conn.execute(
+                    "UPDATE jobs SET state=?, priority=?, max_retries=?,"
+                    " retry_base=executions, not_before=0, error=NULL,"
+                    " started_at=NULL, finished_at=NULL WHERE id=?",
+                    (QUEUED, priority, max_retries, job_id),
+                )
+                deduped = False
+            self._conn.execute(
+                "INSERT INTO submissions (job_id, submitted_at, source)"
+                " VALUES (?, ?, ?)",
+                (job_id, now, source),
+            )
+        return self.get(job_id), deduped
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """The job with this exact id; raises :class:`UnknownJobError`."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_JOB_COLUMNS} FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return _job_from_row(row)
+
+    def find(self, prefix: str) -> Job:
+        """The unique job whose id starts with ``prefix`` (CLI convenience)."""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_JOB_COLUMNS} FROM jobs WHERE id LIKE ? LIMIT 2",
+                (prefix + "%",),
+            ).fetchall()
+        if not rows:
+            raise UnknownJobError(f"no job matches {prefix!r}")
+        if len(rows) > 1:
+            raise AmbiguousJobError(
+                f"job prefix {prefix!r} is ambiguous; use more characters"
+            )
+        return _job_from_row(rows[0])
+
+    def list_jobs(
+        self,
+        state: str | None = None,
+        experiment: str | None = None,
+        limit: int = 200,
+    ) -> list[Job]:
+        """Jobs newest-first, optionally filtered by state and experiment."""
+        if state is not None and state not in STATES:
+            raise ValueError(
+                f"unknown state {state!r}; states are {', '.join(STATES)}"
+            )
+        clauses, args = [], []
+        if state is not None:
+            clauses.append("state=?")
+            args.append(state)
+        if experiment is not None:
+            clauses.append("experiment=?")
+            args.append(experiment)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_JOB_COLUMNS} FROM jobs {where}"
+                " ORDER BY created_at DESC, id LIMIT ?",
+                (*args, limit),
+            ).fetchall()
+        return [_job_from_row(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per state (every state present, zeros included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in STATES}
+        counts.update({row["state"]: row["n"] for row in rows})
+        return counts
+
+    # ------------------------------------------------------------------
+    # Scheduling transitions
+    # ------------------------------------------------------------------
+    def claim_next(self, now: float | None = None) -> Job | None:
+        """Atomically claim the next due job (priority desc, then FIFO)."""
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state=? AND not_before<=?"
+                " ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
+                (QUEUED, now),
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state=?, started_at=?, executions=executions+1"
+                " WHERE id=?",
+                (RUNNING, now, row["id"]),
+            )
+            return self.get(row["id"])
+
+    def mark_done(
+        self, job_id: str, result: ExperimentResult, now: float | None = None
+    ) -> Job:
+        """Persist a successful run: result JSON + final stage timings."""
+        now = time.time() if now is None else now
+        timings = json.dumps(dict(result.timings))
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET state=?, finished_at=?, result=?, error=NULL,"
+                " timings=? WHERE id=?",
+                (DONE, now, result.to_json(indent=None), timings, job_id),
+            )
+        return self.get(job_id)
+
+    def mark_failed(
+        self,
+        job_id: str,
+        error: str,
+        retry_at: float | None = None,
+        now: float | None = None,
+    ) -> Job:
+        """Record a failed execution.
+
+        With ``retry_at`` the job goes back to ``queued`` gated behind the
+        backoff timestamp; without it the job is terminally ``failed``.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            if retry_at is not None:
+                self._conn.execute(
+                    "UPDATE jobs SET state=?, not_before=?, error=?,"
+                    " started_at=NULL WHERE id=?",
+                    (QUEUED, retry_at, error, job_id),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET state=?, finished_at=?, error=? WHERE id=?",
+                    (FAILED, now, error, job_id),
+                )
+        return self.get(job_id)
+
+    def cancel(self, job_id: str, now: float | None = None) -> tuple[Job, bool]:
+        """Cancel a queued job; returns ``(job, cancelled)``.
+
+        Only ``queued`` jobs can be cancelled — a ``running`` pipeline is not
+        interrupted mid-stage (its result is moments away and may serve future
+        deduped submissions), and terminal jobs are left as they are.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state=?, finished_at=? WHERE id=? AND state=?",
+                (CANCELLED, now, job_id, QUEUED),
+            )
+            cancelled = cursor.rowcount > 0
+        return self.get(job_id), cancelled
+
+    def record_stage(self, job_id: str, stage: str, seconds: float) -> None:
+        """Stream one completed stage's timing into the job row (live)."""
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT timings FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise UnknownJobError(f"unknown job {job_id!r}")
+            timings = dict(json.loads(row["timings"] or "{}"))
+            timings[stage] = seconds
+            self._conn.execute(
+                "UPDATE jobs SET timings=? WHERE id=?",
+                (json.dumps(timings), job_id),
+            )
+
+    def recover(self) -> int:
+        """Requeue jobs left ``running`` by a crashed/killed process."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state=?, started_at=NULL, not_before=0"
+                " WHERE state=?",
+                (QUEUED, RUNNING),
+            )
+            return cursor.rowcount
+
+    def submissions(self, job_id: str) -> list[dict[str, Any]]:
+        """The submission records attached to one job, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, submitted_at, source FROM submissions"
+                " WHERE job_id=? ORDER BY id",
+                (job_id,),
+            ).fetchall()
+        if not rows:
+            # Distinguish "no submissions" from "no such job".
+            self.get(job_id)
+        return [dict(row) for row in rows]
+
+
+__all__ = [
+    "AmbiguousJobError",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]

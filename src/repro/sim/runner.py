@@ -119,16 +119,20 @@ def _run_job(job: WorkloadJob) -> WorkloadResult:
 def simulate_many(
     jobs: Sequence[WorkloadJob],
     max_workers: int | None = None,
+    partial: list[WorkloadResult] | None = None,
 ) -> list[WorkloadResult]:
     """Run a batch of workload comparisons, optionally across processes.
 
     ``max_workers=None`` or ``1`` runs serially in-process (deterministic,
     test-friendly); larger values fan the jobs out over worker processes via
     the shared :class:`repro.api.runner.Runner` primitive (which also owns
-    the serial fallback for sandboxes that forbid spawning).  Results are
-    returned in job order either way.  This is the light-weight batch
-    primitive for callers that already hold specs and densities;
-    design-space sweeps over architecture/pruning knobs (with caching and
-    deduplication) live in :mod:`repro.explore`.
+    the serial fallback for sandboxes that forbid spawning, and the
+    terminate-and-join teardown that keeps an interrupt from orphaning
+    workers).  Results are returned in job order either way.  ``partial``,
+    when given, receives each result as it is delivered, so an interrupted
+    batch surfaces everything completed before the interrupt.  This is the
+    light-weight batch primitive for callers that already hold specs and
+    densities; design-space sweeps over architecture/pruning knobs (with
+    caching and deduplication) live in :mod:`repro.explore`.
     """
-    return default_runner(max_workers).map(_run_job, list(jobs))
+    return default_runner(max_workers).map(_run_job, list(jobs), partial=partial)

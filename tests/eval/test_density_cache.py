@@ -42,11 +42,28 @@ class TestSerialization:
         assert restored.layer_names == measured.layer_names
         assert restored.densities == measured.densities
 
-    def test_corrupted_record_falls_back_to_miss(self, tmp_path):
+    def test_corrupted_record_warns_and_falls_back_to_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "densities.jsonl")
         key = density_cache_key("AlexNet", 0.9, TINY)
         cache.put(key, {"not": "a measurement"})
-        assert load_cached_densities(cache, "AlexNet", 0.9, TINY) is None
+        with pytest.warns(RuntimeWarning, match="corrupt record"):
+            assert load_cached_densities(cache, "AlexNet", 0.9, TINY) is None
+
+    def test_torn_write_skips_line_and_warns(self, tmp_path):
+        """A torn (truncated) JSONL write loses one entry, not the cache."""
+        path = tmp_path / "densities.jsonl"
+        cache = ResultCache(path)
+        key = density_cache_key("AlexNet", 0.9, TINY)
+        store_cached_densities(cache, "AlexNet", 0.9, TINY, _measured_fixture())
+        intact = path.read_text(encoding="utf-8")
+        # Simulate a writer killed mid-append: half a record, no newline.
+        path.write_text(intact + intact[: len(intact) // 2], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt/truncated"):
+            reloaded = ResultCache(path)
+        restored = load_cached_densities(reloaded, "AlexNet", 0.9, TINY)
+        assert restored is not None
+        assert restored.densities == _measured_fixture().densities
+        assert reloaded.get(key) is not None
 
 
 class TestKeying:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
+
+import pytest
+
 from repro.explore.cache import ResultCache, stable_key
 
 
@@ -41,15 +45,39 @@ class TestResultCache:
         cache.put("a", {"v": 1})
         assert path.stat().st_size == size
 
-    def test_survives_corrupt_lines(self, tmp_path):
+    def test_survives_corrupt_lines_with_a_warning(self, tmp_path):
         path = tmp_path / "cache.jsonl"
         cache = ResultCache(path)
         cache.put("a", {"v": 1})
         with path.open("a", encoding="utf-8") as handle:
             handle.write('{"key": "trunc')  # interrupted writer
-        reloaded = ResultCache(path)
+        with pytest.warns(RuntimeWarning, match="1 corrupt/truncated"):
+            reloaded = ResultCache(path)
         assert reloaded.get("a") == {"v": 1}
         assert len(reloaded) == 1
+
+    def test_torn_write_between_good_lines(self, tmp_path):
+        """Corruption in the middle of the file loses only that entry."""
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("a", {"v": 1})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "record"\n')  # torn mid-record
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "c", "record": {"v": 3}}\n')
+        with pytest.warns(RuntimeWarning):
+            reloaded = ResultCache(path)
+        assert reloaded.get("a") == {"v": 1}
+        assert reloaded.get("b") is None
+        assert reloaded.get("c") == {"v": 3}
+        assert len(reloaded) == 2
+
+    def test_clean_cache_loads_without_warning(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ResultCache(path).put("a", {"v": 1})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ResultCache(path).get("a") == {"v": 1}
 
     def test_clear_removes_file_and_entries(self, tmp_path):
         path = tmp_path / "cache.jsonl"

@@ -1,0 +1,160 @@
+"""HTTP API round-trip on an ephemeral port."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ExperimentRequest, RunOptions
+from repro.serve.client import ServeClient, ServeError, ServeUnavailableError
+from repro.serve.http_api import ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import JobStore
+
+
+def _request(rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment="fig8", pruning_rate=rate)
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    """Server whose scheduler is *not* draining — jobs stay queued."""
+    store = JobStore(tmp_path / "serve.db")
+    scheduler = Scheduler(store, options=RunOptions(use_cache=False))
+    server = ExperimentServer(scheduler, port=0)  # ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServeClient(server.url)
+    server.shutdown()
+    server.server_close()
+    store.close()
+
+
+class TestHealth:
+    def test_healthz(self, idle_service):
+        health = idle_service.health()
+        assert health["ok"] is True
+        assert health["uptime_s"] >= 0
+        assert health["jobs"]["queued"] == 0
+        assert health["scheduler"] == {"concurrency": 1, "running": False}
+
+
+class TestSubmit:
+    def test_post_get_round_trip(self, idle_service):
+        response = idle_service.submit(_request())
+        assert response["deduped"] is False
+        job = response["job"]
+        assert job["state"] == "queued"
+        assert job["id"] == _request().content_hash
+
+        fetched = idle_service.job(job["id"])
+        assert fetched["state"] == "queued"
+        assert fetched["request"] == _request().to_dict()
+        assert fetched["result"] is None
+
+    def test_second_identical_submit_is_deduped(self, idle_service):
+        first = idle_service.submit(_request())
+        second = idle_service.submit(_request())
+        assert first["deduped"] is False
+        assert second["deduped"] is True
+        assert second["job"]["submissions"] == 2
+        assert len(idle_service.jobs()) == 1
+
+    def test_bare_request_dict_accepted(self, idle_service):
+        response = idle_service.submit(_request(rate=0.5).to_dict())
+        assert response["job"]["experiment"] == "fig8"
+
+    def test_unknown_experiment_rejected(self, idle_service):
+        with pytest.raises(ServeError) as excinfo:
+            idle_service.submit({"experiment": "nope", "scale": None})
+        assert excinfo.value.status == 400
+        assert "unknown experiment" in excinfo.value.message
+
+    def test_malformed_body_rejected(self, idle_service):
+        with pytest.raises(ServeError) as excinfo:
+            idle_service._call("POST", "/jobs", {"request": {"bogus": 1}})
+        assert excinfo.value.status == 400
+
+    def test_non_object_body_rejected_with_400(self, idle_service):
+        """A JSON list/string body must 400, not crash the handler."""
+        for body in ([1, 2, 3], {"request": "fig8"}):
+            with pytest.raises(ServeError) as excinfo:
+                idle_service._call("POST", "/jobs", body)
+            assert excinfo.value.status == 400
+            assert "JSON object" in excinfo.value.message
+
+
+class TestListingAndCancel:
+    def test_list_filters_by_state(self, idle_service):
+        idle_service.submit(_request(rate=0.9))
+        idle_service.submit(_request(rate=0.5))
+        assert len(idle_service.jobs(state="queued")) == 2
+        assert idle_service.jobs(state="done") == []
+        with pytest.raises(ServeError) as excinfo:
+            idle_service.jobs(state="bogus")
+        assert excinfo.value.status == 400
+
+    def test_prefix_lookup_and_404(self, idle_service):
+        job = idle_service.submit(_request())["job"]
+        assert idle_service.job(job["id"][:10])["id"] == job["id"]
+        with pytest.raises(ServeError) as excinfo:
+            idle_service.job("ffff00001111")
+        assert excinfo.value.status == 404
+
+    def test_delete_cancels_queued_job(self, idle_service):
+        job = idle_service.submit(_request())["job"]
+        response = idle_service.cancel(job["id"])
+        assert response["cancelled"] is True
+        assert response["job"]["state"] == "cancelled"
+        # Cancelling again is a no-op with cancelled=False.
+        again = idle_service.cancel(job["id"])
+        assert again["cancelled"] is False
+
+    def test_unknown_routes_are_404(self, idle_service):
+        with pytest.raises(ServeError) as excinfo:
+            idle_service._call("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            idle_service._call("DELETE", "/jobs")
+        assert excinfo.value.status == 404
+
+
+class TestExecutionThroughHTTP:
+    def test_submit_executes_and_result_round_trips(self, tmp_path):
+        """Full loop: HTTP submit -> scheduler executes -> HTTP result."""
+        from repro.eval.common import ExperimentScale
+
+        store = JobStore(tmp_path / "serve.db")
+        scheduler = Scheduler(
+            store, options=RunOptions(use_cache=False), poll_interval=0.02
+        )
+        scheduler.start()
+        server = ExperimentServer(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(server.url)
+        try:
+            request = ExperimentRequest(
+                experiment="ablate-fifo", scale=ExperimentScale.preset("smoke")
+            )
+            job = client.submit(request)["job"]
+            finished = client.wait(job["id"], timeout=120.0, poll=0.05)
+            assert finished["state"] == "done"
+            assert finished["result"]["summary"]
+            assert finished["result"]["request"] == request.to_dict()
+            assert finished["timings"]  # streamed live while running
+            health = client.health()
+            assert health["jobs"]["done"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            assert scheduler.stop(timeout=10.0)
+            store.close()
+
+
+class TestClientErrors:
+    def test_unreachable_service(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServeUnavailableError, match="cannot reach"):
+            client.health()

@@ -1,0 +1,223 @@
+"""JobStore: CRUD, dedup-by-content-hash, ordering, crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentRequest, ExperimentResult
+from repro.serve.store import (
+    AmbiguousJobError,
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobStore,
+    QUEUED,
+    RUNNING,
+    UnknownJobError,
+)
+
+
+def _request(experiment: str = "fig8", rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment=experiment, pruning_rate=rate)
+
+
+def _result(request: ExperimentRequest) -> ExperimentResult:
+    return ExperimentResult(
+        experiment=request.experiment,
+        request=request,
+        payload={"answer": 42},
+        summary="the summary",
+        timings=(("train", 1.5), ("report", 0.1)),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    with JobStore(tmp_path / "serve.db") as job_store:
+        yield job_store
+
+
+class TestSubmitAndLookup:
+    def test_submit_creates_queued_job_keyed_by_content_hash(self, store):
+        request = _request()
+        job, deduped = store.submit(request)
+        assert not deduped
+        assert job.id == request.content_hash
+        assert job.state == QUEUED
+        assert job.experiment == "fig8"
+        assert job.submissions == 1
+        assert job.executions == 0
+        assert job.request() == request
+
+    def test_identical_submission_attaches_instead_of_duplicating(self, store):
+        first, _ = store.submit(_request())
+        second, deduped = store.submit(_request())
+        assert deduped
+        assert second.id == first.id
+        assert second.submissions == 2
+        assert len(store.list_jobs()) == 1
+
+    def test_different_requests_make_different_jobs(self, store):
+        a, _ = store.submit(_request(rate=0.9))
+        b, _ = store.submit(_request(rate=0.5))
+        assert a.id != b.id
+        assert len(store.list_jobs()) == 2
+
+    def test_queued_job_absorbs_higher_priority(self, store):
+        store.submit(_request(), priority=1)
+        job, deduped = store.submit(_request(), priority=7)
+        assert deduped
+        assert job.priority == 7
+
+    def test_find_by_unique_prefix(self, store):
+        job, _ = store.submit(_request())
+        assert store.find(job.id[:10]).id == job.id
+        with pytest.raises(UnknownJobError):
+            store.find("zzzz")
+
+    def test_ambiguous_prefix_raises(self, store):
+        a, _ = store.submit(_request(rate=0.9))
+        b, _ = store.submit(_request(rate=0.5))
+        common = ""  # empty prefix matches both
+        with pytest.raises(AmbiguousJobError):
+            store.find(common)
+
+    def test_get_unknown_job_raises(self, store):
+        with pytest.raises(UnknownJobError):
+            store.get("missing")
+
+
+class TestStateMachine:
+    def test_claim_marks_running_and_counts_the_execution(self, store):
+        store.submit(_request())
+        job = store.claim_next()
+        assert job is not None
+        assert job.state == RUNNING
+        assert job.executions == 1
+        assert job.started_at is not None
+        assert store.claim_next() is None  # nothing else queued
+
+    def test_priority_then_fifo_ordering(self, store):
+        low, _ = store.submit(_request(rate=0.5), priority=0, now=1.0)
+        high, _ = store.submit(_request(rate=0.7), priority=5, now=2.0)
+        older, _ = store.submit(_request(rate=0.9), priority=0, now=0.5)
+        claimed = [store.claim_next().id for _ in range(3)]
+        assert claimed == [high.id, older.id, low.id]
+
+    def test_backoff_gate_blocks_until_due(self, store):
+        store.submit(_request(), now=0.0)
+        job = store.claim_next(now=1.0)
+        store.mark_failed(job.id, "transient", retry_at=100.0)
+        assert store.claim_next(now=50.0) is None
+        retried = store.claim_next(now=100.0)
+        assert retried is not None
+        assert retried.executions == 2
+
+    def test_done_round_trips_the_experiment_result(self, store):
+        request = _request()
+        store.submit(request)
+        job = store.claim_next()
+        done = store.mark_done(job.id, _result(request))
+        assert done.state == DONE
+        assert done.finished_at is not None
+        restored = done.result()
+        assert restored is not None
+        assert restored.payload == {"answer": 42}
+        assert restored.summary == "the summary"
+        assert restored.request == request
+        assert done.timings == {"train": 1.5, "report": 0.1}
+
+    def test_terminal_failure_keeps_the_error(self, store):
+        store.submit(_request())
+        job = store.claim_next()
+        failed = store.mark_failed(job.id, "ValueError: boom")
+        assert failed.state == FAILED
+        assert failed.error == "ValueError: boom"
+
+    def test_resubmitting_failed_job_requeues_it(self, store):
+        store.submit(_request())
+        job = store.claim_next()
+        store.mark_failed(job.id, "boom")
+        requeued, deduped = store.submit(_request())
+        assert not deduped  # it will execute again
+        assert requeued.state == QUEUED
+        assert requeued.error is None
+        assert requeued.submissions == 2
+        assert requeued.executions == 1  # history preserved...
+        assert requeued.retry_base == 1  # ...but the retry budget is fresh
+        assert requeued.executions_this_incarnation == 0
+
+    def test_cancel_only_touches_queued_jobs(self, store):
+        request = _request()
+        store.submit(request)
+        job, cancelled = store.cancel(request.content_hash)
+        assert cancelled and job.state == CANCELLED
+
+        other = _request(rate=0.5)
+        store.submit(other)
+        running = store.claim_next()
+        job, cancelled = store.cancel(running.id)
+        assert not cancelled
+        assert job.state == RUNNING
+
+    def test_record_stage_streams_live_timings(self, store):
+        store.submit(_request())
+        job = store.claim_next()
+        store.record_stage(job.id, "train", 1.25)
+        store.record_stage(job.id, "simulate", 0.5)
+        assert store.get(job.id).timings == {"train": 1.25, "simulate": 0.5}
+
+    def test_counts_cover_every_state(self, store):
+        store.submit(_request())
+        counts = store.counts()
+        assert counts[QUEUED] == 1
+        assert set(counts) == {QUEUED, RUNNING, DONE, FAILED, CANCELLED}
+
+
+class TestPersistenceAndRecovery:
+    def test_jobs_survive_reopen(self, store, tmp_path):
+        request = _request()
+        store.submit(request)
+        job = store.claim_next()
+        store.mark_done(job.id, _result(request))
+        store.close()
+
+        with JobStore(tmp_path / "serve.db") as reopened:
+            job = reopened.get(request.content_hash)
+            assert job.state == DONE
+            assert job.result().payload == {"answer": 42}
+
+    def test_recover_requeues_running_jobs(self, tmp_path):
+        path = tmp_path / "crash.db"
+        with JobStore(path) as before:
+            before.submit(_request())
+            before.submit(_request(rate=0.5))
+            before.claim_next()  # this one "crashes" mid-run
+
+        with JobStore(path) as after:
+            assert after.recover() == 1
+            states = {job.state for job in after.list_jobs()}
+            assert states == {QUEUED}
+            # The recovered job is claimable again and keeps its history.
+            executions = sorted(j.executions for j in after.list_jobs())
+            assert executions == [0, 1]
+
+    def test_list_jobs_filters_by_state_and_experiment(self, store):
+        store.submit(_request(rate=0.5))
+        store.submit(_request("table1", rate=0.9))
+        job = store.claim_next()
+        assert {j.state for j in store.list_jobs(state=QUEUED)} == {QUEUED}
+        assert len(store.list_jobs(state=RUNNING)) == 1
+        by_exp = store.list_jobs(experiment=job.experiment)
+        assert all(j.experiment == job.experiment for j in by_exp)
+        with pytest.raises(ValueError, match="unknown state"):
+            store.list_jobs(state="nope")
+
+    def test_submissions_records_every_attachment(self, store):
+        request = _request()
+        store.submit(request, source="cli", now=1.0)
+        store.submit(request, source="http", now=2.0)
+        rows = store.submissions(request.content_hash)
+        assert [row["source"] for row in rows] == ["cli", "http"]
+        with pytest.raises(UnknownJobError):
+            store.submissions("missing")
