@@ -22,9 +22,13 @@ substrate they depend on:
 * :mod:`repro.explore` — design-space exploration over the simulator:
   declarative sweep spaces, a parallel cached evaluation engine, Pareto
   analysis and the ``python -m repro`` command line (:mod:`repro.cli`).
+* :mod:`repro.obs` — unified telemetry: process-global metrics (counters,
+  gauges, streaming log-bucket histograms), structured trace spans with
+  Chrome-trace/JSONL export, surfaced through the job service's ``/stats``
+  and ``/metrics`` endpoints and the ``repro stats`` / ``repro trace`` verbs.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import (
     api,
@@ -35,6 +39,7 @@ from repro import (
     explore,
     models,
     nn,
+    obs,
     pruning,
     sim,
     sparsity,
@@ -47,6 +52,7 @@ __all__ = [
     "nn",
     "data",
     "models",
+    "obs",
     "pruning",
     "sparsity",
     "dataflow",

@@ -31,6 +31,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.obs import metrics
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -38,6 +40,29 @@ _POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
 
 # How long to wait for terminated workers to exit before abandoning them.
 _ABORT_JOIN_SECONDS = 5.0
+
+
+class _Timed:
+    """Picklable wrapper timing one task inside the worker (or in-process).
+
+    Returns ``(result, queue_wait, exec_seconds)``: the wait is measured from
+    the batch submission wall-clock to task start (both ``time.time()``, so
+    it crosses the process boundary on one machine), the execution time with
+    the worker's own monotonic clock.  The parent unwraps and records both
+    into the runner histograms as results are delivered.
+    """
+
+    __slots__ = ("fn", "submitted")
+
+    def __init__(self, fn: Callable[[Any], Any], submitted: float) -> None:
+        self.fn = fn
+        self.submitted = submitted
+
+    def __call__(self, item: Any) -> tuple[Any, float, float]:
+        started = time.time()
+        t0 = time.perf_counter()
+        result = self.fn(item)
+        return result, max(0.0, started - self.submitted), time.perf_counter() - t0
 
 
 def _abort_pool(pool: ProcessPoolExecutor) -> None:
@@ -97,29 +122,70 @@ class Runner:
         """
         pending = list(items)
         delivered = 0
+        registry = metrics()
+        registry.counter("runner.tasks.submitted").inc(len(pending))
+        timed = _Timed(fn, time.time())
+
+        def deliver(out: tuple[R, float, float]) -> R:
+            result, queue_wait, exec_seconds = out
+            registry.histogram("runner.task.queue_wait_seconds").observe(queue_wait)
+            registry.histogram("runner.task.exec_seconds").observe(exec_seconds)
+            registry.counter("runner.tasks.completed").inc()
+            return result
+
         if self._use_pool(len(pending)):
+            registry.gauge("runner.pool.workers").set(
+                self.max_workers or os.cpu_count() or 1
+            )
             pool = ProcessPoolExecutor(max_workers=self.max_workers)
             try:
-                for result in pool.map(
-                    fn, pending, chunksize=self._chunksize(len(pending))
+                for out in pool.map(
+                    timed, pending, chunksize=self._chunksize(len(pending))
                 ):
                     delivered += 1
-                    yield result
+                    yield deliver(out)
             except _POOL_ERRORS:
                 # Sandboxed interpreter (fork/spawn forbidden) or a broken
                 # pool: clean up and finish on the serial path below.
                 _abort_pool(pool)
+            except Exception:
+                # A worker exception: the raising task failed, the rest of
+                # the batch is torn down.
+                registry.counter("runner.tasks.failed").inc()
+                registry.counter("runner.tasks.cancelled").inc(
+                    max(0, len(pending) - delivered - 1)
+                )
+                _abort_pool(pool)
+                raise
             except BaseException:
-                # KeyboardInterrupt/SystemExit, a worker exception, or an
-                # abandoned generator (GeneratorExit): don't wait out the rest
-                # of the batch — kill the workers and surface the exception.
+                # KeyboardInterrupt/SystemExit, or an abandoned generator
+                # (GeneratorExit): don't wait out the rest of the batch —
+                # kill the workers and surface the exception.
+                registry.counter("runner.tasks.cancelled").inc(
+                    len(pending) - delivered
+                )
                 _abort_pool(pool)
                 raise
             else:
                 pool.shutdown(wait=True)
+                registry.gauge("runner.pool.workers").set(0)
                 return
         for item in pending[delivered:]:
-            yield fn(item)
+            try:
+                out = timed(item)
+            except Exception:
+                registry.counter("runner.tasks.failed").inc()
+                registry.counter("runner.tasks.cancelled").inc(
+                    max(0, len(pending) - delivered - 1)
+                )
+                raise
+            except BaseException:
+                registry.counter("runner.tasks.cancelled").inc(
+                    len(pending) - delivered
+                )
+                raise
+            delivered += 1
+            yield deliver(out)
 
     def map(
         self,

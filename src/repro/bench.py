@@ -15,6 +15,8 @@ bit-identical values and event counts, and reports the scalar/vector speedup
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -107,6 +109,25 @@ class BenchResult:
     def rowop_speedup(self) -> float:
         return float(self.stages["rowop_validate"]["speedup"])
 
+    def stage_quantiles(self) -> dict[str, dict[str, Any]]:
+        """Per-stage p50/p95 from the process-global metrics registry.
+
+        The telemetry snapshot recorded alongside the raw timings: within one
+        ``repro bench`` process the ``pipeline.stage.seconds`` histograms
+        cover exactly this run's stages.
+        """
+        from repro.obs import metrics
+
+        quantiles: dict[str, dict[str, Any]] = {}
+        for entry in metrics().snapshot().get("pipeline.stage.seconds", ()):
+            stage = entry["labels"].get("stage", "?")
+            quantiles[stage] = {
+                "count": entry["count"],
+                "p50": entry["p50"],
+                "p95": entry["p95"],
+            }
+        return quantiles
+
     def to_payload(self) -> dict[str, Any]:
         return {
             "schema": 1,
@@ -115,6 +136,7 @@ class BenchResult:
             "workload": "/".join(BENCH_WORKLOAD[0]),
             "created_unix": time.time(),
             "stages": self.stages,
+            "metrics": {"stage_seconds": self.stage_quantiles()},
             "rowop_speedup": self.rowop_speedup,
         }
 
@@ -348,6 +370,35 @@ def run_bench(
     )
     bench_result: BenchResult = result.native
     if out is not None:
-        payload = bench_result.to_payload()
-        Path(out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        _write_atomic(Path(out), bench_result.to_payload())
     return bench_result
+
+
+def _write_atomic(out: Path, payload: dict[str, Any]) -> None:
+    """Write the benchmark JSON via temp file + ``os.replace``.
+
+    A reader (CI trend gates, a concurrent ``repro stats`` consumer) never
+    sees a torn half-written file: the rename is atomic on POSIX, and the
+    temp file lives in the target directory so the replace never crosses a
+    filesystem boundary.  ``/dev/null``-style non-regular targets are written
+    directly — there is nothing to tear.
+    """
+    text = json.dumps(payload, indent=2) + "\n"
+    if out.exists() and not out.is_file():
+        out.write_text(text, encoding="utf-8")
+        return
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(out.parent) if str(out.parent) else ".",
+        prefix=out.name + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, out)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise

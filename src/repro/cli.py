@@ -33,12 +33,17 @@ Subcommands
     validate) and write ``BENCH_repro.json`` — the repository's performance
     trajectory.  The row-op stage cross-validates the scalar and vectorized
     PE backends and reports their speedup.
-``serve`` / ``submit`` / ``status`` / ``cancel``
+``trace``
+    Run any registered experiment with the same flags as ``run`` and dump a
+    Chrome-trace JSON (``chrome://tracing`` / Perfetto) of the pipeline's
+    stage spans — ``repro trace fig8 --smoke --out trace.json``.
+``serve`` / ``submit`` / ``status`` / ``stats`` / ``cancel``
     The persistent experiment job service (:mod:`repro.serve`): ``serve``
     runs the SQLite-backed scheduler + HTTP API in the foreground until
     SIGINT/SIGTERM (then drains gracefully); the other verbs are thin
     clients — submit a request (deduplicated by content hash, ``--wait``
-    blocks until done), inspect job states, cancel queued jobs.
+    blocks until done), inspect job states, watch live telemetry
+    (``repro stats --watch``), cancel queued jobs.
 
 Every run prints the same tables the library returns, so a CLI invocation is
 a reproducible, copy-pasteable experiment description.
@@ -382,6 +387,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment and dump its Chrome-trace (Perfetto-loadable)."""
+    from repro.obs import TRACE
+
+    request = request_from_args(args)
+    options = RunOptions(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    TRACE.clear()  # the exported file covers exactly this run
+    result = run_experiment(request, options)
+    print(result.summary)
+    spans = TRACE.write_chrome_trace(args.out)
+    print(
+        f"wrote {spans} span(s) to {args.out} "
+        "(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("experiments:")
     for experiment in list_experiments():
@@ -409,28 +435,42 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sub.add_parser("list", help="list registered experiments and workloads")
     listing.set_defaults(func=cmd_list)
 
+    def _add_request_arguments(parser: argparse.ArgumentParser) -> None:
+        """The shared experiment-request flags of `run` and `trace`."""
+        parser.add_argument(
+            "experiment", help="registered experiment name (see `repro list`)"
+        )
+        parser.add_argument(
+            "--workloads", default=None,
+            help="comma-separated <model>/<dataset> pairs (default: the experiment's grid)",
+        )
+        parser.add_argument("--pruning-rate", type=float, default=0.9)
+        parser.add_argument(
+            "--scale", choices=("quick", "thorough", "smoke"), default="quick",
+            help="experiment scale preset (default: %(default)s)",
+        )
+        parser.add_argument(
+            "--smoke", action="store_true", help="shorthand for --scale smoke"
+        )
+        parser.add_argument(
+            "--set", action="append", metavar="KEY=VALUE",
+            help="experiment-specific parameter (JSON values accepted; repeatable)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="worker processes for fan-out stages (default: serial)",
+        )
+        parser.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help="persistent stage-cache directory (default: %(default)s)",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the persistent stage caches",
+        )
+
     run = sub.add_parser("run", help="run any registered experiment by name")
-    run.add_argument("experiment", help="registered experiment name (see `repro list`)")
-    run.add_argument(
-        "--workloads", default=None,
-        help="comma-separated <model>/<dataset> pairs (default: the experiment's grid)",
-    )
-    run.add_argument("--pruning-rate", type=float, default=0.9)
-    run.add_argument(
-        "--scale", choices=("quick", "thorough", "smoke"), default="quick",
-        help="experiment scale preset (default: %(default)s)",
-    )
-    run.add_argument(
-        "--smoke", action="store_true", help="shorthand for --scale smoke"
-    )
-    run.add_argument(
-        "--set", action="append", metavar="KEY=VALUE",
-        help="experiment-specific parameter (JSON values accepted; repeatable)",
-    )
-    run.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="worker processes for fan-out stages (default: serial)",
-    )
+    _add_request_arguments(run)
     run.add_argument(
         "--json", action="store_true",
         help="print the full JSON ExperimentResult instead of the summary",
@@ -439,14 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="FILE",
         help="also write the JSON ExperimentResult to FILE",
     )
-    run.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR,
-        help="persistent stage-cache directory (default: %(default)s)",
-    )
-    run.add_argument(
-        "--no-cache", action="store_true", help="disable the persistent stage caches"
-    )
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment and dump a Chrome-trace of its pipeline stages",
+    )
+    _add_request_arguments(trace)
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome-trace output file (default: %(default)s)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     sweep = sub.add_parser("sweep", help="run a design-space sweep")
     _add_space_arguments(sweep)

@@ -23,6 +23,7 @@ from repro.api.request import scale_to_dict
 from repro.dataflow.counts import LayerDensities
 from repro.eval.common import ExperimentScale
 from repro.explore.cache import DEFAULT_CACHE_DIR, ResultCache, stable_key
+from repro.obs import metrics
 from repro.sim.trace import MeasuredDensities
 
 # Lives alongside the sweep cache in the gitignored cache directory.
@@ -89,6 +90,7 @@ def load_cached_densities(
         return deserialize_measured(record)
     except (KeyError, TypeError, ValueError):
         # A foreign/corrupted record under this key: fall back to measuring.
+        metrics().counter("cache.corrupt_records", cache=cache.path.stem).inc()
         warnings.warn(
             f"density cache {cache.path}: corrupt record for "
             f"{model_name} (p={pruning_rate}); re-measuring",

@@ -18,7 +18,9 @@ import hashlib
 import json
 import warnings
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, NamedTuple
+
+from repro.obs import metrics
 
 # Default cache location, relative to the working directory (gitignored).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -31,14 +33,38 @@ def stable_key(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+class CacheInfo(NamedTuple):
+    """Lookup statistics of one :class:`ResultCache` instance.
+
+    Mirrors the ``functools.lru_cache``/``im2col_cache_info`` idiom:
+    ``hits``/``misses`` count :meth:`ResultCache.get` outcomes, ``corrupt``
+    counts JSONL lines dropped at load time, ``entries`` is the live size.
+    """
+
+    hits: int
+    misses: int
+    corrupt: int
+    entries: int
+
+
 class ResultCache:
-    """On-disk key -> record-dict store with an in-memory index."""
+    """On-disk key -> record-dict store with an in-memory index.
+
+    Every lookup is double-counted: locally (:meth:`cache_info`) and into the
+    process-global metrics registry (``cache.hits`` / ``cache.misses`` /
+    ``cache.corrupt_lines`` counters labelled by the cache file's stem, e.g.
+    ``cache="densities"``), which is where the service's ``/stats`` hit rates
+    come from.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         if path is None:
             path = Path(DEFAULT_CACHE_DIR) / DEFAULT_CACHE_FILE
         self.path = Path(path)
         self._records: dict[str, dict[str, Any]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._corrupt = 0
         self._load()
 
     def _load(self) -> None:
@@ -58,6 +84,8 @@ class ResultCache:
                     # one entry; the point is simply re-simulated.
                     corrupt += 1
         if corrupt:
+            self._corrupt = corrupt
+            metrics().counter("cache.corrupt_lines", cache=self.path.stem).inc(corrupt)
             warnings.warn(
                 f"result cache {self.path}: skipped {corrupt} corrupt/truncated "
                 f"line(s) (torn write?); the affected entries will be recomputed",
@@ -73,7 +101,23 @@ class ResultCache:
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Cached record dict for ``key``, or ``None`` on a miss."""
-        return self._records.get(key)
+        record = self._records.get(key)
+        if record is not None:
+            self._hits += 1
+            metrics().counter("cache.hits", cache=self.path.stem).inc()
+        else:
+            self._misses += 1
+            metrics().counter("cache.misses", cache=self.path.stem).inc()
+        return record
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/corrupt-line statistics of this cache instance."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            corrupt=self._corrupt,
+            entries=len(self._records),
+        )
 
     def put(self, key: str, record: Mapping[str, Any]) -> None:
         """Store a record, appending it to the on-disk file."""

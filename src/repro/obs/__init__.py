@@ -1,0 +1,62 @@
+"""``repro.obs`` — unified metrics, tracing and progress telemetry.
+
+The dependency-free observability layer every other subsystem records into:
+
+* :mod:`repro.obs.metrics` — a process-global :class:`MetricsRegistry` of
+  counters, gauges and streaming log-bucket histograms (p50/p95/p99 without
+  stored samples), with JSON-snapshot and Prometheus-text exporters.
+* :mod:`repro.obs.trace` — :func:`trace_span`, a context manager recording
+  structured spans (start/duration/parent/attrs) into a bounded in-memory
+  ring with JSONL and Chrome-trace (Perfetto) exporters.
+
+Instrumented seams: pipeline stage execution (:mod:`repro.api.stages`), the
+worker-pool :class:`~repro.api.Runner`, the persistent result/density caches,
+and the :mod:`repro.serve` scheduler + store — surfaced by the service's
+``GET /stats`` / ``GET /metrics`` endpoints and the ``repro stats`` /
+``repro trace`` CLI verbs.
+
+Overhead policy: recording is always on (locked integer adds and a bounded
+deque append); nothing is formatted or written until an exporter or snapshot
+is explicitly requested, so the hot path cost is fixed and tiny (the bench
+gate bounds it at <= 2% on the simulate stage).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    BUCKETS_PER_DECADE,
+    Counter,
+    GROWTH,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    REGISTRY,
+    metrics,
+)
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    Span,
+    TRACE,
+    TraceBuffer,
+    current_span_id,
+    trace_span,
+)
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "GROWTH",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACE",
+    "TraceBuffer",
+    "current_span_id",
+    "metrics",
+    "trace_span",
+]

@@ -1,0 +1,229 @@
+"""Structured spans and trace export — the tracing half of ``repro.obs``.
+
+:func:`trace_span` is a context manager that records one timed span into a
+bounded in-memory ring (:class:`TraceBuffer`).  Spans carry a name, wall-clock
+start, duration, free-form attributes, the recording thread, and a parent id
+maintained through a *thread-local* span stack — so nested ``trace_span``
+calls in one thread parent naturally, while spans recorded concurrently from
+other threads (scheduler workers, the HTTP handler pool) stay independent
+roots instead of inheriting a random parent.
+
+The ring is bounded (default 4096 spans) and recording is append-to-deque
+cheap, so tracing stays on permanently; nothing touches the filesystem until
+an exporter is invoked:
+
+* :meth:`TraceBuffer.write_jsonl` — one span dict per line, greppable;
+* :meth:`TraceBuffer.write_chrome_trace` — the Chrome trace-event JSON that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly (complete
+  ``"ph": "X"`` events, microsecond timestamps).
+
+Spans recorded inside worker *processes* (the :class:`~repro.api.Runner`
+pool) live in that process's ring and are not shipped back; the parent
+process's spans cover the fan-out call itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+# Default ring capacity: generously above one pipeline run's span count
+# (tens), small enough that an always-on ring is invisible in memory.
+DEFAULT_CAPACITY = 4096
+
+_ids = itertools.count(1)
+_stack = threading.local()
+
+
+def _current_stack() -> list[int]:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = []
+        _stack.spans = stack
+    return stack
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float          # epoch seconds (wall clock, for cross-process alignment)
+    duration: float       # seconds (monotonic clock)
+    thread: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+
+class TraceBuffer:
+    """Bounded ring of completed spans with JSONL / Chrome-trace exporters."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    def spans(self) -> list[Span]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (including ones the ring evicted)."""
+        return self._recorded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str | Path) -> int:
+        """One span JSON object per line; returns the span count written."""
+        spans = self.spans()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+        return len(spans)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The Chrome trace-event document for the retained spans.
+
+        Complete events (``"ph": "X"``) with microsecond timestamps; thread
+        names are emitted as metadata events so Perfetto's track labels read
+        as thread names, not bare ids.
+        """
+        spans = self.spans()
+        pid = os.getpid()
+        thread_ids: dict[str, int] = {}
+        events: list[dict[str, Any]] = []
+        for span in spans:
+            tid = thread_ids.setdefault(span.thread, len(thread_ids) + 1)
+            args = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.attrs)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+            for thread, tid in thread_ids.items()
+        ]
+        return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> int:
+        """Write :meth:`to_chrome_trace` JSON; returns the span count."""
+        document = self.to_chrome_trace()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        return len(
+            [e for e in document["traceEvents"] if e["ph"] == "X"]
+        )
+
+
+# The process-global ring every trace_span records into.
+TRACE = TraceBuffer()
+
+
+@contextmanager
+def trace_span(name: str, buffer: TraceBuffer | None = None, **attrs: Any) -> Iterator[dict[str, Any]]:
+    """Record one timed span around the enclosed block.
+
+    Yields the span's mutable ``attrs`` dict so the block can attach results
+    discovered mid-flight (``span["instructions"] = n``).  Nesting within a
+    thread parents automatically; exceptions propagate after the span is
+    recorded with an ``error`` attribute.
+    """
+    target = buffer if buffer is not None else TRACE
+    span_id = next(_ids)
+    stack = _current_stack()
+    parent_id = stack[-1] if stack else None
+    stack.append(span_id)
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield attrs
+    except BaseException as exc:
+        attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        duration = time.perf_counter() - start
+        stack.pop()
+        target.record(
+            Span(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                start=start_wall,
+                duration=duration,
+                thread=threading.current_thread().name,
+                attrs=dict(attrs),
+            )
+        )
+
+
+def current_span_id() -> int | None:
+    """The innermost active span id on this thread, or ``None``."""
+    stack = _current_stack()
+    return stack[-1] if stack else None
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Span",
+    "TRACE",
+    "TraceBuffer",
+    "current_span_id",
+    "trace_span",
+]

@@ -1,4 +1,4 @@
-"""CLI verbs of the experiment job service: serve, submit, status, cancel.
+"""CLI verbs of the experiment job service: serve, submit, status, stats, cancel.
 
 Registered into the main ``python -m repro`` parser by
 :func:`register_serve_commands`; the client-side verbs talk to a running
@@ -226,6 +226,73 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 2
 
 
+def _format_stats(stats: dict[str, Any]) -> str:
+    """Human-readable rendering of the ``/stats`` snapshot."""
+    lines = [
+        f"service v{stats.get('version', '?')} up {stats.get('uptime_s', 0):.0f}s"
+    ]
+    queue = stats.get("queue") or {}
+    lines.append(
+        "queue: " + " ".join(f"{state}={n}" for state, n in queue.items())
+    )
+    jobs = stats.get("jobs") or {}
+    lines.append(
+        "jobs:  "
+        + " ".join(f"{name}={value}" for name, value in jobs.items())
+    )
+    scheduler = stats.get("scheduler") or {}
+    last = scheduler.get("last_dequeue_at")
+    lines.append(
+        f"sched: workers_alive={scheduler.get('workers_alive', '?')} "
+        f"concurrency={scheduler.get('concurrency', '?')} "
+        f"last_dequeue={'never' if last is None else f'{last:.0f}'}"
+    )
+    stages = stats.get("stages") or {}
+    if stages:
+        lines.append(f"{'stage':<10} {'count':>6} {'p50':>10} {'p95':>10}")
+        for stage, info in stages.items():
+            p50, p95 = info.get("p50"), info.get("p95")
+            lines.append(
+                f"{stage:<10} {info.get('count', 0):>6} "
+                f"{p50 if p50 is None else f'{p50:.3f}s':>10} "
+                f"{p95 if p95 is None else f'{p95:.3f}s':>10}"
+            )
+    caches = stats.get("caches") or {}
+    for cache, info in caches.items():
+        rate = info.get("hit_rate")
+        lines.append(
+            f"cache {cache}: hits={info.get('hits', 0)} "
+            f"misses={info.get('misses', 0)} "
+            f"hit_rate={'n/a' if rate is None else f'{rate:.0%}'}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Show (or watch) a running service's telemetry snapshot."""
+    import time as _time
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        while True:
+            stats = client.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+            else:
+                print(_format_stats(stats))
+            if not args.watch:
+                return 0
+            _time.sleep(args.interval)
+            print()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_cancel(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeError
 
@@ -344,6 +411,20 @@ def register_serve_commands(
     status.add_argument("--url", default=DEFAULT_URL, help="service URL")
     status.set_defaults(func=cmd_status)
 
+    stats = sub.add_parser(
+        "stats", help="show a running service's telemetry snapshot"
+    )
+    stats.add_argument(
+        "--watch", action="store_true", help="refresh continuously until Ctrl-C"
+    )
+    stats.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--watch refresh interval (default: %(default)s)",
+    )
+    stats.add_argument("--json", action="store_true", help="print the raw snapshot")
+    stats.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    stats.set_defaults(func=cmd_stats)
+
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job", help="job id (or unique prefix)")
     cancel.add_argument("--url", default=DEFAULT_URL, help="service URL")
@@ -354,6 +435,7 @@ __all__ = [
     "DEFAULT_DB",
     "cmd_cancel",
     "cmd_serve",
+    "cmd_stats",
     "cmd_status",
     "cmd_submit",
     "register_serve_commands",

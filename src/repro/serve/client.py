@@ -65,7 +65,11 @@ class ServeClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                body = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+                if "json" not in content_type:
+                    return {"text": body}
+                return json.loads(body)
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8")).get("error", "")
@@ -81,6 +85,26 @@ class ServeClient:
     # ------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
         return self._call("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        """The service's telemetry snapshot (``GET /stats``)."""
+        return self._call("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition text (``GET /metrics``)."""
+        return self._call("GET", "/metrics")["text"]
+
+    def events(
+        self, job_id: str, since: int = 0, timeout: float = 25.0
+    ) -> dict[str, Any]:
+        """Long-poll one job's progress events past ``since``.
+
+        Returns ``{"job", "state", "events", "next"}``; pass the returned
+        ``next`` as the following call's ``since`` to stream without gaps.
+        """
+        return self._call(
+            "GET", f"/jobs/{job_id}/events?since={since}&timeout={timeout}"
+        )
 
     def submit(
         self,

@@ -21,8 +21,22 @@ Routes
 ``DELETE /jobs/<id>``
     Cancel a queued job.  Responds with the (possibly unchanged) job and a
     ``cancelled`` flag; running/terminal jobs are not interrupted.
+``GET /jobs/<id>/events``
+    Long-poll streaming stage progress: ``?since=N`` resumes after the last
+    seen sequence number, ``?timeout=S`` bounds the poll (default 25s, capped
+    at 60).  Responds ``{"job": ..., "state": ..., "events": [...], "next":
+    N}`` — the events are the scheduler's started/stage/done/failed feed (the
+    pipeline's ``on_stage`` hook, streamed instead of polled).
+``GET /stats``
+    Telemetry snapshot: uptime, queue depth by state, per-stage p50/p95
+    latency, cache hit rates, job/scheduler counters (dedup attaches,
+    retries, claims) and the full metrics registry.
+``GET /metrics``
+    The same registry in Prometheus text exposition format, plus per-state
+    ``repro_serve_jobs`` gauges refreshed at scrape time.
 ``GET /healthz``
-    Liveness: uptime, per-state job counts, scheduler configuration.
+    Liveness: version, uptime, per-state job counts, scheduler liveness
+    (workers alive, last dequeue timestamp).
 
 Errors are JSON too: ``{"error": "<message>"}`` with 400 for malformed
 requests, 404 for unknown routes/jobs, 409 for ambiguous id prefixes.
@@ -36,10 +50,21 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+import repro
 from repro.api.registry import UnknownNameError, get_experiment
 from repro.api.request import ExperimentRequest
+from repro.obs import metrics
 from repro.serve.scheduler import Scheduler
-from repro.serve.store import AmbiguousJobError, JobStore, UnknownJobError
+from repro.serve.store import (
+    AmbiguousJobError,
+    JobStore,
+    TERMINAL_STATES,
+    UnknownJobError,
+)
+
+# Long-poll bounds for /jobs/<id>/events.
+DEFAULT_EVENTS_TIMEOUT = 25.0
+MAX_EVENTS_TIMEOUT = 60.0
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8377
@@ -108,11 +133,17 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["healthz"]:
                 self._send_json(self._health())
+            elif parts == ["stats"]:
+                self._send_json(self._stats())
+            elif parts == ["metrics"]:
+                self._send_metrics()
             elif parts == ["jobs"]:
                 self._send_json(self._list_jobs(parse_qs(parsed.query)))
             elif len(parts) == 2 and parts[0] == "jobs":
                 job = self.server.store.find(parts[1])
                 self._send_json({"job": job.to_dict()})
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                self._send_json(self._events(parts[1], parse_qs(parsed.query)))
             else:
                 self._send_error(f"no route for GET {parsed.path}", 404)
         except UnknownJobError as exc:
@@ -182,14 +213,110 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _health(self) -> dict[str, Any]:
         server = self.server
+        scheduler = server.scheduler
         return {
             "ok": True,
+            "version": repro.__version__,
             "uptime_s": time.time() - server.started_at,
             "jobs": server.store.counts(),
             "scheduler": {
-                "concurrency": server.scheduler.concurrency,
-                "running": server.scheduler.running,
+                "concurrency": scheduler.concurrency,
+                "running": scheduler.running,
+                "workers_alive": scheduler.workers_alive,
+                "last_dequeue_at": scheduler.last_dequeue_at,
             },
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        """The `/stats` snapshot: queue depths, latency quantiles, hit rates."""
+        server = self.server
+        scheduler = server.scheduler
+        snapshot = metrics().snapshot()
+
+        def counter_total(name: str) -> int:
+            return sum(entry["value"] for entry in snapshot.get(name, ()))
+
+        stages: dict[str, dict[str, Any]] = {}
+        for entry in snapshot.get("pipeline.stage.seconds", ()):
+            stage = entry["labels"].get("stage", "?")
+            stages[stage] = {
+                "count": entry["count"],
+                "p50": entry["p50"],
+                "p95": entry["p95"],
+                "p99": entry["p99"],
+            }
+
+        caches: dict[str, dict[str, Any]] = {}
+        for name, outcome in (("cache.hits", "hits"), ("cache.misses", "misses")):
+            for entry in snapshot.get(name, ()):
+                cache = entry["labels"].get("cache", "?")
+                caches.setdefault(cache, {"hits": 0, "misses": 0})[outcome] = entry[
+                    "value"
+                ]
+        for cache, info in caches.items():
+            lookups = info["hits"] + info["misses"]
+            info["hit_rate"] = (info["hits"] / lookups) if lookups else None
+
+        queue_wait = snapshot.get("serve.queue_wait_seconds", ())
+        return {
+            "version": repro.__version__,
+            "uptime_s": time.time() - server.started_at,
+            "queue": server.store.counts(),
+            "jobs": {
+                "submitted": counter_total("jobs.submitted"),
+                "dedup_attached": counter_total("jobs.dedup_attached"),
+                "claimed": counter_total("jobs.claimed"),
+                "done": counter_total("jobs.done"),
+                "failed": counter_total("jobs.failed"),
+                "retried": counter_total("jobs.retried"),
+                "cancelled": counter_total("jobs.cancelled"),
+            },
+            "scheduler": {
+                "concurrency": scheduler.concurrency,
+                "workers_alive": scheduler.workers_alive,
+                "last_dequeue_at": scheduler.last_dequeue_at,
+                "queue_wait": dict(queue_wait[0]) if queue_wait else None,
+            },
+            "stages": stages,
+            "caches": caches,
+            "metrics": snapshot,
+        }
+
+    def _send_metrics(self) -> None:
+        """Prometheus text format; job-state gauges refreshed at scrape time."""
+        registry = metrics()
+        for state, count in self.server.store.counts().items():
+            registry.gauge("serve.jobs", state=state).set(count)
+        registry.gauge("serve.uptime_seconds").set(
+            time.time() - self.server.started_at
+        )
+        registry.gauge("serve.workers_alive").set(
+            self.server.scheduler.workers_alive
+        )
+        body = registry.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _events(self, job_ref: str, query: dict[str, list[str]]) -> dict[str, Any]:
+        """Long-poll one job's progress events past ``since``."""
+        job = self.server.store.find(job_ref)
+        since = int(query.get("since", ["0"])[0])
+        timeout = min(
+            float(query.get("timeout", [str(DEFAULT_EVENTS_TIMEOUT)])[0]),
+            MAX_EVENTS_TIMEOUT,
+        )
+        events = self.server.scheduler.events.since(job.id, since)
+        if not events and job.state not in TERMINAL_STATES and timeout > 0:
+            events = self.server.scheduler.events.wait(job.id, since, timeout)
+            job = self.server.store.get(job.id)
+        return {
+            "job": job.id,
+            "state": job.state,
+            "events": events,
+            "next": events[-1]["seq"] if events else since,
         }
 
     def _list_jobs(self, query: dict[str, list[str]]) -> dict[str, Any]:

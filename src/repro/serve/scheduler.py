@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
+from repro.obs import metrics
 from repro.serve.store import TERMINAL_STATES, Job, JobStore
 
 # Execution callable signature: (request, options, on_stage) -> result.
@@ -40,6 +41,61 @@ ExecuteFn = Callable[
     [ExperimentRequest, RunOptions, Callable[[str, float], None]],
     ExperimentResult,
 ]
+
+
+class JobEvents:
+    """In-memory per-job progress event log with long-poll support.
+
+    Fed by the scheduler as jobs start, complete stages (the pipeline's
+    ``on_stage`` hook) and finish; drained by ``GET /jobs/<id>/events``.
+    Events are monotonically sequence-numbered per job, so a client resumes
+    with ``since=<last seen seq>`` and never misses or re-reads one.  The log
+    is bounded per job and process-local — it is a live progress feed, not a
+    durable record (the store's ``timings`` column is the persistent part).
+    """
+
+    def __init__(self, per_job_limit: int = 512) -> None:
+        self.per_job_limit = per_job_limit
+        self._events: dict[str, list[dict[str, Any]]] = {}
+        self._cond = threading.Condition()
+
+    def emit(self, job_id: str, event: str, **data: Any) -> dict[str, Any]:
+        """Append one event and wake every long-poll waiter."""
+        with self._cond:
+            log = self._events.setdefault(job_id, [])
+            seq = (log[-1]["seq"] + 1) if log else 1
+            entry = {"seq": seq, "ts": time.time(), "event": event, **data}
+            log.append(entry)
+            if len(log) > self.per_job_limit:
+                del log[: len(log) - self.per_job_limit]
+            self._cond.notify_all()
+        return entry
+
+    def since(self, job_id: str, since: int = 0) -> list[dict[str, Any]]:
+        """Events for ``job_id`` with ``seq > since`` (no waiting)."""
+        with self._cond:
+            return [e for e in self._events.get(job_id, []) if e["seq"] > since]
+
+    def wait(
+        self, job_id: str, since: int = 0, timeout: float = 30.0
+    ) -> list[dict[str, Any]]:
+        """Long-poll: block until events past ``since`` exist or ``timeout``."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                fresh = [
+                    e for e in self._events.get(job_id, []) if e["seq"] > since
+                ]
+                if fresh:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def forget(self, job_id: str) -> None:
+        with self._cond:
+            self._events.pop(job_id, None)
 
 
 def _default_execute(
@@ -98,6 +154,8 @@ class Scheduler:
         self._stop = threading.Event()
         self._wake = threading.Condition()
         self._started = False
+        self.events = JobEvents()
+        self.last_dequeue_at: float | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -147,6 +205,11 @@ class Scheduler:
     def running(self) -> bool:
         return self._started and any(t.is_alive() for t in self._threads)
 
+    @property
+    def workers_alive(self) -> int:
+        """How many worker threads are currently alive (liveness probe)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
     # ------------------------------------------------------------------
     # Submission / waiting
     # ------------------------------------------------------------------
@@ -194,12 +257,17 @@ class Scheduler:
                     if not self._stop.is_set():
                         self._wake.wait(self.poll_interval)
                 continue
+            self.last_dequeue_at = time.time()
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
         def on_stage(stage: str, seconds: float) -> None:
             self.store.record_stage(job.id, stage, seconds)
+            self.events.emit(job.id, "stage", stage=stage, seconds=seconds)
 
+        self.events.emit(
+            job.id, "started", execution=job.executions, experiment=job.experiment
+        )
         try:
             result = self._execute(job.request(), self.options, on_stage)
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
@@ -210,9 +278,11 @@ class Scheduler:
             self.store.mark_failed(
                 job.id, "interrupted during shutdown", retry_at=time.time()
             )
+            self.events.emit(job.id, "interrupted")
             raise
         else:
             self.store.mark_done(job.id, result)
+            self.events.emit(job.id, "done")
 
     def _record_failure(self, job: Job, exc: Exception) -> None:
         error = f"{type(exc).__name__}: {exc}"
@@ -226,8 +296,13 @@ class Scheduler:
                 self.retry_base_delay * (2 ** (attempts - 1)),
             )
             self.store.mark_failed(job.id, error, retry_at=time.time() + delay)
+            metrics().counter("serve.retries").inc()
+            self.events.emit(
+                job.id, "retry_scheduled", error=error, delay=delay
+            )
         else:
             self.store.mark_failed(job.id, error)
+            self.events.emit(job.id, "failed", error=error)
 
 
-__all__ = ["ExecuteFn", "Scheduler"]
+__all__ = ["ExecuteFn", "JobEvents", "Scheduler"]

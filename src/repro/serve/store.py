@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.api.request import ExperimentRequest, ExperimentResult
+from repro.obs import metrics
 
 # Job states.
 QUEUED = "queued"
@@ -284,6 +285,9 @@ class JobStore:
                 " VALUES (?, ?, ?)",
                 (job_id, now, source),
             )
+        metrics().counter("jobs.submitted").inc()
+        if deduped:
+            metrics().counter("jobs.dedup_attached").inc()
         return self.get(job_id), deduped
 
     # ------------------------------------------------------------------
@@ -359,7 +363,8 @@ class JobStore:
         now = time.time() if now is None else now
         with self._lock, self._conn:
             row = self._conn.execute(
-                "SELECT id FROM jobs WHERE state=? AND not_before<=?"
+                "SELECT id, created_at, not_before FROM jobs"
+                " WHERE state=? AND not_before<=?"
                 " ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
                 (QUEUED, now),
             ).fetchone()
@@ -370,6 +375,13 @@ class JobStore:
                 " WHERE id=?",
                 (RUNNING, now, row["id"]),
             )
+            # Dequeue-to-start latency: how long the job was *due* (past its
+            # creation and any retry-backoff gate) before a worker took it.
+            became_due = max(row["created_at"], row["not_before"])
+            metrics().histogram("serve.queue_wait_seconds").observe(
+                max(0.0, now - became_due)
+            )
+            metrics().counter("jobs.claimed").inc()
             return self.get(row["id"])
 
     def mark_done(
@@ -384,6 +396,7 @@ class JobStore:
                 " timings=? WHERE id=?",
                 (DONE, now, result.to_json(indent=None), timings, job_id),
             )
+        metrics().counter("jobs.done").inc()
         return self.get(job_id)
 
     def mark_failed(
@@ -411,6 +424,9 @@ class JobStore:
                     "UPDATE jobs SET state=?, finished_at=?, error=? WHERE id=?",
                     (FAILED, now, error, job_id),
                 )
+        metrics().counter(
+            "jobs.retried" if retry_at is not None else "jobs.failed"
+        ).inc()
         return self.get(job_id)
 
     def cancel(self, job_id: str, now: float | None = None) -> tuple[Job, bool]:
@@ -427,6 +443,8 @@ class JobStore:
                 (CANCELLED, now, job_id, QUEUED),
             )
             cancelled = cursor.rowcount > 0
+        if cancelled:
+            metrics().counter("jobs.cancelled").inc()
         return self.get(job_id), cancelled
 
     def record_stage(self, job_id: str, stage: str, seconds: float) -> None:

@@ -173,6 +173,8 @@ class TestParserWiring:
             ["fig8", "--paper", "--pruning-rate", "0.8"],
             ["fig9", "--thorough"],
             ["bench", "--smoke", "--out", "bench.json"],
+            ["trace", "fig8", "--smoke", "--out", "trace.json"],
+            ["stats", "--watch", "--interval", "1"],
         ):
             namespace = parser.parse_args(args)
             assert callable(namespace.func)

@@ -1,0 +1,44 @@
+"""``repro trace``: run an experiment, dump a Perfetto-loadable trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_writes_one_span_per_stage(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "ablate-fifo", "--smoke", "--out", str(out),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--set", "fifo_depths=[1,5]", "--set", "num_batches=8",
+                "--set", "batch_elements=512",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "span(s)" in captured
+        assert str(out) in captured
+
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = {event["name"] for event in complete}
+        # The buffer is cleared before the run, so the export holds exactly
+        # this run: one span per stage plus the pipeline envelope.
+        assert names == {"stage.prune", "stage.report", "pipeline.ablate-fifo"}
+        pipeline = next(
+            e for e in complete if e["name"] == "pipeline.ablate-fifo"
+        )
+        for event in complete:
+            if event["name"].startswith("stage."):
+                assert event["args"]["parent_id"] == pipeline["args"]["span_id"]
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        code = main(["trace", "nope", "--out", "/dev/null"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

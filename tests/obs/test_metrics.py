@@ -1,0 +1,245 @@
+"""Counters, gauges, the log-bucket histogram, and the registry exporters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKETS_PER_DECADE,
+    GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+    metrics,
+)
+
+# The documented worst-case relative quantile error of the bucket layout.
+REL_ERROR_BOUND = math.sqrt(GROWTH) - 1.0
+
+
+class TestBucketLayout:
+    def test_eight_buckets_per_decade(self):
+        assert BUCKETS_PER_DECADE == 8
+        assert GROWTH == pytest.approx(10.0 ** 0.125)
+
+    @pytest.mark.parametrize(
+        "value", [1e-6, 3.7e-4, 0.01, 0.123, 1.0 - 1e-9, 1.5, 42.0, 9.9e3]
+    )
+    def test_value_lands_inside_its_bucket(self, value):
+        low, high = bucket_bounds(bucket_index(value))
+        # (low, high] up to float fuzz on the log at exact boundaries.
+        assert low < value * (1 + 1e-9)
+        assert value <= high * (1 + 1e-9)
+
+    def test_buckets_tile_without_gaps(self):
+        for index in range(-20, 20):
+            _, high = bucket_bounds(index)
+            next_low, _ = bucket_bounds(index + 1)
+            assert high == pytest.approx(next_low)
+
+    def test_underflow_bucket(self):
+        assert bucket_index(0.0) == bucket_index(-1.0) == bucket_index(1e-15)
+        low, high = bucket_bounds(bucket_index(0.0))
+        assert low == 0.0 and high > 0.0
+
+    def test_decade_is_exactly_eight_buckets(self):
+        assert bucket_index(0.9999e1) - bucket_index(1.001e0) == (
+            BUCKETS_PER_DECADE - 1
+        )
+
+
+class TestCounterGauge:
+    def test_counter_counts_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.5)
+        assert gauge.value == pytest.approx(2.5)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        snap = histogram.snapshot()
+        assert snap.count == 0 and snap.p50 is None
+
+    def test_single_value_is_reported_exactly(self):
+        """min == max clamping makes one-value quantiles exact, not bucketed."""
+        histogram = Histogram()
+        for _ in range(100):
+            histogram.observe(0.0123)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.0123)
+
+    def test_quantile_error_within_bucket_bound(self):
+        """Estimates stay within sqrt(growth)-1 of the true quantile."""
+        # Deterministic spread over ~3 decades (no RNG needed).
+        values = [0.001 * (1.017 ** i) for i in range(500)]
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(value)
+        ordered = sorted(values)
+        for q in (0.10, 0.50, 0.90, 0.95, 0.99):
+            true = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - true) / true <= REL_ERROR_BOUND + 1e-9
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram()
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        assert 0.2 <= histogram.quantile(0.0) <= 0.6
+        assert 0.2 <= histogram.quantile(1.0) <= 0.6
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_count_sum_min_max_are_exact(self):
+        histogram = Histogram()
+        for value in (0.5, 1.5, 2.5):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap.count == 3
+        assert snap.sum == pytest.approx(4.5)
+        assert snap.min == 0.5 and snap.max == 2.5
+
+
+def _filled(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _state(histogram):
+    return (
+        dict(histogram._buckets),
+        histogram._count,
+        pytest.approx(histogram._sum),
+        histogram._min,
+        histogram._max,
+    )
+
+
+class TestHistogramMerge:
+    def test_merge_is_exact_bucket_addition(self):
+        a = _filled([0.1, 0.2, 0.3])
+        b = _filled([1.0, 2.0])
+        merged = a.merge(b)
+        direct = _filled([0.1, 0.2, 0.3, 1.0, 2.0])
+        assert _state(merged) == _state(direct)
+
+    def test_merge_is_associative(self):
+        a = _filled([0.01 * (1.1 ** i) for i in range(40)])
+        b = _filled([0.5, 5.0, 50.0])
+        c = _filled([3e-3, 7e2])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert _state(left) == _state(right)
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == pytest.approx(right.quantile(q))
+
+    def test_merge_is_commutative_and_nondestructive(self):
+        a = _filled([0.1, 0.2])
+        b = _filled([10.0])
+        assert _state(a.merge(b)) == _state(b.merge(a))
+        assert a.count == 2 and b.count == 1  # inputs untouched
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs.done", queue="main")
+        first.inc()
+        assert registry.counter("jobs.done", queue="main") is first
+        assert registry.counter("jobs.done", queue="other") is not first
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("pool", kind="x", size="2")
+        b = registry.gauge("pool", size="2", kind="x")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="not a Histogram"):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", experiment="fig8").inc(3)
+        registry.gauge("workers").set(2)
+        registry.histogram("latency").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["runs"] == [
+            {"labels": {"experiment": "fig8"}, "value": 3, "type": "counter"}
+        ]
+        assert snap["workers"][0]["type"] == "gauge"
+        hist = snap["latency"][0]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 1 and hist["p50"] == pytest.approx(0.25)
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_global_accessor(self):
+        assert metrics() is metrics()
+
+
+class TestPrometheusRendering:
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.tasks.completed", pool="sim").inc(7)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_runner_tasks_completed_total counter" in text
+        assert 'repro_runner_tasks_completed_total{pool="sim"} 7' in text
+
+    def test_gauge_rendering(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.workers_alive").set(2)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_serve_workers_alive gauge" in text
+        assert "repro_serve_workers_alive 2" in text
+
+    def test_histogram_rendered_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("stage.seconds", stage="train")
+        for value in (0.1, 0.2, 0.4):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_stage_seconds summary" in text
+        assert 'repro_stage_seconds{stage="train",quantile="0.5"}' in text
+        assert 'repro_stage_seconds_count{stage="train"} 3' in text
+        assert 'repro_stage_seconds_sum{stage="train"} 0.7' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_dots_and_dashes_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit-rate").inc()
+        text = registry.render_prometheus()
+        assert "repro_cache_hit_rate_total" in text

@@ -1,0 +1,188 @@
+"""Span recording, thread-local parenting, the ring bound, and exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, TraceBuffer, current_span_id, trace_span
+
+
+@pytest.fixture
+def buffer():
+    """An instance-local ring so tests never touch the global TRACE."""
+    return TraceBuffer()
+
+
+def _by_name(buffer):
+    return {span.name: span for span in buffer.spans()}
+
+
+class TestNesting:
+    def test_nested_spans_parent_naturally(self, buffer):
+        with trace_span("outer", buffer=buffer):
+            with trace_span("inner", buffer=buffer):
+                pass
+        spans = _by_name(buffer)
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+
+    def test_inner_spans_recorded_first(self, buffer):
+        """Spans complete inside-out, so the ring holds children first."""
+        with trace_span("a", buffer=buffer):
+            with trace_span("b", buffer=buffer):
+                pass
+        assert [span.name for span in buffer.spans()] == ["b", "a"]
+
+    def test_siblings_share_a_parent(self, buffer):
+        with trace_span("parent", buffer=buffer):
+            with trace_span("first", buffer=buffer):
+                pass
+            with trace_span("second", buffer=buffer):
+                pass
+        spans = _by_name(buffer)
+        assert spans["first"].parent_id == spans["parent"].span_id
+        assert spans["second"].parent_id == spans["parent"].span_id
+
+    def test_current_span_id_tracks_the_stack(self, buffer):
+        assert current_span_id() is None
+        with trace_span("outer", buffer=buffer):
+            outer_id = current_span_id()
+            assert outer_id is not None
+            with trace_span("inner", buffer=buffer):
+                assert current_span_id() not in (None, outer_id)
+            assert current_span_id() == outer_id
+        assert current_span_id() is None
+
+    def test_attrs_dict_is_mutable_mid_span(self, buffer):
+        with trace_span("work", buffer=buffer, stage="train") as span:
+            span["instructions"] = 128
+        recorded = buffer.spans()[0]
+        assert recorded.attrs == {"stage": "train", "instructions": 128}
+
+    def test_exception_records_error_and_pops_stack(self, buffer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with trace_span("explodes", buffer=buffer):
+                raise RuntimeError("boom")
+        span = buffer.spans()[0]
+        assert span.attrs["error"] == "RuntimeError: boom"
+        assert current_span_id() is None  # stack unwound despite the raise
+
+
+class TestThreadParenting:
+    def test_spans_in_worker_threads_are_independent_roots(self, buffer):
+        """A worker thread must not inherit the submitting thread's span."""
+
+        def worker():
+            with trace_span("worker-outer", buffer=buffer):
+                with trace_span("worker-inner", buffer=buffer):
+                    pass
+
+        with trace_span("main", buffer=buffer):
+            threads = [
+                threading.Thread(target=worker, name=f"obs-w{i}") for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        spans = buffer.spans()
+        roots = [s for s in spans if s.name == "worker-outer"]
+        inners = [s for s in spans if s.name == "worker-inner"]
+        assert len(roots) == len(inners) == 3
+        # Every worker root is parentless even though "main" was open.
+        assert all(root.parent_id is None for root in roots)
+        # Each inner parents to the root recorded *on its own thread*.
+        root_by_thread = {root.thread: root.span_id for root in roots}
+        for inner in inners:
+            assert inner.parent_id == root_by_thread[inner.thread]
+        assert _by_name(buffer)["main"].parent_id is None
+
+    def test_span_records_thread_name(self, buffer):
+        def worker():
+            with trace_span("named", buffer=buffer):
+                pass
+
+        thread = threading.Thread(target=worker, name="scheduler-0")
+        thread.start()
+        thread.join()
+        assert buffer.spans()[0].thread == "scheduler-0"
+
+
+class TestRingBound:
+    def test_ring_keeps_only_the_newest_spans(self):
+        small = TraceBuffer(capacity=4)
+        for i in range(10):
+            with trace_span(f"s{i}", buffer=small):
+                pass
+        assert len(small) == 4
+        assert small.recorded == 10
+        assert [span.name for span in small.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceBuffer(capacity=0)
+
+    def test_clear_empties_retained_but_not_recorded(self, buffer):
+        with trace_span("x", buffer=buffer):
+            pass
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.recorded == 1
+
+
+class TestExporters:
+    def _populate(self, buffer):
+        with trace_span("pipeline.fig8", buffer=buffer, experiment="fig8"):
+            with trace_span("stage.train", buffer=buffer, stage="train"):
+                pass
+
+    def test_jsonl_round_trips(self, buffer, tmp_path):
+        self._populate(buffer)
+        path = tmp_path / "spans.jsonl"
+        written = buffer.write_jsonl(path)
+        assert written == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["stage.train", "pipeline.fig8"]
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+        assert lines[0]["attrs"] == {"stage": "train"}
+
+    def test_chrome_trace_structure(self, buffer):
+        self._populate(buffer)
+        document = buffer.to_chrome_trace()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"pipeline.fig8", "stage.train"}
+        assert metadata and metadata[0]["name"] == "thread_name"
+        for event in complete:
+            assert event["dur"] >= 0.0
+            assert event["ts"] > 0.0  # microseconds since the epoch
+            assert "span_id" in event["args"]
+        child = next(e for e in complete if e["name"] == "stage.train")
+        parent = next(e for e in complete if e["name"] == "pipeline.fig8")
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+        assert child["args"]["stage"] == "train"
+
+    def test_write_chrome_trace_is_valid_json(self, buffer, tmp_path):
+        self._populate(buffer)
+        path = tmp_path / "trace.json"
+        assert buffer.write_chrome_trace(path) == 2
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+
+    def test_span_to_dict_is_json_native(self):
+        span = Span(
+            span_id=1,
+            parent_id=None,
+            name="x",
+            start=100.0,
+            duration=0.5,
+            thread="MainThread",
+            attrs={"k": "v"},
+        )
+        assert json.loads(json.dumps(span.to_dict()))["name"] == "x"

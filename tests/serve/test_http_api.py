@@ -33,11 +33,19 @@ def idle_service(tmp_path):
 
 class TestHealth:
     def test_healthz(self, idle_service):
+        import repro
+
         health = idle_service.health()
         assert health["ok"] is True
+        assert health["version"] == repro.__version__
         assert health["uptime_s"] >= 0
         assert health["jobs"]["queued"] == 0
-        assert health["scheduler"] == {"concurrency": 1, "running": False}
+        assert health["scheduler"] == {
+            "concurrency": 1,
+            "running": False,
+            "workers_alive": 0,
+            "last_dequeue_at": None,
+        }
 
 
 class TestSubmit:

@@ -1,0 +1,269 @@
+"""The observability endpoints: /stats, /metrics, /jobs/<id>/events.
+
+Counters live in the process-global registry and accumulate across the test
+run, so every numeric assertion is a delta between two snapshots taken
+inside one test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ExperimentRequest, ExperimentResult, RunOptions
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http_api import ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import JobStore
+
+
+def _request(rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment="fig8", pruning_rate=rate)
+
+
+class StageExecutor:
+    """Fake executor that reports two stages, optionally gated."""
+
+    def __init__(self, gate: threading.Event | None = None,
+                 started: threading.Event | None = None) -> None:
+        self.gate = gate
+        self.started = started
+
+    def __call__(self, request, options, on_stage):
+        if self.started is not None:
+            self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(10.0)
+        on_stage("simulate", 0.02)
+        on_stage("report", 0.01)
+        return ExperimentResult(
+            experiment=request.experiment,
+            request=request,
+            payload={},
+            summary="ok",
+        )
+
+
+class _Service:
+    def __init__(self, tmp_path, execute=None, start=True):
+        self.store = JobStore(tmp_path / "serve.db")
+        self.scheduler = Scheduler(
+            self.store,
+            options=RunOptions(use_cache=False),
+            poll_interval=0.02,
+            execute=execute,
+        )
+        if start:
+            self.scheduler.start()
+        self.server = ExperimentServer(self.scheduler, port=0)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.client = ServeClient(self.server.url)
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        if self.scheduler.running:
+            assert self.scheduler.stop(timeout=10.0)
+        self.store.close()
+
+
+@pytest.fixture
+def idle(tmp_path):
+    service = _Service(tmp_path, execute=StageExecutor(), start=False)
+    yield service
+    service.close()
+
+
+@pytest.fixture
+def running(tmp_path):
+    service = _Service(tmp_path, execute=StageExecutor(), start=True)
+    yield service
+    service.close()
+
+
+class TestHealthz:
+    def test_reports_version_and_scheduler_liveness(self, running):
+        health = running.client.health()
+        assert health["ok"] is True
+        import repro
+
+        assert health["version"] == repro.__version__
+        assert health["uptime_s"] >= 0
+        sched = health["scheduler"]
+        assert sched["running"] is True
+        assert sched["workers_alive"] == 1
+        assert sched["last_dequeue_at"] is None  # nothing claimed yet
+
+    def test_last_dequeue_timestamp_set_after_a_claim(self, running):
+        before = time.time()
+        job = running.client.submit(_request())["job"]
+        running.client.wait(job["id"], timeout=30.0, poll=0.02)
+        sched = running.client.health()["scheduler"]
+        assert sched["last_dequeue_at"] is not None
+        assert sched["last_dequeue_at"] >= before
+
+
+class TestStats:
+    def test_dedup_and_done_counters(self, running):
+        before = running.client.stats()
+        first = running.client.submit(_request(rate=0.7))
+        second = running.client.submit(_request(rate=0.7))
+        assert first["deduped"] is False and second["deduped"] is True
+        running.client.wait(first["job"]["id"], timeout=30.0, poll=0.02)
+        after = running.client.stats()
+
+        delta = {
+            key: after["jobs"][key] - before["jobs"][key]
+            for key in after["jobs"]
+        }
+        assert delta["submitted"] == 2
+        assert delta["dedup_attached"] == 1
+        assert delta["claimed"] == 1  # deduped submission never executed
+        assert delta["done"] == 1
+        assert after["queue"]["done"] == 1
+        assert after["scheduler"]["queue_wait"] is not None
+        assert after["scheduler"]["queue_wait"]["count"] >= 1
+
+    def test_snapshot_shape(self, idle):
+        stats = idle.client.stats()
+        import repro
+
+        assert stats["version"] == repro.__version__
+        assert stats["uptime_s"] >= 0
+        assert set(stats["queue"]) >= {"queued", "running", "done", "failed"}
+        assert isinstance(stats["stages"], dict)
+        for info in stats["stages"].values():
+            assert set(info) == {"count", "p50", "p95", "p99"}
+        for info in stats["caches"].values():
+            assert set(info) == {"hits", "misses", "hit_rate"}
+        assert isinstance(stats["metrics"], dict)
+
+    def test_cache_hit_rates_derived_from_counters(self, idle, tmp_path):
+        from repro.explore.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "statscache.jsonl")
+        cache.get("missing")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        info = idle.client.stats()["caches"]["statscache"]
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_and_scrape_time_gauges(self, running):
+        job = running.client.submit(_request(rate=0.3))["job"]
+        running.client.wait(job["id"], timeout=30.0, poll=0.02)
+        text = running.client.metrics_text()
+        assert "# TYPE repro_serve_jobs gauge" in text
+        assert 'repro_serve_jobs{state="done"} 1' in text
+        assert "repro_serve_uptime_seconds" in text
+        assert "repro_serve_workers_alive 1" in text
+        assert "repro_jobs_submitted_total" in text
+        assert "repro_serve_queue_wait_seconds_count" in text
+
+    def test_content_type_is_prometheus_text(self, idle):
+        import urllib.request
+
+        with urllib.request.urlopen(idle.server.url + "/metrics") as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+
+
+class TestJobEvents:
+    def test_streamed_events_cover_the_lifecycle(self, tmp_path):
+        started, gate = threading.Event(), threading.Event()
+        service = _Service(
+            tmp_path, execute=StageExecutor(gate=gate, started=started)
+        )
+        try:
+            job = service.client.submit(_request())["job"]
+            assert started.wait(10.0)
+            first = service.client.events(job["id"], since=0, timeout=5.0)
+            assert first["events"][0]["event"] == "started"
+            assert first["events"][0]["experiment"] == "fig8"
+            assert first["next"] == first["events"][-1]["seq"]
+
+            gate.set()
+            service.client.wait(job["id"], timeout=30.0, poll=0.02)
+            rest = service.client.events(
+                job["id"], since=first["next"], timeout=5.0
+            )
+            kinds = [event["event"] for event in rest["events"]]
+            assert kinds == ["stage", "stage", "done"]
+            stages = [e["stage"] for e in rest["events"] if e["event"] == "stage"]
+            assert stages == ["simulate", "report"]
+            seqs = [event["seq"] for event in rest["events"]]
+            assert seqs == sorted(seqs)
+            assert all(seq > first["next"] for seq in seqs)
+            assert rest["state"] == "done"
+
+            # Terminal job + no fresh events: returns immediately, empty.
+            drained = service.client.events(
+                job["id"], since=rest["next"], timeout=5.0
+            )
+            assert drained["events"] == []
+            assert drained["next"] == rest["next"]
+        finally:
+            service.close()
+
+    def test_long_poll_times_out_empty_on_idle_job(self, idle):
+        job = idle.client.submit(_request())["job"]  # scheduler not running
+        start = time.monotonic()
+        response = idle.client.events(job["id"], since=0, timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert response["events"] == []
+        assert response["next"] == 0
+        assert 0.2 <= elapsed < 5.0
+
+    def test_long_poll_wakes_on_emit(self, idle):
+        job = idle.client.submit(_request())["job"]
+        events = idle.scheduler.events
+
+        def emit_soon():
+            time.sleep(0.1)
+            events.emit(job["id"], "stage", stage="train", seconds=1.0)
+
+        threading.Thread(target=emit_soon, daemon=True).start()
+        start = time.monotonic()
+        response = idle.client.events(job["id"], since=0, timeout=10.0)
+        elapsed = time.monotonic() - start
+        assert [e["event"] for e in response["events"]] == ["stage"]
+        assert elapsed < 5.0  # woke on notify, not the timeout
+
+    def test_unknown_job_is_404(self, idle):
+        with pytest.raises(ServeError) as excinfo:
+            idle.client.events("ffff00001111", timeout=0.1)
+        assert excinfo.value.status == 404
+
+    def test_bad_since_is_400(self, idle):
+        job = idle.client.submit(_request())["job"]
+        with pytest.raises(ServeError) as excinfo:
+            idle.client._call("GET", f"/jobs/{job['id']}/events?since=nope")
+        assert excinfo.value.status == 400
+
+
+class TestJobEventsUnit:
+    def test_per_job_ring_is_bounded(self):
+        from repro.serve.scheduler import JobEvents
+
+        log = JobEvents(per_job_limit=3)
+        for i in range(6):
+            log.emit("job", "stage", index=i)
+        events = log.since("job")
+        assert len(events) == 3
+        assert [event["index"] for event in events] == [3, 4, 5]
+        # Sequence numbers keep climbing across evictions.
+        assert [event["seq"] for event in events] == [4, 5, 6]
+
+    def test_forget_drops_the_log(self):
+        from repro.serve.scheduler import JobEvents
+
+        log = JobEvents()
+        log.emit("job", "started")
+        log.forget("job")
+        assert log.since("job") == []

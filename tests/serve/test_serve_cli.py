@@ -172,6 +172,35 @@ class TestStatusAndCancel:
         assert "no job matches" in capsys.readouterr().err
 
 
+class TestStatsCommand:
+    def test_stats_renders_snapshot(self, service, capsys):
+        assert _submit(service, "ablate-fifo", "--smoke", "--wait",
+                       "--timeout", "120") == 0
+        capsys.readouterr()
+        code = main(["stats", "--url", service.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service v" in out
+        assert "queue:" in out and "done=1" in out
+        assert "jobs:" in out and "submitted=" in out
+        assert "workers_alive=1" in out
+        # The ablation pipeline's stages show with quantiles.
+        assert "prune" in out and "p50" in out
+
+    def test_stats_json_round_trips(self, service, capsys):
+        import json
+
+        code = main(["stats", "--json", "--url", service.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        stats = json.loads(out)
+        assert {"queue", "jobs", "scheduler", "stages", "caches"} <= set(stats)
+
+    def test_stats_unreachable_exits_two(self, capsys):
+        assert main(["stats", "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
 def _free_port() -> int:
     with socket.socket() as probe:
         probe.bind(("127.0.0.1", 0))

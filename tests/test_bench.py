@@ -6,7 +6,9 @@ import json
 
 import pytest
 
-from repro.bench import SMOKE_SCALE, BenchResult, run_bench
+from pathlib import Path
+
+from repro.bench import SMOKE_SCALE, BenchResult, _write_atomic, run_bench
 from repro.cli import main
 from repro.explore.cache import ResultCache
 
@@ -63,6 +65,43 @@ class TestRunBench:
         assert second.stages["train"]["cache_hit"] is True
         # The cached re-run skips retraining entirely.
         assert second.stages["train"]["seconds"] <= first.stages["train"]["seconds"]
+
+
+class TestMetricsSnapshot:
+    def test_payload_carries_stage_quantiles(self, smoke_result):
+        """BENCH_repro.json includes the p50/p95 telemetry snapshot."""
+        _, out = smoke_result
+        payload = json.loads(out.read_text())
+        stage_seconds = payload["metrics"]["stage_seconds"]
+        assert {"train", "compile", "simulate"} <= set(stage_seconds)
+        for info in stage_seconds.values():
+            assert info["count"] >= 1
+            assert info["p50"] is not None and info["p95"] is not None
+
+    def test_no_temp_files_left_behind(self, smoke_result):
+        _, out = smoke_result
+        assert not list(out.parent.glob("*.tmp"))
+
+
+class TestAtomicWrite:
+    def test_replaces_existing_file_atomically(self, tmp_path):
+        out = tmp_path / "BENCH_repro.json"
+        out.write_text('{"stale": true}')
+        _write_atomic(out, {"fresh": True})
+        assert json.loads(out.read_text()) == {"fresh": True}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_nonregular_target_written_directly(self):
+        """CI passes --out /dev/null; there is nothing to rename onto it."""
+        _write_atomic(Path("/dev/null"), {"discard": True})  # must not raise
+
+    def test_failed_serialization_leaves_target_intact(self, tmp_path):
+        out = tmp_path / "BENCH_repro.json"
+        out.write_text('{"original": true}')
+        with pytest.raises(TypeError):
+            _write_atomic(out, {"bad": object()})
+        assert json.loads(out.read_text()) == {"original": True}
+        assert not list(tmp_path.glob("*.tmp"))
 
 
 class TestBenchCLI:
