@@ -168,8 +168,12 @@ class Runner:
                 raise
             else:
                 pool.shutdown(wait=True)
-                registry.gauge("runner.pool.workers").set(0)
                 return
+            finally:
+                # Every exit path — clean finish, pool fallback, worker
+                # exception, interrupt — must zero the gauge, or an aborted
+                # batch reports phantom pool workers forever.
+                registry.gauge("runner.pool.workers").set(0)
         for item in pending[delivered:]:
             try:
                 out = timed(item)

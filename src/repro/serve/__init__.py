@@ -14,6 +14,10 @@ executes and persists experiments.
 * :class:`ExperimentServer` (:mod:`repro.serve.http_api`) — stdlib
   ``ThreadingHTTPServer`` JSON API (``POST /jobs``, ``GET /jobs[/<id>]``,
   ``DELETE /jobs/<id>``, ``GET /healthz``).
+* :class:`Worker` (:mod:`repro.serve.worker`) — one ``repro worker`` process:
+  lease-claim, execute, heartbeat, reap expired leases fleet-wide.
+* :class:`WorkerSupervisor` (:mod:`repro.serve.supervisor`) — spawns and
+  respawns a fleet of worker processes for ``repro serve --fleet N``.
 * :class:`ServeClient` (:mod:`repro.serve.client`) — the urllib client the
   ``repro submit/status/cancel`` CLI verbs are built on.
 
@@ -41,16 +45,21 @@ from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT, ExperimentServer
 from repro.serve.scheduler import Scheduler
 from repro.serve.store import (
     AmbiguousJobError,
+    DEFAULT_LEASE_TTL,
     Job,
     JobStore,
     STATES,
     TERMINAL_STATES,
     UnknownJobError,
+    default_worker_id,
 )
+from repro.serve.supervisor import WorkerSupervisor
+from repro.serve.worker import Worker
 
 __all__ = [
     "AmbiguousJobError",
     "DEFAULT_HOST",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_PORT",
     "DEFAULT_URL",
     "ExperimentServer",
@@ -63,4 +72,7 @@ __all__ = [
     "ServeUnavailableError",
     "TERMINAL_STATES",
     "UnknownJobError",
+    "Worker",
+    "WorkerSupervisor",
+    "default_worker_id",
 ]

@@ -1,4 +1,4 @@
-"""CLI verbs of the experiment job service: serve, submit, status, stats, cancel.
+"""CLI verbs of the experiment job service: serve, worker, submit, status, stats, cancel.
 
 Registered into the main ``python -m repro`` parser by
 :func:`register_serve_commands`; the client-side verbs talk to a running
@@ -36,6 +36,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http_api import ExperimentServer
     from repro.serve.scheduler import Scheduler
     from repro.serve.store import JobStore
+    from repro.serve.supervisor import WorkerSupervisor
 
     store = JobStore(args.db)
     options = RunOptions(
@@ -43,11 +44,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
+    # With a worker fleet the supervisor process runs front-end only
+    # (concurrency=0): execution belongs to the worker processes, the
+    # scheduler still submits, reaps expired leases, and feeds events.
+    concurrency = 0 if args.fleet else args.concurrency
     scheduler = Scheduler(
         store,
         options=options,
-        concurrency=args.concurrency,
+        concurrency=concurrency,
         retry_base_delay=args.retry_delay,
+        lease_ttl=args.lease_ttl,
     )
     # Bind the port *before* recovery/worker startup: the port doubles as the
     # mutual-exclusion guard, so a second `repro serve` on the same DB dies
@@ -64,6 +70,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     recovered = scheduler.start()
 
+    supervisor = None
+    if args.fleet:
+        supervisor = WorkerSupervisor(
+            db=args.db,
+            count=args.fleet,
+            lease_ttl=args.lease_ttl,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            job_workers=args.workers,
+        )
+        supervisor.start()
+        server.supervisor = supervisor
+
     stop = threading.Event()
 
     def _request_shutdown(signum: int, frame: Any) -> None:
@@ -77,9 +96,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         target=server.serve_forever, name="repro-serve-http", daemon=True
     )
     http_thread.start()
+    execution = (
+        f"fleet={args.fleet} worker process(es), lease_ttl={args.lease_ttl}s"
+        if args.fleet
+        else f"concurrency={args.concurrency}"
+    )
     print(
         f"repro serve: listening on {server.url} "
-        f"(db={args.db}, concurrency={args.concurrency}, "
+        f"(db={args.db}, {execution}, "
         f"workers={args.workers or 'serial'})"
     )
     if recovered:
@@ -93,7 +117,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sys.stdout.flush()
         server.shutdown()
         server.server_close()
-        drained = scheduler.stop(timeout=args.drain_timeout)
+        drained = True
+        if supervisor is not None:
+            drained = supervisor.stop(timeout=args.drain_timeout)
+        drained = scheduler.stop(timeout=args.drain_timeout) and drained
         if drained:
             # With a job still running past --drain-timeout, the store stays
             # open: the worker (a daemon thread) may yet persist its result,
@@ -107,6 +134,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
             else "repro serve: drain timed out with jobs still running"
         )
     return 0 if drained else 1
+
+
+# ---------------------------------------------------------------------------
+# repro worker
+# ---------------------------------------------------------------------------
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one lease-based worker process against a shared job store."""
+    from repro.api.request import RunOptions
+    from repro.serve.store import JobStore
+    from repro.serve.worker import Worker
+
+    store = JobStore(args.db)
+    options = RunOptions(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    worker = Worker(
+        store,
+        options=options,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_interval=args.poll_interval,
+        retry_base_delay=args.retry_delay,
+        log=lambda message: print(message, flush=True),
+    )
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        worker.run(stop=stop, max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        store.close()
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -358,7 +430,66 @@ def register_serve_commands(
         "--no-cache", action="store_true",
         help="disable the persistent stage caches",
     )
+    serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="spawn N `repro worker` processes and run front-end only "
+             "(default: 0 — execute in-process with --concurrency threads)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="job-lease duration; a dead worker's jobs requeue after this "
+             "long without heartbeats (default: %(default)s)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one lease-based job worker process"
+    )
+    worker.add_argument(
+        "--db", default=DEFAULT_DB,
+        help="shared SQLite job-store path (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="lease identity (default: <host>:<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="job-lease duration (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="lease-extension cadence (default: lease-ttl / 3)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="idle sleep between queue checks (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per job's fan-out stages (default: serial)",
+    )
+    worker.add_argument(
+        "--retry-delay", type=float, default=0.5, metavar="SECONDS",
+        help="base delay of the exponential retry backoff (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after executing N jobs (default: run until signalled)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with an empty queue (default: never)",
+    )
+    worker.add_argument(
+        "--cache-dir", default=default_cache_dir,
+        help="persistent stage-cache directory (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent stage caches",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     submit = sub.add_parser(
         "submit", help="submit an experiment to a running service"
@@ -438,5 +569,6 @@ __all__ = [
     "cmd_stats",
     "cmd_status",
     "cmd_submit",
+    "cmd_worker",
     "register_serve_commands",
 ]

@@ -36,7 +36,9 @@ Routes
     ``repro_serve_jobs`` gauges refreshed at scrape time.
 ``GET /healthz``
     Liveness: version, uptime, per-state job counts, scheduler liveness
-    (workers alive, last dequeue timestamp).
+    (workers alive, last dequeue timestamp), every registered worker with
+    heartbeat age and current lease, and — in ``--fleet`` mode — per-slot
+    worker-process state (pid, alive, restarts).
 
 Errors are JSON too: ``{"error": "<message>"}`` with 400 for malformed
 requests, 404 for unknown routes/jobs, 409 for ambiguous id prefixes.
@@ -80,8 +82,12 @@ class ExperimentServer(ThreadingHTTPServer):
         scheduler: Scheduler,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        supervisor: Any = None,
     ) -> None:
         self.scheduler = scheduler
+        # The WorkerSupervisor when running in --fleet mode (duck-typed to
+        # avoid importing subprocess machinery for embedded servers).
+        self.supervisor = supervisor
         self.started_at = time.time()
         super().__init__((host, port), _Handler)
 
@@ -197,7 +203,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = self.server.store.find(parts[1])
-            job, cancelled = self.server.store.cancel(job.id)
+            # Route through the scheduler so long-pollers on the events feed
+            # see a terminal ``cancelled`` event instead of hanging.
+            job, cancelled = self.server.scheduler.cancel(job.id)
         except UnknownJobError as exc:
             self._send_error(str(exc), 404)
             return
@@ -214,6 +222,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _health(self) -> dict[str, Any]:
         server = self.server
         scheduler = server.scheduler
+        supervisor = server.supervisor
         return {
             "ok": True,
             "version": repro.__version__,
@@ -224,7 +233,21 @@ class _Handler(BaseHTTPRequestHandler):
                 "running": scheduler.running,
                 "workers_alive": scheduler.workers_alive,
                 "last_dequeue_at": scheduler.last_dequeue_at,
+                "lease_ttl": scheduler.lease_ttl,
+                "threads": scheduler.worker_liveness(),
             },
+            # Every registered worker (in-process threads and external
+            # ``repro worker`` processes alike) with heartbeat age + lease.
+            "workers": server.store.list_workers(),
+            "fleet": (
+                {
+                    "size": supervisor.count,
+                    "alive": supervisor.alive,
+                    "processes": supervisor.fleet_state(),
+                }
+                if supervisor is not None
+                else None
+            ),
         }
 
     def _stats(self) -> dict[str, Any]:
@@ -270,6 +293,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "failed": counter_total("jobs.failed"),
                 "retried": counter_total("jobs.retried"),
                 "cancelled": counter_total("jobs.cancelled"),
+                "lease_expired": counter_total("jobs.lease_expired"),
+                "requeued": counter_total("jobs.requeued"),
+                "lease_lost": counter_total("jobs.lease_lost"),
+                "busy_retries": counter_total("store.busy_retries"),
             },
             "scheduler": {
                 "concurrency": scheduler.concurrency,
@@ -293,6 +320,8 @@ class _Handler(BaseHTTPRequestHandler):
         registry.gauge("serve.workers_alive").set(
             self.server.scheduler.workers_alive
         )
+        if self.server.supervisor is not None:
+            registry.gauge("serve.fleet_alive").set(self.server.supervisor.alive)
         body = registry.render_prometheus().encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -10,7 +10,8 @@ scheduling state machine::
        ^          |
        |          +------> failed     (after the retry budget is exhausted;
        |          |                    transient failures requeue with a
-       |          +------> (requeued)  backoff gate in ``not_before``)
+       |          +------> (requeued)  backoff gate in ``not_before``;
+       |          |                    an *expired lease* requeues too)
        +--- cancelled                 (queued jobs only)
 
 plus the canonical request JSON, per-stage timings streamed in live while
@@ -19,22 +20,35 @@ the job runs (via the pipeline's ``on_stage`` callback), the serialized
 counter — the acceptance check "submitted twice, executed once" reads
 ``executions == 1`` and ``submissions == 2`` straight off the job row.
 
-The store is safe for many threads of one process (a single connection
-behind an ``RLock``; SQLite itself runs in WAL mode so readers in other
-processes — ``repro status --db`` — never block the service).  Crash
-recovery is :meth:`JobStore.recover`: jobs left ``running`` by a killed
-process are requeued on the next open.
+**Multi-process safety.**  The store coordinates many worker *processes*
+sharing one WAL database, not just many threads of one process.  Every
+write runs inside an explicit ``BEGIN IMMEDIATE`` transaction — the write
+lock is taken up front, so the SELECT-then-UPDATE inside
+:meth:`JobStore.claim_next` can never interleave with another process's
+claim — backed by ``PRAGMA busy_timeout`` plus a bounded retry loop on
+``SQLITE_BUSY``.  A claim is a *lease*: the claiming worker's id and a
+``lease_expires_at`` deadline are stamped onto the row, the worker extends
+the lease with :meth:`JobStore.heartbeat` while the job runs, and
+:meth:`JobStore.reap_expired` requeues any ``running`` job whose lease
+lapsed — a SIGKILL'd worker's jobs come back automatically, no operator
+intervention and no all-or-nothing recovery pass.  Completion is
+owner-guarded: ``mark_done``/``mark_failed`` with a ``worker_id`` only land
+if that worker still holds the lease, so a reaped-and-reclaimed job can
+never be double-completed by its original (slow, presumed-dead) worker.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.api.request import ExperimentRequest, ExperimentResult
 from repro.obs import metrics
@@ -49,8 +63,19 @@ CANCELLED = "cancelled"
 STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 TERMINAL_STATES: frozenset[str] = frozenset({DONE, FAILED, CANCELLED})
 
+# Default lease duration stamped by ``claim_next``; workers heartbeat well
+# inside this window (every ttl/3 by convention) so only a dead worker's
+# lease ever expires.
+DEFAULT_LEASE_TTL = 60.0
+
+# How long SQLite itself waits for a competing writer before surfacing
+# SQLITE_BUSY, and how many times we retry a busy BEGIN IMMEDIATE on top.
+_BUSY_TIMEOUT_MS = 5_000
+_BUSY_RETRIES = 5
+_BUSY_RETRY_BASE = 0.05  # seconds; doubles per attempt
+
 # Bump on incompatible schema changes; checked against PRAGMA user_version.
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -70,9 +95,13 @@ CREATE TABLE IF NOT EXISTS jobs (
                                              -- budget to this incarnation
     error       TEXT,
     result      TEXT,                      -- serialized ExperimentResult JSON
-    timings     TEXT NOT NULL DEFAULT '{}' -- live per-stage seconds
+    timings     TEXT NOT NULL DEFAULT '{}', -- live per-stage seconds
+    worker_id        TEXT,                 -- lease owner while running
+    lease_expires_at REAL,                 -- lease deadline (epoch seconds)
+    heartbeat_at     REAL                  -- last lease extension
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before, priority);
+CREATE INDEX IF NOT EXISTS idx_jobs_lease ON jobs (state, lease_expires_at);
 CREATE TABLE IF NOT EXISTS submissions (
     id           INTEGER PRIMARY KEY AUTOINCREMENT,
     job_id       TEXT NOT NULL REFERENCES jobs (id),
@@ -80,14 +109,41 @@ CREATE TABLE IF NOT EXISTS submissions (
     source       TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_submissions_job ON submissions (job_id);
+CREATE TABLE IF NOT EXISTS workers (
+    id           TEXT PRIMARY KEY,         -- "<host>:<pid>[:t<n>]"
+    pid          INTEGER,
+    host         TEXT,
+    started_at   REAL NOT NULL,
+    heartbeat_at REAL NOT NULL,
+    current_job  TEXT,
+    jobs_done    INTEGER NOT NULL DEFAULT 0,
+    jobs_failed  INTEGER NOT NULL DEFAULT 0
+);
 """
+
+# v1 -> v2: the lease columns.  ALTERs must run before ``_SCHEMA`` so the
+# new ``idx_jobs_lease`` index finds its column on an old database.
+_V1_TO_V2 = (
+    "ALTER TABLE jobs ADD COLUMN worker_id TEXT",
+    "ALTER TABLE jobs ADD COLUMN lease_expires_at REAL",
+    "ALTER TABLE jobs ADD COLUMN heartbeat_at REAL",
+)
 
 _JOB_COLUMNS = (
     "id, experiment, request, state, priority, created_at, started_at, "
     "finished_at, not_before, executions, max_retries, retry_base, error, "
-    "result, timings, "
+    "result, timings, worker_id, lease_expires_at, heartbeat_at, "
     "(SELECT COUNT(*) FROM submissions s WHERE s.job_id = jobs.id) AS submissions"
 )
+
+
+def default_worker_id() -> str:
+    """The process-level worker identity: ``<host>:<pid>``.
+
+    The pid is parseable back out of the id (``id.rsplit(":")``), which the
+    CI fleet smoke uses to SIGKILL the worker currently holding a lease.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}"
 
 
 class UnknownJobError(ValueError):
@@ -118,6 +174,9 @@ class Job:
     error: str | None = None
     result_json: str | None = field(default=None, repr=False)
     timings: dict[str, float] = field(default_factory=dict)
+    worker_id: str | None = None
+    lease_expires_at: float | None = None
+    heartbeat_at: float | None = None
 
     @property
     def short_id(self) -> str:
@@ -132,6 +191,12 @@ class Job:
         """Executions since the job was last (re)submitted from a terminal
         state — the count the retry budget is measured against."""
         return self.executions - self.retry_base
+
+    def lease_expired(self, now: float | None = None) -> bool:
+        """Whether this job's lease has lapsed (running jobs only)."""
+        if self.state != RUNNING or self.lease_expires_at is None:
+            return False
+        return self.lease_expires_at <= (time.time() if now is None else now)
 
     def request(self) -> ExperimentRequest:
         return ExperimentRequest.from_json(self.request_json)
@@ -159,6 +224,9 @@ class Job:
             "submissions": self.submissions,
             "error": self.error,
             "timings": dict(self.timings),
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "heartbeat_at": self.heartbeat_at,
             "request": json.loads(self.request_json),
         }
         if include_result:
@@ -186,27 +254,49 @@ def _job_from_row(row: sqlite3.Row) -> Job:
         error=row["error"],
         result_json=row["result"],
         timings=dict(json.loads(row["timings"] or "{}")),
+        worker_id=row["worker_id"],
+        lease_expires_at=row["lease_expires_at"],
+        heartbeat_at=row["heartbeat_at"],
     )
 
 
 class JobStore:
     """Persistent job/result store over one SQLite database file."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, busy_timeout_ms: int = _BUSY_TIMEOUT_MS
+    ) -> None:
         self.path = Path(path)
         if self.path.parent != Path("."):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        # isolation_level=None: autocommit mode — transactions are explicit
+        # (BEGIN IMMEDIATE in ``_write``), never implicit-deferred, so every
+        # read-modify-write holds the database write lock from its first
+        # statement.  That is the cross-process claim-race fix.
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None
+        )
         self._conn.row_factory = sqlite3.Row
-        with self._lock, self._conn:
+        with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
             version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-            if version not in (0, _SCHEMA_VERSION):
+            if version not in (0, 1, _SCHEMA_VERSION):
                 raise ValueError(
                     f"job store {self.path} has schema version {version}, "
-                    f"this build expects {_SCHEMA_VERSION}"
+                    f"this build expects <= {_SCHEMA_VERSION}"
                 )
+            # DDL runs in autocommit (executescript commits any pending
+            # transaction anyway); every statement is idempotent, so a crash
+            # mid-migration is healed by simply reopening the store.
+            if version == 1:
+                for ddl in _V1_TO_V2:
+                    try:
+                        self._conn.execute(ddl)
+                    except sqlite3.OperationalError as exc:
+                        if "duplicate column" not in str(exc):
+                            raise
             self._conn.executescript(_SCHEMA)
             self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
 
@@ -219,6 +309,45 @@ class JobStore:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Write transactions
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _write(self) -> Iterator[sqlite3.Connection]:
+        """One ``BEGIN IMMEDIATE`` transaction, retried on ``SQLITE_BUSY``.
+
+        ``BEGIN IMMEDIATE`` takes the database write lock *at BEGIN*, so the
+        reads inside the transaction see a state no other writer can change
+        before our own writes commit.  ``busy_timeout`` makes the BEGIN wait
+        for a competing writer; if it still surfaces ``SQLITE_BUSY`` (a
+        writer hogging the lock past the timeout) we back off and retry a
+        bounded number of times before giving up loudly.
+        """
+        with self._lock:
+            for attempt in range(_BUSY_RETRIES):
+                try:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                except sqlite3.OperationalError as exc:
+                    message = str(exc).lower()
+                    if "locked" not in message and "busy" not in message:
+                        raise
+                    if attempt == _BUSY_RETRIES - 1:
+                        raise
+                    metrics().counter("store.busy_retries").inc()
+                    time.sleep(_BUSY_RETRY_BASE * (2**attempt))
+                    continue
+                try:
+                    yield self._conn
+                except BaseException:
+                    try:
+                        self._conn.execute("ROLLBACK")
+                    except sqlite3.OperationalError:
+                        pass  # the failed statement already ended the txn
+                    raise
+                else:
+                    self._conn.execute("COMMIT")
+                return
 
     # ------------------------------------------------------------------
     # Submission (the dedup seam)
@@ -241,12 +370,12 @@ class JobStore:
         """
         now = time.time() if now is None else now
         job_id = request.content_hash
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        with self._write() as conn:
+            row = conn.execute(
                 "SELECT state FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
             if row is None:
-                self._conn.execute(
+                conn.execute(
                     "INSERT INTO jobs (id, experiment, request, state, priority,"
                     " created_at, max_retries) VALUES (?, ?, ?, ?, ?, ?, ?)",
                     (
@@ -263,7 +392,7 @@ class JobStore:
             elif row["state"] in (QUEUED, RUNNING, DONE):
                 # Attach to the in-flight or completed job.  A queued job can
                 # still absorb a higher priority or a larger retry budget.
-                self._conn.execute(
+                conn.execute(
                     "UPDATE jobs SET priority=MAX(priority, ?),"
                     " max_retries=MAX(max_retries, ?) WHERE id=? AND state=?",
                     (priority, max_retries, job_id, QUEUED),
@@ -273,14 +402,15 @@ class JobStore:
                 # ``retry_base`` snapshots the execution count so the fresh
                 # ``max_retries`` budget applies to this incarnation only,
                 # not to the job's lifetime history.
-                self._conn.execute(
+                conn.execute(
                     "UPDATE jobs SET state=?, priority=?, max_retries=?,"
                     " retry_base=executions, not_before=0, error=NULL,"
-                    " started_at=NULL, finished_at=NULL WHERE id=?",
+                    " started_at=NULL, finished_at=NULL, worker_id=NULL,"
+                    " lease_expires_at=NULL, heartbeat_at=NULL WHERE id=?",
                     (QUEUED, priority, max_retries, job_id),
                 )
                 deduped = False
-            self._conn.execute(
+            conn.execute(
                 "INSERT INTO submissions (job_id, submitted_at, source)"
                 " VALUES (?, ?, ?)",
                 (job_id, now, source),
@@ -356,13 +486,26 @@ class JobStore:
         return counts
 
     # ------------------------------------------------------------------
-    # Scheduling transitions
+    # Scheduling transitions (lease-based)
     # ------------------------------------------------------------------
-    def claim_next(self, now: float | None = None) -> Job | None:
-        """Atomically claim the next due job (priority desc, then FIFO)."""
+    def claim_next(
+        self,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        now: float | None = None,
+    ) -> Job | None:
+        """Atomically lease the next due job (priority desc, then FIFO).
+
+        The claim stamps ``worker_id`` and a ``lease_expires_at`` deadline
+        onto the row inside one ``BEGIN IMMEDIATE`` transaction — two
+        processes sharing the database can never claim the same job.  The
+        worker must :meth:`heartbeat` within ``lease_ttl`` or the job is
+        fair game for :meth:`reap_expired`.
+        """
         now = time.time() if now is None else now
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        worker_id = worker_id or default_worker_id()
+        with self._write() as conn:
+            row = conn.execute(
                 "SELECT id, created_at, not_before FROM jobs"
                 " WHERE state=? AND not_before<=?"
                 " ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
@@ -370,10 +513,10 @@ class JobStore:
             ).fetchone()
             if row is None:
                 return None
-            self._conn.execute(
-                "UPDATE jobs SET state=?, started_at=?, executions=executions+1"
-                " WHERE id=?",
-                (RUNNING, now, row["id"]),
+            conn.execute(
+                "UPDATE jobs SET state=?, started_at=?, executions=executions+1,"
+                " worker_id=?, lease_expires_at=?, heartbeat_at=? WHERE id=?",
+                (RUNNING, now, worker_id, now + lease_ttl, now, row["id"]),
             )
             # Dequeue-to-start latency: how long the job was *due* (past its
             # creation and any retry-backoff gate) before a worker took it.
@@ -382,21 +525,112 @@ class JobStore:
                 max(0.0, now - became_due)
             )
             metrics().counter("jobs.claimed").inc()
-            return self.get(row["id"])
+        return self.get(row["id"])
+
+    def heartbeat(
+        self,
+        job_id: str,
+        worker_id: str,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        now: float | None = None,
+    ) -> bool:
+        """Extend a held lease; returns ``False`` when the lease was lost.
+
+        A ``False`` return means the job was reaped (and possibly reclaimed
+        by another worker) — the caller's eventual result will be discarded
+        by the owner guard on ``mark_done``/``mark_failed``.
+        """
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_expires_at=?, heartbeat_at=?"
+                " WHERE id=? AND worker_id=? AND state=?",
+                (now + lease_ttl, now, job_id, worker_id, RUNNING),
+            )
+            alive = cursor.rowcount > 0
+        if not alive:
+            metrics().counter("jobs.lease_lost").inc()
+        return alive
+
+    def reap_expired(self, now: float | None = None) -> list[str]:
+        """Requeue every running job whose lease lapsed; returns their ids.
+
+        This is the crash-recovery path of the worker fleet: a SIGKILL'd
+        worker stops heartbeating, its leases expire, and the next reaper
+        pass (any process may run one) puts the jobs back in the queue with
+        their execution history intact.
+        """
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE state=?"
+                " AND lease_expires_at IS NOT NULL AND lease_expires_at<=?",
+                (RUNNING, now),
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                marks = ",".join("?" for _ in ids)
+                conn.execute(
+                    f"UPDATE jobs SET state=?, worker_id=NULL,"
+                    f" lease_expires_at=NULL, heartbeat_at=NULL,"
+                    f" started_at=NULL, not_before=0 WHERE id IN ({marks})",
+                    (QUEUED, *ids),
+                )
+        if ids:
+            metrics().counter("jobs.lease_expired").inc(len(ids))
+            metrics().counter("jobs.requeued").inc(len(ids))
+        return ids
+
+    def recover(self, now: float | None = None) -> int:
+        """Requeue interrupted jobs: expired leases plus lease-less rows.
+
+        Subsumed by :meth:`reap_expired` for leased rows; the extra case is
+        a ``running`` row with no lease at all (a database written by the
+        pre-lease schema, mid-migration).  Jobs whose lease is still live
+        are left alone — they belong to a worker process that may well still
+        be running.
+        """
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state=?, worker_id=NULL, lease_expires_at=NULL,"
+                " heartbeat_at=NULL, started_at=NULL, not_before=0"
+                " WHERE state=? AND (lease_expires_at IS NULL"
+                " OR lease_expires_at<=?)",
+                (QUEUED, RUNNING, now),
+            )
+            requeued = cursor.rowcount
+        if requeued:
+            metrics().counter("jobs.requeued").inc(requeued)
+        return requeued
 
     def mark_done(
-        self, job_id: str, result: ExperimentResult, now: float | None = None
+        self,
+        job_id: str,
+        result: ExperimentResult,
+        now: float | None = None,
+        worker_id: str | None = None,
     ) -> Job:
-        """Persist a successful run: result JSON + final stage timings."""
+        """Persist a successful run: result JSON + final stage timings.
+
+        With ``worker_id`` the write is owner-guarded: it only lands while
+        that worker still holds the lease, so a reaped job re-running
+        elsewhere is never clobbered by its original worker's late result.
+        """
         now = time.time() if now is None else now
         timings = json.dumps(dict(result.timings))
-        with self._lock, self._conn:
-            self._conn.execute(
+        guard, args = self._owner_guard(worker_id)
+        with self._write() as conn:
+            cursor = conn.execute(
                 "UPDATE jobs SET state=?, finished_at=?, result=?, error=NULL,"
-                " timings=? WHERE id=?",
-                (DONE, now, result.to_json(indent=None), timings, job_id),
+                f" timings=?, lease_expires_at=NULL WHERE id=?{guard}",
+                (DONE, now, result.to_json(indent=None), timings, job_id, *args),
             )
-        metrics().counter("jobs.done").inc()
+            applied = cursor.rowcount > 0
+        if applied:
+            metrics().counter("jobs.done").inc()
+        else:
+            metrics().counter("jobs.lease_lost").inc()
         return self.get(job_id)
 
     def mark_failed(
@@ -405,29 +639,44 @@ class JobStore:
         error: str,
         retry_at: float | None = None,
         now: float | None = None,
+        worker_id: str | None = None,
     ) -> Job:
         """Record a failed execution.
 
         With ``retry_at`` the job goes back to ``queued`` gated behind the
         backoff timestamp; without it the job is terminally ``failed``.
+        ``worker_id`` applies the same owner guard as :meth:`mark_done`.
         """
         now = time.time() if now is None else now
-        with self._lock, self._conn:
+        guard, args = self._owner_guard(worker_id)
+        with self._write() as conn:
             if retry_at is not None:
-                self._conn.execute(
+                cursor = conn.execute(
                     "UPDATE jobs SET state=?, not_before=?, error=?,"
-                    " started_at=NULL WHERE id=?",
-                    (QUEUED, retry_at, error, job_id),
+                    " started_at=NULL, worker_id=NULL, lease_expires_at=NULL,"
+                    f" heartbeat_at=NULL WHERE id=?{guard}",
+                    (QUEUED, retry_at, error, job_id, *args),
                 )
             else:
-                self._conn.execute(
-                    "UPDATE jobs SET state=?, finished_at=?, error=? WHERE id=?",
-                    (FAILED, now, error, job_id),
+                cursor = conn.execute(
+                    "UPDATE jobs SET state=?, finished_at=?, error=?,"
+                    f" lease_expires_at=NULL WHERE id=?{guard}",
+                    (FAILED, now, error, job_id, *args),
                 )
-        metrics().counter(
-            "jobs.retried" if retry_at is not None else "jobs.failed"
-        ).inc()
+            applied = cursor.rowcount > 0
+        if not applied:
+            metrics().counter("jobs.lease_lost").inc()
+        else:
+            metrics().counter(
+                "jobs.retried" if retry_at is not None else "jobs.failed"
+            ).inc()
         return self.get(job_id)
+
+    @staticmethod
+    def _owner_guard(worker_id: str | None) -> tuple[str, tuple[Any, ...]]:
+        if worker_id is None:
+            return "", ()
+        return " AND worker_id=? AND state=?", (worker_id, RUNNING)
 
     def cancel(self, job_id: str, now: float | None = None) -> tuple[Job, bool]:
         """Cancel a queued job; returns ``(job, cancelled)``.
@@ -437,8 +686,8 @@ class JobStore:
         deduped submissions), and terminal jobs are left as they are.
         """
         now = time.time() if now is None else now
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+        with self._write() as conn:
+            cursor = conn.execute(
                 "UPDATE jobs SET state=?, finished_at=? WHERE id=? AND state=?",
                 (CANCELLED, now, job_id, QUEUED),
             )
@@ -449,28 +698,18 @@ class JobStore:
 
     def record_stage(self, job_id: str, stage: str, seconds: float) -> None:
         """Stream one completed stage's timing into the job row (live)."""
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        with self._write() as conn:
+            row = conn.execute(
                 "SELECT timings FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
             if row is None:
                 raise UnknownJobError(f"unknown job {job_id!r}")
             timings = dict(json.loads(row["timings"] or "{}"))
             timings[stage] = seconds
-            self._conn.execute(
+            conn.execute(
                 "UPDATE jobs SET timings=? WHERE id=?",
                 (json.dumps(timings), job_id),
             )
-
-    def recover(self) -> int:
-        """Requeue jobs left ``running`` by a crashed/killed process."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET state=?, started_at=NULL, not_before=0"
-                " WHERE state=?",
-                (QUEUED, RUNNING),
-            )
-            return cursor.rowcount
 
     def submissions(self, job_id: str) -> list[dict[str, Any]]:
         """The submission records attached to one job, oldest first."""
@@ -485,10 +724,91 @@ class JobStore:
             self.get(job_id)
         return [dict(row) for row in rows]
 
+    # ------------------------------------------------------------------
+    # Worker registry (fleet liveness)
+    # ------------------------------------------------------------------
+    def register_worker(
+        self,
+        worker_id: str,
+        pid: int | None = None,
+        host: str | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Announce a worker; re-registration resets its liveness row."""
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO workers"
+                " (id, pid, host, started_at, heartbeat_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    worker_id,
+                    pid if pid is not None else os.getpid(),
+                    host if host is not None else socket.gethostname(),
+                    now,
+                    now,
+                ),
+            )
+
+    def worker_heartbeat(
+        self,
+        worker_id: str,
+        current_job: str | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Refresh a worker's liveness row (idle or mid-job)."""
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            conn.execute(
+                "UPDATE workers SET heartbeat_at=?, current_job=? WHERE id=?",
+                (now, current_job, worker_id),
+            )
+
+    def worker_finished(self, worker_id: str, ok: bool) -> None:
+        """Bump a worker's done/failed tallies after one job."""
+        column = "jobs_done" if ok else "jobs_failed"
+        with self._write() as conn:
+            conn.execute(
+                f"UPDATE workers SET {column}={column}+1, current_job=NULL"
+                " WHERE id=?",
+                (worker_id,),
+            )
+
+    def deregister_worker(self, worker_id: str) -> None:
+        with self._write() as conn:
+            conn.execute("DELETE FROM workers WHERE id=?", (worker_id,))
+
+    def list_workers(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Registered workers with heartbeat ages, oldest-registered first."""
+        now = time.time() if now is None else now
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, pid, host, started_at, heartbeat_at, current_job,"
+                " jobs_done, jobs_failed FROM workers ORDER BY started_at, id"
+            ).fetchall()
+        workers = []
+        for row in rows:
+            worker = dict(row)
+            worker["heartbeat_age_s"] = max(0.0, now - row["heartbeat_at"])
+            workers.append(worker)
+        return workers
+
+    def prune_workers(
+        self, max_age: float = 300.0, now: float | None = None
+    ) -> int:
+        """Drop worker rows whose heartbeat is older than ``max_age``."""
+        now = time.time() if now is None else now
+        with self._write() as conn:
+            cursor = conn.execute(
+                "DELETE FROM workers WHERE heartbeat_at<?", (now - max_age,)
+            )
+            return cursor.rowcount
+
 
 __all__ = [
     "AmbiguousJobError",
     "CANCELLED",
+    "DEFAULT_LEASE_TTL",
     "DONE",
     "FAILED",
     "Job",
@@ -498,4 +818,5 @@ __all__ = [
     "STATES",
     "TERMINAL_STATES",
     "UnknownJobError",
+    "default_worker_id",
 ]

@@ -1,0 +1,252 @@
+"""One lease-based worker process draining a shared :class:`JobStore`.
+
+``repro worker --db serve.db`` is the execution half of the distributed
+service: any number of these processes (on any machine that can reach the
+SQLite file) lease jobs from one store, run them through the registered
+pipelines, and heartbeat while they work.  The supervisor process
+(``repro serve --fleet N``) owns the HTTP front end and spawns/respawns
+workers, but workers are also usable bare — point several at one database
+and they coordinate purely through the store's lease transactions.
+
+Crash-recovery contract:
+
+* A claim stamps ``worker_id`` + ``lease_expires_at`` on the job row; a
+  background thread extends the lease every ``heartbeat_interval`` seconds
+  (TTL/3 by default) for as long as the pipeline runs.
+* If this process dies (SIGKILL, OOM, power loss), the lease stops being
+  extended and lapses; the next reaper pass — every worker runs one
+  periodically, as does the supervisor's scheduler — requeues the job, and
+  a surviving worker re-executes it.
+* If this process is merely *slow* and its lease is reaped out from under
+  it, the owner guard on ``mark_done``/``mark_failed`` discards its late
+  result: the job's outcome belongs to whoever holds the lease.
+
+SIGTERM/SIGINT drain gracefully: the current job finishes, nothing new is
+claimed, the worker deregisters and exits 0.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
+from repro.obs import metrics
+from repro.serve.scheduler import ExecuteFn, plan_retry
+from repro.serve.store import (
+    DEFAULT_LEASE_TTL,
+    JobStore,
+    Job,
+    default_worker_id,
+)
+
+
+def _default_execute(
+    request: ExperimentRequest,
+    options: RunOptions,
+    on_stage: Callable[[str, float], None],
+) -> ExperimentResult:
+    from repro.api.registry import run_experiment
+
+    return run_experiment(request, options=options, on_stage=on_stage)
+
+
+class Worker:
+    """A single claim-execute-heartbeat loop over one shared store.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`JobStore` (same database file as the service).
+    options:
+        :class:`RunOptions` each job executes with.
+    worker_id:
+        Lease identity; defaults to ``<host>:<pid>`` so the owning process
+        is identifiable (and SIGKILL-able) from the job row alone.
+    lease_ttl / heartbeat_interval:
+        Lease duration and extension cadence (default TTL/3).  The TTL is
+        the fleet's failure-detection latency: a dead worker's jobs requeue
+        at most one TTL + one reap interval after its last heartbeat.
+    poll_interval:
+        Idle sleep between queue checks.
+    reap:
+        Whether this worker also reaps expired leases fleet-wide (on by
+        default — any surviving worker rescues a dead one's jobs even
+        without a supervisor).
+    retry_base_delay / retry_max_delay:
+        Backoff policy for failed executions (same as the scheduler's).
+    execute:
+        The execution callable, replaceable in tests.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        options: RunOptions | None = None,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = 0.5,
+        reap: bool = True,
+        retry_base_delay: float = 0.5,
+        retry_max_delay: float = 60.0,
+        execute: ExecuteFn | None = None,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.store = store
+        self.options = options if options is not None else RunOptions()
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl = lease_ttl
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else max(0.05, lease_ttl / 3.0)
+        )
+        self.poll_interval = poll_interval
+        self.reap = reap
+        self.reap_interval = max(self.heartbeat_interval, lease_ttl / 2.0)
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self._execute = execute if execute is not None else _default_execute
+        self._log = log if log is not None else (lambda message: None)
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stop: threading.Event | None = None,
+        max_jobs: int | None = None,
+        idle_exit: float | None = None,
+    ) -> int:
+        """Drain the queue until stopped; returns jobs executed.
+
+        ``max_jobs`` bounds the number of executions (testing / batch use);
+        ``idle_exit`` exits after that many consecutive idle seconds.
+        """
+        stop = stop if stop is not None else threading.Event()
+        self.store.register_worker(self.worker_id)
+        self._log(f"worker {self.worker_id}: draining (lease_ttl={self.lease_ttl}s)")
+        idle_since: float | None = None
+        next_reap = time.monotonic()
+        try:
+            while not stop.is_set():
+                if self.reap and time.monotonic() >= next_reap:
+                    for job_id in self.store.reap_expired():
+                        self._log(
+                            f"worker {self.worker_id}: requeued expired lease"
+                            f" on job {job_id[:12]}"
+                        )
+                    next_reap = time.monotonic() + self.reap_interval
+                job = self.store.claim_next(
+                    worker_id=self.worker_id, lease_ttl=self.lease_ttl
+                )
+                if job is None:
+                    now = time.monotonic()
+                    idle_since = idle_since if idle_since is not None else now
+                    if idle_exit is not None and now - idle_since >= idle_exit:
+                        break
+                    self.store.worker_heartbeat(self.worker_id)
+                    stop.wait(self.poll_interval)
+                    continue
+                idle_since = None
+                self._run_job(job, stop)
+                self.jobs_executed += 1
+                if max_jobs is not None and self.jobs_executed >= max_jobs:
+                    break
+        finally:
+            self.store.deregister_worker(self.worker_id)
+            self._log(
+                f"worker {self.worker_id}: exiting after "
+                f"{self.jobs_executed} job(s)"
+            )
+        return self.jobs_executed
+
+    # ------------------------------------------------------------------
+    def _run_job(self, job: Job, stop: threading.Event) -> None:
+        self._log(
+            f"worker {self.worker_id}: claimed job {job.short_id}"
+            f" [{job.experiment}] execution={job.executions}"
+        )
+        done = threading.Event()
+        lease_lost = threading.Event()
+
+        def _beat() -> None:
+            while not done.wait(self.heartbeat_interval):
+                now = time.time()
+                if not self.store.heartbeat(
+                    job.id, self.worker_id, lease_ttl=self.lease_ttl, now=now
+                ):
+                    lease_lost.set()
+                    return
+                self.store.worker_heartbeat(
+                    self.worker_id, current_job=job.id, now=now
+                )
+
+        beater = threading.Thread(
+            target=_beat, name=f"repro-worker-heartbeat-{job.short_id}", daemon=True
+        )
+        beater.start()
+
+        def on_stage(stage: str, seconds: float) -> None:
+            self.store.record_stage(job.id, stage, seconds)
+
+        try:
+            result = self._execute(job.request(), self.options, on_stage)
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            done.set()
+            beater.join()
+            self._record_failure(job, exc)
+        except BaseException:
+            # Interrupt mid-job (SIGTERM escalation): requeue immediately
+            # rather than waiting out the lease.
+            done.set()
+            beater.join()
+            self.store.mark_failed(
+                job.id,
+                "interrupted during worker shutdown",
+                retry_at=time.time(),
+                worker_id=self.worker_id,
+            )
+            raise
+        else:
+            done.set()
+            beater.join()
+            finished = self.store.mark_done(
+                job.id, result, worker_id=self.worker_id
+            )
+            if lease_lost.is_set() or finished.worker_id != self.worker_id:
+                # Reaped while we ran: the result was discarded by the owner
+                # guard and the job belongs to another incarnation now.
+                self._log(
+                    f"worker {self.worker_id}: lost lease on job"
+                    f" {job.short_id}; result discarded"
+                )
+            else:
+                self.store.worker_finished(self.worker_id, ok=True)
+                self._log(f"worker {self.worker_id}: job {job.short_id} done")
+
+    def _record_failure(self, job: Job, exc: Exception) -> None:
+        error = f"{type(exc).__name__}: {exc}"
+        retry_at = plan_retry(job, self.retry_base_delay, self.retry_max_delay)
+        if retry_at is not None:
+            self.store.mark_failed(
+                job.id, error, retry_at=retry_at, worker_id=self.worker_id
+            )
+            metrics().counter("serve.retries").inc()
+            self._log(
+                f"worker {self.worker_id}: job {job.short_id} failed"
+                f" ({error}); retry scheduled"
+            )
+        else:
+            self.store.mark_failed(job.id, error, worker_id=self.worker_id)
+            self._log(
+                f"worker {self.worker_id}: job {job.short_id} failed"
+                f" terminally ({error})"
+            )
+        self.store.worker_finished(self.worker_id, ok=False)
+
+
+__all__ = ["Worker"]

@@ -40,12 +40,14 @@ class TestHealth:
         assert health["version"] == repro.__version__
         assert health["uptime_s"] >= 0
         assert health["jobs"]["queued"] == 0
-        assert health["scheduler"] == {
-            "concurrency": 1,
-            "running": False,
-            "workers_alive": 0,
-            "last_dequeue_at": None,
-        }
+        scheduler = health["scheduler"]
+        assert scheduler["concurrency"] == 1
+        assert scheduler["running"] is False
+        assert scheduler["workers_alive"] == 0
+        assert scheduler["last_dequeue_at"] is None
+        assert scheduler["lease_ttl"] > 0
+        assert health["workers"] == []  # none registered while idle
+        assert health["fleet"] is None  # not running in --fleet mode
 
 
 class TestSubmit:

@@ -187,12 +187,14 @@ class TestPersistenceAndRecovery:
             assert job.state == DONE
             assert job.result().payload == {"answer": 42}
 
-    def test_recover_requeues_running_jobs(self, tmp_path):
+    def test_recover_requeues_expired_lease_jobs(self, tmp_path):
         path = tmp_path / "crash.db"
         with JobStore(path) as before:
             before.submit(_request())
             before.submit(_request(rate=0.5))
-            before.claim_next()  # this one "crashes" mid-run
+            # This one "crashes" mid-run: a lease that is already expired
+            # stands in for a dead worker that stopped heartbeating.
+            before.claim_next(worker_id="w-dead", lease_ttl=0.0)
 
         with JobStore(path) as after:
             assert after.recover() == 1
@@ -201,6 +203,20 @@ class TestPersistenceAndRecovery:
             # The recovered job is claimable again and keeps its history.
             executions = sorted(j.executions for j in after.list_jobs())
             assert executions == [0, 1]
+
+    def test_recover_leaves_live_leases_alone(self, tmp_path):
+        """A restarting supervisor must not steal a live worker's job."""
+        path = tmp_path / "fleet.db"
+        with JobStore(path) as store:
+            store.submit(_request())
+            leased = store.claim_next(worker_id="w-alive", lease_ttl=60.0)
+            assert leased is not None
+
+        with JobStore(path) as reopened:
+            assert reopened.recover() == 0
+            job = reopened.get(leased.id)
+            assert job.state == RUNNING
+            assert job.worker_id == "w-alive"
 
     def test_list_jobs_filters_by_state_and_experiment(self, store):
         store.submit(_request(rate=0.5))
