@@ -57,9 +57,16 @@ from repro.api.request import (
     content_hash,
 )
 from repro.api.runner import Runner, default_runner
-from repro.api.stages import STAGE_ORDER, Pipeline, PipelineContext, Stage
+from repro.api.stages import (
+    DeadlineExceeded,
+    STAGE_ORDER,
+    Pipeline,
+    PipelineContext,
+    Stage,
+)
 
 __all__ = [
+    "DeadlineExceeded",
     "EXPERIMENTS",
     "Experiment",
     "ExperimentReport",

@@ -115,12 +115,16 @@ class Experiment:
         options: RunOptions | None = None,
         extras: dict[str, Any] | None = None,
         on_stage: Callable[[str, float], None] | None = None,
+        deadline: float | None = None,
     ) -> ExperimentResult:
         """Execute the pipeline for ``request`` and package the result.
 
         ``on_stage`` is the per-stage progress callback
         (``on_stage(stage_name, seconds)``), invoked as each stage completes —
         the hook the job service uses to persist live stage timings.
+        ``deadline`` is an absolute epoch-seconds budget checked at stage
+        boundaries; past it the run raises
+        :class:`~repro.api.stages.DeadlineExceeded`.
         """
         if request.experiment != self.name:
             raise ValueError(
@@ -139,6 +143,7 @@ class Experiment:
             ),
             extras=dict(extras or {}),
             on_stage=on_stage,
+            deadline=deadline,
         )
         pipeline = self.pipeline(request)
         report = pipeline.run(ctx)
@@ -258,9 +263,12 @@ def run_experiment(
     options: RunOptions | None = None,
     extras: dict[str, Any] | None = None,
     on_stage: Callable[[str, float], None] | None = None,
+    deadline: float | None = None,
 ) -> ExperimentResult:
     """Resolve ``request.experiment`` in the registry and execute it."""
-    return get_experiment(request.experiment).run(request, options, extras, on_stage)
+    return get_experiment(request.experiment).run(
+        request, options, extras, on_stage, deadline
+    )
 
 
 __all__ = [

@@ -36,6 +36,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.request import ExperimentRequest, RunOptions
 from repro.api.runner import Runner
+from repro.faults import fault_point
 from repro.obs import metrics, trace_span
 
 # The canonical stage vocabulary, in canonical order.
@@ -47,6 +48,24 @@ STAGE_ORDER: tuple[str, ...] = (
     "simulate",
     "report",
 )
+
+
+class DeadlineExceeded(RuntimeError):
+    """A pipeline run outlived its cooperative per-job deadline.
+
+    Raised at a stage boundary — stages themselves are never interrupted
+    mid-flight — and treated as a *terminal* failure by the job service: a
+    job that blew its budget once is not retried into blowing it again,
+    and its worker is freed instead of heartbeating a wedged lease forever.
+    """
+
+    def __init__(self, deadline: float, overshoot: float) -> None:
+        super().__init__(
+            f"pipeline exceeded its deadline by {overshoot:.3f}s"
+            f" (deadline was {deadline:.3f}s epoch)"
+        )
+        self.deadline = deadline
+        self.overshoot = overshoot
 
 
 @dataclass(frozen=True)
@@ -89,6 +108,18 @@ class PipelineContext:
     cache_events: dict[str, list[tuple[str, bool]]] = field(default_factory=dict)
     current_stage: str | None = None
     on_stage: Callable[[str, float], None] | None = None
+    #: Absolute epoch-seconds deadline, or ``None`` for no budget.  Checked
+    #: cooperatively at stage boundaries via :meth:`check_deadline`.
+    deadline: float | None = None
+
+    def check_deadline(self, now: float | None = None) -> None:
+        """Raise :class:`DeadlineExceeded` when the deadline has passed."""
+        if self.deadline is None:
+            return
+        now = time.time() if now is None else now
+        if now > self.deadline:
+            metrics().counter("pipeline.deadline_exceeded").inc()
+            raise DeadlineExceeded(self.deadline, now - self.deadline)
 
     def __getitem__(self, stage: str) -> Any:
         try:
@@ -196,6 +227,14 @@ class Pipeline:
         experiment = ctx.request.experiment
         with trace_span(f"pipeline.{self.name}", experiment=experiment):
             for stage in self.stages:
+                # The cooperative interruption seam: a fault plan can wedge
+                # (hang) or break a run exactly between stages, and the
+                # deadline check fails an over-budget job before it burns
+                # another stage.  Context stays cheap — strings only.
+                fault_point(
+                    "stage.boundary", stage=stage.name, experiment=experiment
+                )
+                ctx.check_deadline()
                 ctx.current_stage = stage.name
                 with trace_span(
                     f"stage.{stage.name}", experiment=experiment, pipeline=self.name
@@ -220,4 +259,10 @@ class Pipeline:
         return f"Pipeline({self.describe()})"
 
 
-__all__ = ["STAGE_ORDER", "Stage", "Pipeline", "PipelineContext"]
+__all__ = [
+    "DeadlineExceeded",
+    "STAGE_ORDER",
+    "Stage",
+    "Pipeline",
+    "PipelineContext",
+]

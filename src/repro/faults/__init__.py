@@ -1,0 +1,52 @@
+"""``repro.faults`` — deterministic, dependency-free fault injection.
+
+Failure is an input here, not an accident: a seeded
+:class:`FaultPlan` names *which* failures fire at *which* sites
+(``store.commit``, ``worker.claim``, ``stage.boundary``,
+``http.response``, ``client.request``), production code declares those
+sites with :func:`fault_point` (a no-op unless a plan is active), and the
+same JSON plan can be shipped to every process of a worker fleet through
+the ``REPRO_FAULTS`` environment variable.  ``repro chaos`` builds on this
+to run seeded fault plans against a real fleet and assert the service's
+bounding invariants — see DESIGN.md "Failure modes & degradation".
+
+Minimal use::
+
+    from repro.faults import FaultPlan, FaultRule, install_plan, clear_plan
+
+    install_plan(FaultPlan(seed=7, rules=(
+        FaultRule(site="store.commit", match={"op": "record_stage"},
+                  action="error", times=1),
+    )))
+    try:
+        ...  # the first record_stage commit raises InjectedFault
+    finally:
+        clear_plan()
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import ACTIONS, FaultPlan, FaultRule, InjectedFault
+from repro.faults.runtime import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    active_plan,
+    clear_plan,
+    fault_point,
+    fault_report,
+    install_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "fault_point",
+    "fault_report",
+    "install_plan",
+]

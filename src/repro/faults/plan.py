@@ -1,0 +1,187 @@
+"""Seeded, serializable fault plans — failure as a first-class input.
+
+A :class:`FaultPlan` is a deterministic description of *which* failures to
+inject *where*: a seed plus an ordered tuple of :class:`FaultRule`\\ s, each
+bound to one named fault **site** (``store.commit``, ``worker.claim``,
+``stage.boundary``, ``http.response``, ``client.request`` — see
+DESIGN.md for the naming scheme).  Plans round-trip through JSON, so the
+same plan can be installed in-process (:func:`repro.faults.install_plan`)
+and shipped to worker subprocesses through the ``REPRO_FAULTS``
+environment variable — every process in a fleet then injects the *same*
+failures at the *same* sites, and a chaos run becomes a repeatable
+experiment instead of a flaky one.
+
+Determinism contract: given one plan and one sequence of matching hits at
+a site, the fired/skipped decisions are identical across runs.  ``chance``
+rules draw from a :class:`random.Random` seeded from ``(plan seed, rule
+index)`` and consume one draw per eligible hit, never from global
+randomness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: The actions a rule can take when it fires.
+#:
+#: ``error``  raise :class:`InjectedFault` at the site (a transient failure
+#:            the surrounding machinery must absorb: retry, requeue, 5xx).
+#: ``crash``  ``os._exit(137)`` — the SIGKILL simulator.  The process dies
+#:            without unwinding; recovery must come from *outside* (lease
+#:            expiry, supervisor respawn).
+#: ``hang``   sleep ``duration`` seconds at the site, then continue — a
+#:            wedged stage or stalled peer, bounded only by deadlines.
+ACTIONS: tuple[str, ...] = ("error", "crash", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """A deterministically injected failure (``action="error"`` firing)."""
+
+    def __init__(self, site: str, message: str = "") -> None:
+        super().__init__(
+            f"injected fault at {site!r}" + (f": {message}" if message else "")
+        )
+        self.site = site
+
+
+def _normalize_match(match: Any) -> tuple[tuple[str, Any], ...]:
+    if isinstance(match, Mapping):
+        items = match.items()
+    else:
+        items = tuple(match)
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: fire ``action`` at ``site`` when conditions hold.
+
+    Attributes
+    ----------
+    site:
+        The named fault site this rule listens on.
+    action:
+        One of :data:`ACTIONS`.
+    match:
+        Subset match over the context keywords the site passes to
+        :func:`~repro.faults.fault_point` — ``{"job": "<hash>"}`` targets
+        one job, ``()`` matches every hit.  Keys absent from the context
+        never match (no wildcard-by-omission surprises).
+    after:
+        Skip the first ``after`` matching hits before becoming eligible.
+    times:
+        Fire at most this many times (``None`` = every eligible hit).
+    chance:
+        Probability of firing per eligible hit, drawn from the rule's own
+        seeded RNG (1.0 = always — fully deterministic).
+    duration:
+        Sleep length in seconds for ``hang``.
+    message:
+        Optional text carried by the raised :class:`InjectedFault`.
+    """
+
+    site: str
+    action: str = "error"
+    match: tuple[tuple[str, Any], ...] = ()
+    after: int = 0
+    times: int | None = 1
+    chance: float = 1.0
+    duration: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise ValueError("a fault rule needs a non-empty site name")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; actions are "
+                f"{', '.join(ACTIONS)}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if not 0.0 <= self.chance <= 1.0:
+            raise ValueError(f"chance must be in [0, 1], got {self.chance}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        object.__setattr__(self, "match", _normalize_match(self.match))
+
+    def matches(self, ctx: Mapping[str, Any]) -> bool:
+        """Whether every ``match`` pair equals the site's context value."""
+        return all(
+            key in ctx and ctx[key] == value for key, value in self.match
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "match": {key: value for key, value in self.match},
+            "after": self.after,
+            "times": self.times,
+            "chance": self.chance,
+            "duration": self.duration,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        return cls(
+            site=data["site"],
+            action=data.get("action", "error"),
+            match=dict(data.get("match", {})),
+            after=int(data.get("after", 0)),
+            times=None if data.get("times") is None else int(data["times"]),
+            chance=float(data.get("chance", 1.0)),
+            duration=float(data.get("duration", 0.0)),
+            message=data.get("message", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered set of rules — one chaos experiment's input."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise TypeError(f"rules must be FaultRule, got {rule!r}")
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted({rule.site for rule in self.rules}))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            name=data.get("name", ""),
+            rules=tuple(
+                FaultRule.from_dict(rule) for rule in data.get("rules", ())
+            ),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+__all__ = ["ACTIONS", "FaultPlan", "FaultRule", "InjectedFault"]

@@ -1,0 +1,188 @@
+"""The process-global fault runtime: install a plan, thread ``fault_point``.
+
+Production code calls :func:`fault_point` at its named fault sites; the
+call is a near-free no-op (one ``is None`` check) unless a
+:class:`~repro.faults.plan.FaultPlan` is active.  A plan becomes active
+either explicitly (:func:`install_plan` — tests and the chaos harness) or
+through the ``REPRO_FAULTS`` environment variable holding the plan's JSON
+(worker subprocesses spawned by the fleet supervisor), read lazily on the
+first ``fault_point`` hit so importing this module never touches the
+environment.
+
+Firing state (per-rule hit/fired counters, the seeded ``chance`` RNG) lives
+here, not in the immutable plan, and is reported by :func:`fault_report`
+for the chaos run's invariant report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from random import Random
+from typing import Any
+
+from repro.faults.plan import FaultPlan, FaultRule, InjectedFault
+
+#: Environment variable carrying a JSON fault plan into subprocesses.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status of a ``crash`` firing — the conventional SIGKILL code, so a
+#: supervisor cannot tell an injected crash from a real one.
+CRASH_EXIT_CODE = 137
+
+
+class _RuleState:
+    __slots__ = ("hits", "fired", "rng")
+
+    def __init__(self, seed: int, index: int) -> None:
+        self.hits = 0
+        self.fired = 0
+        self.rng = Random(f"{seed}:{index}")
+
+
+class _ActivePlan:
+    """One installed plan plus its mutable firing state (thread-safe)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._states = [
+            _RuleState(plan.seed, index) for index in range(len(plan.rules))
+        ]
+        self._by_site: dict[str, list[int]] = {}
+        for index, rule in enumerate(plan.rules):
+            self._by_site.setdefault(rule.site, []).append(index)
+
+    def decide(self, site: str, ctx: dict[str, Any]) -> FaultRule | None:
+        """The rule to apply for this hit, or ``None`` (first firing wins)."""
+        indices = self._by_site.get(site)
+        if not indices:
+            return None
+        with self._lock:
+            for index in indices:
+                rule = self.plan.rules[index]
+                if not rule.matches(ctx):
+                    continue
+                state = self._states[index]
+                state.hits += 1
+                if state.hits <= rule.after:
+                    continue
+                if rule.times is not None and state.fired >= rule.times:
+                    continue
+                if rule.chance < 1.0 and state.rng.random() >= rule.chance:
+                    continue
+                state.fired += 1
+                return rule
+        return None
+
+    def report(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "name": self.plan.name,
+                "rules": [
+                    {
+                        "site": rule.site,
+                        "action": rule.action,
+                        "match": {k: v for k, v in rule.match},
+                        "hits": state.hits,
+                        "fired": state.fired,
+                    }
+                    for rule, state in zip(self.plan.rules, self._states)
+                ],
+            }
+
+
+_lock = threading.Lock()
+_active: _ActivePlan | None = None
+_env_checked = False
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` in this process (replacing any active plan)."""
+    global _active, _env_checked
+    with _lock:
+        _active = _ActivePlan(plan)
+        _env_checked = True  # an explicit install outranks the environment
+
+
+def clear_plan() -> None:
+    """Deactivate fault injection (and stop consulting the environment)."""
+    global _active, _env_checked
+    with _lock:
+        _active = None
+        _env_checked = True
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any (environment loaded lazily)."""
+    active = _get_active()
+    return active.plan if active is not None else None
+
+
+def fault_report() -> dict[str, Any] | None:
+    """Per-rule hit/fired counts of the active plan (``None`` when inactive).
+
+    Counts are per process: a worker subprocess's firings show up in *its*
+    report, not the supervisor's — the chaos harness reads cross-process
+    effects off the job store instead.
+    """
+    active = _get_active()
+    return active.report() if active is not None else None
+
+
+def _get_active() -> _ActivePlan | None:
+    global _active, _env_checked
+    if _active is not None or _env_checked:
+        return _active
+    with _lock:
+        if _active is None and not _env_checked:
+            _env_checked = True
+            text = os.environ.get(ENV_VAR)
+            if text:
+                try:
+                    _active = _ActivePlan(FaultPlan.from_json(text))
+                except (ValueError, TypeError, KeyError) as exc:
+                    warnings.warn(
+                        f"ignoring malformed {ENV_VAR} fault plan: {exc}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+    return _active
+
+
+def fault_point(site: str, **ctx: Any) -> None:
+    """Declare a named fault site; a no-op unless an active rule fires.
+
+    Raises :class:`InjectedFault` (``error``), sleeps (``hang``), or exits
+    the process with :data:`CRASH_EXIT_CODE` (``crash``) when a rule of the
+    active plan fires for this hit.  Context keywords are what rules match
+    on — keep them cheap to compute, this call sits on hot paths.
+    """
+    active = _get_active()
+    if active is None:
+        return
+    rule = active.decide(site, ctx)
+    if rule is None:
+        return
+    if rule.action == "crash":
+        # The SIGKILL simulator: no unwinding, no atexit, no flushing —
+        # recovery must come from lease expiry and supervisor respawn.
+        os._exit(CRASH_EXIT_CODE)
+    if rule.action == "hang":
+        time.sleep(rule.duration)
+        return
+    raise InjectedFault(site, rule.message)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "active_plan",
+    "clear_plan",
+    "fault_point",
+    "fault_report",
+    "install_plan",
+]

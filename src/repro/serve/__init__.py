@@ -19,7 +19,18 @@ executes and persists experiments.
 * :class:`WorkerSupervisor` (:mod:`repro.serve.supervisor`) — spawns and
   respawns a fleet of worker processes for ``repro serve --fleet N``.
 * :class:`ServeClient` (:mod:`repro.serve.client`) — the urllib client the
-  ``repro submit/status/cancel`` CLI verbs are built on.
+  ``repro submit/status/cancel`` CLI verbs are built on; retries refused
+  admissions and rides out brief outages within a reconnect budget.
+* :func:`run_chaos` (:mod:`repro.serve.chaos`) — the ``repro chaos``
+  fault-injection drill: a seeded :class:`~repro.faults.FaultPlan` against
+  a real worker fleet, with the robustness invariants checked at the end.
+
+Robustness seams (see DESIGN.md "Failure modes & degradation"): jobs whose
+lease expires more than ``DEFAULT_REQUEUE_CAP`` times are quarantined
+(state ``quarantined``) instead of crash-looping; ``repro requeue``
+releases them.  Jobs can carry a ``deadline_s`` execution budget enforced
+at stage boundaries.  ``repro serve --max-queue N`` refuses submissions
+over the cap with 503 + Retry-After.
 
 Minimal embedded use (no HTTP)::
 
@@ -35,8 +46,11 @@ Minimal embedded use (no HTTP)::
 
 from __future__ import annotations
 
+from repro.serve.chaos import default_chaos_plan, run_chaos
 from repro.serve.client import (
+    DEFAULT_RECONNECT_BUDGET,
     DEFAULT_URL,
+    ServeBusyError,
     ServeClient,
     ServeError,
     ServeUnavailableError,
@@ -46,8 +60,12 @@ from repro.serve.scheduler import Scheduler
 from repro.serve.store import (
     AmbiguousJobError,
     DEFAULT_LEASE_TTL,
+    DEFAULT_REQUEUE_CAP,
+    INACTIVE_STATES,
     Job,
     JobStore,
+    QUARANTINED,
+    ReapOutcome,
     STATES,
     TERMINAL_STATES,
     UnknownJobError,
@@ -61,12 +79,18 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_PORT",
+    "DEFAULT_RECONNECT_BUDGET",
+    "DEFAULT_REQUEUE_CAP",
     "DEFAULT_URL",
     "ExperimentServer",
+    "INACTIVE_STATES",
     "Job",
     "JobStore",
+    "QUARANTINED",
+    "ReapOutcome",
     "STATES",
     "Scheduler",
+    "ServeBusyError",
     "ServeClient",
     "ServeError",
     "ServeUnavailableError",
@@ -74,5 +98,7 @@ __all__ = [
     "UnknownJobError",
     "Worker",
     "WorkerSupervisor",
+    "default_chaos_plan",
     "default_worker_id",
+    "run_chaos",
 ]

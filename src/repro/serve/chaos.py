@@ -1,0 +1,320 @@
+"""``repro chaos`` — a seeded fault-injection drill against a real fleet.
+
+The drill stands up the full service topology (SQLite :class:`JobStore`,
+front-end :class:`Scheduler`, HTTP :class:`ExperimentServer`, a
+:class:`WorkerSupervisor` fleet of real ``repro worker`` processes), ships a
+deterministic :class:`~repro.faults.FaultPlan` to every worker through the
+``REPRO_FAULTS`` environment variable, submits a small mixed batch of
+experiment jobs over HTTP, and then asserts the robustness invariants the
+service claims to hold *under* those faults:
+
+* every submitted job ends inactive (done / failed / cancelled / quarantined)
+  — nothing wedges forever;
+* zero double-completions — ``complete_count`` is 1 for done jobs, 0
+  otherwise, even with leases expiring and claims racing across processes;
+* no job is requeued past the crash-loop cap, and the designated
+  crash-looping job is quarantined with ``requeue_count`` equal to the cap
+  exactly;
+* the job wedged by an injected stage hang dies by *deadline*, not by luck;
+* the job whose store commit was failed once retries and completes;
+* ``/stats`` exposes the quarantine/deadline/admission counters.
+
+Same seed, same faults: the plan is deterministic per process, so a failing
+drill replays with ``repro chaos --seed N``.  ``--smoke`` shrinks the batch
+and the crash-loop cap for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.api.request import ExperimentRequest, RunOptions
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+from repro.serve.client import ServeClient
+from repro.serve.http_api import ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import INACTIVE_STATES, JobStore, QUARANTINED
+from repro.serve.supervisor import WorkerSupervisor
+
+#: Experiment reserved for the stage-hang victim — the hang rule matches on
+#: experiment name (the only context the ``stage.boundary`` site carries
+#: besides the stage), so no other drill job may use it.
+HANG_EXPERIMENT = "fig8"
+
+#: Injected stage-hang length; must comfortably exceed the hang victim's
+#: ``deadline_s`` so the deadline — not scheduling noise — kills the job.
+HANG_DURATION = 3.0
+HANG_DEADLINE = 1.0
+
+
+def default_chaos_plan(
+    seed: int, crash_job: str, commit_job: str
+) -> FaultPlan:
+    """The drill's standard three faults, aimed at precomputed job hashes.
+
+    ``ExperimentRequest.content_hash`` *is* the job id, so the victims are
+    addressable before anything is submitted.
+    """
+    return FaultPlan(
+        seed=seed,
+        name="chaos-drill",
+        rules=(
+            # Crash loop: every claim of this job SIGKILLs the worker
+            # (times=None — each respawned process must die too), so the job
+            # can only leave the queue through lease-expiry quarantine.
+            FaultRule(
+                site="worker.claim",
+                action="crash",
+                match={"job": crash_job},
+                times=None,
+            ),
+            # Wedge: the first stage boundary of this experiment sleeps past
+            # the job's deadline; the deadline check right after the hang
+            # must fail the job instead of letting it run over budget.
+            FaultRule(
+                site="stage.boundary",
+                action="hang",
+                match={"experiment": HANG_EXPERIMENT},
+                duration=HANG_DURATION,
+            ),
+            # Transient durability fault: one stage-timing commit of this
+            # job rolls back and raises; the execution fails, the retry
+            # budget absorbs it.
+            FaultRule(
+                site="store.commit",
+                action="error",
+                match={"op": "record_stage", "job": commit_job},
+                message="stage-timing commit refused once by the chaos plan",
+            ),
+        ),
+    )
+
+
+def _smoke_scale() -> Any:
+    from repro.eval.common import ExperimentScale
+
+    return ExperimentScale.smoke()
+
+
+def _drill_requests(smoke: bool) -> dict[str, ExperimentRequest]:
+    """The drill batch, keyed by role.  All smoke-scale (seconds, not minutes)."""
+    scale = _smoke_scale()
+    batch = {
+        "crash": ExperimentRequest(experiment="ablate-pes", scale=scale),
+        "hang": ExperimentRequest(experiment=HANG_EXPERIMENT, scale=scale),
+        "commit": ExperimentRequest(experiment="ablate-rate", scale=scale),
+        "healthy-0": ExperimentRequest(experiment="ablate-fifo", scale=scale),
+        "healthy-1": ExperimentRequest(experiment="ablate-energy", scale=scale),
+    }
+    if not smoke:
+        batch["healthy-2"] = ExperimentRequest(
+            experiment="ablate-rate", pruning_rate=0.5, scale=scale
+        )
+        batch["healthy-3"] = ExperimentRequest(
+            experiment="ablate-energy", pruning_rate=0.7, scale=scale
+        )
+    return batch
+
+
+def run_chaos(
+    seed: int = 0,
+    fleet: int = 2,
+    smoke: bool = False,
+    db: str | Path | None = None,
+    out: str | Path | None = None,
+    log: Callable[[str], None] = print,
+) -> dict[str, Any]:
+    """Run the drill; returns (and optionally writes) the chaos report.
+
+    The report is ``{"ok": bool, "invariants": [...], "jobs": [...], ...}``;
+    ``ok`` is the AND of every invariant.
+    """
+    cap = 1 if smoke else 2
+    lease_ttl = 1.0
+    drain_timeout = 90.0 if smoke else 150.0
+    tmp = None
+    if db is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        db = Path(tmp.name) / "chaos.db"
+    db = Path(db)
+    db.parent.mkdir(parents=True, exist_ok=True)
+
+    requests = _drill_requests(smoke)
+    plan = default_chaos_plan(
+        seed,
+        crash_job=requests["crash"].content_hash,
+        commit_job=requests["commit"].content_hash,
+    )
+    log(
+        f"repro chaos: seed={seed} fleet={fleet} cap={cap} "
+        f"jobs={len(requests)} sites={', '.join(plan.sites)}"
+    )
+
+    store = JobStore(db)
+    scheduler = Scheduler(
+        store,
+        options=RunOptions(use_cache=False),
+        concurrency=0,  # front-end only: the fleet owns execution
+        lease_ttl=lease_ttl,
+        quarantine_after=cap,
+    )
+    server = ExperimentServer(
+        scheduler,
+        host="127.0.0.1",
+        port=0,
+        max_queue_depth=len(requests) + 2,
+    )
+    scheduler.start()
+    supervisor = WorkerSupervisor(
+        db=db,
+        count=fleet,
+        lease_ttl=lease_ttl,
+        no_cache=True,
+        respawn_delay=0.25,
+        monitor_interval=0.1,
+        quarantine_after=cap,
+        extra_env={ENV_VAR: plan.to_json()},
+    )
+
+    import threading
+
+    http_thread = threading.Thread(
+        target=server.serve_forever, name="repro-chaos-http", daemon=True
+    )
+    invariants: list[dict[str, Any]] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        invariants.append({"name": name, "ok": bool(ok), "detail": detail})
+        log(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+
+    stats: dict[str, Any] = {}
+    jobs: dict[str, Any] = {}
+    try:
+        http_thread.start()
+        supervisor.start()
+        client = ServeClient(server.url)
+        ids = {}
+        for role, request in requests.items():
+            kwargs: dict[str, Any] = {}
+            if role == "hang":
+                kwargs["deadline_s"] = HANG_DEADLINE
+            if role == "commit":
+                kwargs["max_retries"] = 2
+            response = client.submit(request, **kwargs)
+            ids[role] = response["job"]["id"]
+        log(f"submitted {len(ids)} jobs to {server.url}, letting faults fire")
+
+        deadline = time.monotonic() + drain_timeout
+        while time.monotonic() < deadline:
+            jobs = {
+                role: store.get(job_id).to_dict()
+                for role, job_id in ids.items()
+            }
+            if all(j["state"] in INACTIVE_STATES for j in jobs.values()):
+                break
+            time.sleep(0.25)
+        stats = client.stats()
+    finally:
+        supervisor.stop(timeout=15.0)
+        server.shutdown()
+        server.server_close()
+        scheduler.stop(timeout=15.0)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    states = {role: j["state"] for role, j in jobs.items()}
+    check(
+        "drained",
+        bool(jobs) and all(s in INACTIVE_STATES for s in states.values()),
+        f"states={states}",
+    )
+    completions = {
+        role: (j["complete_count"], j["state"]) for role, j in jobs.items()
+    }
+    check(
+        "single_completion",
+        all(
+            count == (1 if state == "done" else 0)
+            for count, state in completions.values()
+        ),
+        f"complete_count per job: "
+        f"{ {role: c for role, (c, _) in completions.items()} }",
+    )
+    requeues = {role: j["requeue_count"] for role, j in jobs.items()}
+    check(
+        "requeue_cap",
+        all(count <= cap for count in requeues.values()),
+        f"cap={cap} requeue_count={requeues}",
+    )
+    crash = jobs.get("crash", {})
+    check(
+        "crash_quarantined",
+        crash.get("state") == QUARANTINED
+        and crash.get("requeue_count") == cap,
+        f"state={crash.get('state')} "
+        f"requeue_count={crash.get('requeue_count')} (cap={cap})",
+    )
+    hang = jobs.get("hang", {})
+    check(
+        "hang_killed_by_deadline",
+        hang.get("state") == "failed"
+        and "DeadlineExceeded" in (hang.get("error") or ""),
+        f"state={hang.get('state')} error={hang.get('error')!r}",
+    )
+    commit = jobs.get("commit", {})
+    check(
+        "commit_fault_retried",
+        commit.get("state") == "done" and commit.get("executions", 0) >= 2,
+        f"state={commit.get('state')} executions={commit.get('executions')}",
+    )
+    queue_counts = stats.get("queue") or {}
+    counter_keys = set(stats.get("jobs") or {})
+    check(
+        "stats_expose_quarantine",
+        queue_counts.get(QUARANTINED, 0) >= 1
+        and {"quarantined", "deadline_exceeded", "admission_rejected"}
+        <= counter_keys,
+        f"queue.quarantined={queue_counts.get(QUARANTINED)} "
+        f"counters={sorted(counter_keys)}",
+    )
+    respawns = sum(slot["restarts"] for slot in supervisor.fleet_state())
+    check(
+        "workers_actually_crashed",
+        respawns >= 1,
+        f"fleet respawns={respawns}",
+    )
+
+    ok = all(entry["ok"] for entry in invariants)
+    report = {
+        "ok": ok,
+        "seed": seed,
+        "smoke": smoke,
+        "fleet": fleet,
+        "requeue_cap": cap,
+        "lease_ttl": lease_ttl,
+        "plan": plan.to_dict(),
+        "invariants": invariants,
+        "jobs": jobs,
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        log(f"chaos report written to {out}")
+    log(
+        "repro chaos: ALL INVARIANTS HELD"
+        if ok
+        else "repro chaos: INVARIANT VIOLATION (see report)"
+    )
+    store.close()
+    if tmp is not None:
+        tmp.cleanup()
+    return report
+
+
+__all__ = ["default_chaos_plan", "run_chaos", "HANG_EXPERIMENT"]

@@ -54,12 +54,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         concurrency=concurrency,
         retry_base_delay=args.retry_delay,
         lease_ttl=args.lease_ttl,
+        quarantine_after=args.requeue_cap,
     )
     # Bind the port *before* recovery/worker startup: the port doubles as the
     # mutual-exclusion guard, so a second `repro serve` on the same DB dies
     # here without having requeued (and re-run) a live service's jobs.
     try:
-        server = ExperimentServer(scheduler, host=args.host, port=args.port)
+        server = ExperimentServer(
+            scheduler,
+            host=args.host,
+            port=args.port,
+            max_queue_depth=args.max_queue,
+        )
     except OSError as exc:
         store.close()
         print(
@@ -79,6 +85,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             no_cache=args.no_cache,
             job_workers=args.workers,
+            quarantine_after=args.requeue_cap,
         )
         supervisor.start()
         server.supervisor = supervisor
@@ -160,6 +167,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         heartbeat_interval=args.heartbeat_interval,
         poll_interval=args.poll_interval,
         retry_base_delay=args.retry_delay,
+        quarantine_after=args.requeue_cap,
         log=lambda message: print(message, flush=True),
     )
 
@@ -197,7 +205,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ServeClient(args.url)
     try:
         response = client.submit(
-            request, priority=args.priority, max_retries=args.max_retries
+            request,
+            priority=args.priority,
+            max_retries=args.max_retries,
+            deadline_s=args.deadline,
         )
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -386,6 +397,50 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_requeue(args: argparse.Namespace) -> int:
+    """Release a quarantined (or failed/cancelled) job back to the queue."""
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        response = client.requeue(args.job)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job = response["job"]
+    if response["requeued"]:
+        print(
+            f"job {job['id'][:12]} requeued "
+            f"(crash-loop counter reset, retry budget fresh)"
+        )
+        return 0
+    print(
+        f"job {job['id'][:12]} is {job['state']} and was not requeued "
+        "(only quarantined/failed/cancelled jobs can be)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# repro chaos
+# ---------------------------------------------------------------------------
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault-injection drill against a real worker fleet."""
+    from repro.serve.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        fleet=args.fleet,
+        smoke=args.smoke,
+        db=args.db,
+        out=args.out,
+        log=lambda message: print(message, flush=True),
+    )
+    return 0 if report["ok"] else 1
+
+
 # ---------------------------------------------------------------------------
 # Parser wiring
 # ---------------------------------------------------------------------------
@@ -396,6 +451,7 @@ def register_serve_commands(
     """Add the serve/submit/status/cancel subparsers to the main CLI."""
     from repro.serve.client import DEFAULT_URL
     from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT
+    from repro.serve.store import DEFAULT_REQUEUE_CAP
 
     serve = sub.add_parser(
         "serve", help="run the persistent experiment job service"
@@ -439,6 +495,16 @@ def register_serve_commands(
         "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
         help="job-lease duration; a dead worker's jobs requeue after this "
              "long without heartbeats (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--requeue-cap", type=int, default=DEFAULT_REQUEUE_CAP, metavar="N",
+        help="quarantine a job after its lease expires N+1 times "
+             "(crash-loop guard; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="refuse new submissions (503 + Retry-After) once N jobs are "
+             "queued (default: unbounded)",
     )
     serve.set_defaults(func=cmd_serve)
 
@@ -489,6 +555,11 @@ def register_serve_commands(
         "--no-cache", action="store_true",
         help="disable the persistent stage caches",
     )
+    worker.add_argument(
+        "--requeue-cap", type=int, default=DEFAULT_REQUEUE_CAP, metavar="N",
+        help="quarantine a job after its lease expires N+1 times "
+             "(crash-loop guard; default: %(default)s)",
+    )
     worker.set_defaults(func=cmd_worker)
 
     submit = sub.add_parser(
@@ -522,6 +593,12 @@ def register_serve_commands(
     submit.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="--wait deadline (default: wait forever)",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-execution wall-clock budget; the job fails with "
+             "DeadlineExceeded at the next stage boundary past it "
+             "(default: none)",
     )
     submit.add_argument("--url", default=DEFAULT_URL, help="service URL")
     submit.set_defaults(func=cmd_submit)
@@ -561,10 +638,47 @@ def register_serve_commands(
     cancel.add_argument("--url", default=DEFAULT_URL, help="service URL")
     cancel.set_defaults(func=cmd_cancel)
 
+    requeue = sub.add_parser(
+        "requeue",
+        help="release a quarantined job back to the queue",
+    )
+    requeue.add_argument("job", help="job id (or unique prefix)")
+    requeue.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    requeue.set_defaults(func=cmd_requeue)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: run a seeded fault plan against a "
+             "real worker fleet and check the service's invariants",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="small fast plan suitable for CI (fewer jobs, short timeouts)",
+    )
+    chaos.add_argument(
+        "--fleet", type=int, default=2, metavar="N",
+        help="worker processes to run the drill against (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed — same seed, same faults (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="job-store path for the drill (default: a fresh temp file)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON chaos report here (default: stdout only)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
+
 
 __all__ = [
     "DEFAULT_DB",
     "cmd_cancel",
+    "cmd_chaos",
+    "cmd_requeue",
     "cmd_serve",
     "cmd_stats",
     "cmd_status",

@@ -6,22 +6,35 @@ one-to-one and stays dependency-free (``urllib.request`` only).  Server-side
 errors surface as :class:`ServeError` carrying the HTTP status and the
 server's ``{"error": ...}`` message; connection failures surface as
 :class:`ServeUnavailableError` so callers can distinguish "service said no"
-from "no service there".
+from "no service there"; a 503 from admission control surfaces as
+:class:`ServeBusyError` carrying the server's ``Retry-After`` hint.
+
+The client is deliberately tolerant of a *briefly* absent service:
+:meth:`ServeClient.submit` retries refused admissions with jittered backoff,
+and :meth:`ServeClient.wait` rides out transient outages (a supervisor
+respawn, a front-end restart) within a bounded reconnect budget — a
+``repro submit --wait`` must not die because the service blinked.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Mapping
 
 from repro.api.request import ExperimentRequest
+from repro.faults import InjectedFault, fault_point
 from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT
-from repro.serve.store import TERMINAL_STATES
+from repro.serve.store import INACTIVE_STATES
 
 DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+#: How long :meth:`ServeClient.wait` keeps retrying through a service outage
+#: before giving up (seconds of *continuous* unavailability).
+DEFAULT_RECONNECT_BUDGET = 30.0
 
 
 class ServeError(RuntimeError):
@@ -44,6 +57,14 @@ class ServeUnavailableError(ServeError):
         self.message = reason
 
 
+class ServeBusyError(ServeError):
+    """Admission control refused the submission (503 + Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(503, message)
+        self.retry_after = retry_after
+
+
 class ServeClient:
     """JSON-over-HTTP client bound to one service URL."""
 
@@ -53,7 +74,11 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def _call(
-        self, method: str, path: str, body: Mapping[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
     ) -> dict[str, Any]:
         data = None
         headers = {"Accept": "application/json"}
@@ -64,17 +89,29 @@ class ServeClient:
             self.url + path, data=data, headers=headers, method=method
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            # The injectable client-socket failure: the request never leaves
+            # this process, exactly like a refused/reset connection.
+            fault_point("client.request", method=method, path=path)
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 body = response.read().decode("utf-8")
                 content_type = response.headers.get("Content-Type", "")
                 if "json" not in content_type:
                     return {"text": body}
                 return json.loads(body)
+        except InjectedFault as exc:
+            raise ServeUnavailableError(self.url, str(exc)) from None
         except urllib.error.HTTPError as exc:
+            retry_after = exc.headers.get("Retry-After")
             try:
                 message = json.loads(exc.read().decode("utf-8")).get("error", "")
             except (json.JSONDecodeError, UnicodeDecodeError):
                 message = exc.reason
+            if exc.code == 503 and retry_after is not None:
+                raise ServeBusyError(
+                    message or str(exc.reason), float(retry_after)
+                ) from None
             raise ServeError(exc.code, message or str(exc.reason)) from None
         except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
             reason = getattr(exc, "reason", exc)
@@ -101,9 +138,15 @@ class ServeClient:
 
         Returns ``{"job", "state", "events", "next"}``; pass the returned
         ``next`` as the following call's ``since`` to stream without gaps.
+        The socket timeout is derived from the poll timeout (plus a margin)
+        per call, so a long poll >= the client's default timeout cannot be
+        killed by its own socket while the server is still counting down.
         """
+        io_timeout = max(self.timeout, timeout + 10.0)
         return self._call(
-            "GET", f"/jobs/{job_id}/events?since={since}&timeout={timeout}"
+            "GET",
+            f"/jobs/{job_id}/events?since={since}&timeout={timeout}",
+            timeout=io_timeout,
         )
 
     def submit(
@@ -111,18 +154,39 @@ class ServeClient:
         request: ExperimentRequest | Mapping[str, Any],
         priority: int = 0,
         max_retries: int = 0,
+        deadline_s: float | None = None,
+        admission_retries: int = 5,
     ) -> dict[str, Any]:
-        """Submit a request; returns ``{"job": ..., "deduped": bool}``."""
+        """Submit a request; returns ``{"job": ..., "deduped": bool}``.
+
+        A 503 from admission control is retried up to ``admission_retries``
+        times, sleeping the server's ``Retry-After`` hint plus up to 25%
+        jitter between attempts (jitter spreads a thundering herd of
+        refused clients); the final refusal propagates as
+        :class:`ServeBusyError`.  Set ``admission_retries=0`` to surface the
+        first refusal immediately.
+        """
         payload = (
             request.to_dict()
             if isinstance(request, ExperimentRequest)
             else dict(request)
         )
-        return self._call(
-            "POST",
-            "/jobs",
-            {"request": payload, "priority": priority, "max_retries": max_retries},
-        )
+        body = {
+            "request": payload,
+            "priority": priority,
+            "max_retries": max_retries,
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        for attempt in range(admission_retries + 1):
+            try:
+                return self._call("POST", "/jobs", body)
+            except ServeBusyError as exc:
+                if attempt == admission_retries:
+                    raise
+                delay = exc.retry_after * (1.0 + random.random() * 0.25)
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def job(self, job_id: str) -> dict[str, Any]:
         return self._call("GET", f"/jobs/{job_id}")["job"]
@@ -144,20 +208,53 @@ class ServeClient:
         """Cancel a queued job; returns ``{"job": ..., "cancelled": bool}``."""
         return self._call("DELETE", f"/jobs/{job_id}")
 
+    def requeue(self, job_id: str) -> dict[str, Any]:
+        """Release a quarantined/failed job back to the queue
+        (``POST /jobs/<id>/requeue``); returns ``{"job", "requeued"}``."""
+        return self._call("POST", f"/jobs/{job_id}/requeue", {})
+
     def wait(
-        self, job_id: str, timeout: float | None = None, poll: float = 0.25
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.25,
+        reconnect_budget: float = DEFAULT_RECONNECT_BUDGET,
     ) -> dict[str, Any]:
-        """Poll until the job is terminal; raises ``TimeoutError`` otherwise."""
+        """Poll until the job is terminal or quarantined.
+
+        Transient :class:`ServeUnavailableError`\\ s are absorbed for up to
+        ``reconnect_budget`` seconds of *continuous* outage (a fleet
+        supervisor respawning the front end must not kill a ``--wait``);
+        the budget resets on every successful poll.  Raises
+        ``TimeoutError`` past ``timeout`` and the last
+        :class:`ServeUnavailableError` once the reconnect budget is spent.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        outage_since: float | None = None
         while True:
-            job = self.job(job_id)
-            if job["state"] in TERMINAL_STATES:
-                return job
+            try:
+                job = self.job(job_id)
+            except ServeUnavailableError:
+                now = time.monotonic()
+                outage_since = outage_since if outage_since is not None else now
+                if now - outage_since >= reconnect_budget:
+                    raise
+            else:
+                outage_since = None
+                if job["state"] in INACTIVE_STATES:
+                    return job
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
-                    f"job {job_id[:12]} still {job['state']} after {timeout}s"
+                    f"job {job_id[:12]} not finished after {timeout}s"
                 )
             time.sleep(poll)
 
 
-__all__ = ["DEFAULT_URL", "ServeClient", "ServeError", "ServeUnavailableError"]
+__all__ = [
+    "DEFAULT_RECONNECT_BUDGET",
+    "DEFAULT_URL",
+    "ServeBusyError",
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailableError",
+]

@@ -55,12 +55,17 @@ from urllib.parse import parse_qs, urlparse
 import repro
 from repro.api.registry import UnknownNameError, get_experiment
 from repro.api.request import ExperimentRequest
+from repro.faults import InjectedFault, fault_point
 from repro.obs import metrics
 from repro.serve.scheduler import Scheduler
 from repro.serve.store import (
     AmbiguousJobError,
+    INACTIVE_STATES,
     JobStore,
-    TERMINAL_STATES,
+    QUEUED,
+    RUNNING,
+    DONE,
+    QUARANTINED,
     UnknownJobError,
 )
 
@@ -83,11 +88,22 @@ class ExperimentServer(ThreadingHTTPServer):
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         supervisor: Any = None,
+        max_queue_depth: int | None = None,
+        admission_retry_after: float = 2.0,
     ) -> None:
         self.scheduler = scheduler
         # The WorkerSupervisor when running in --fleet mode (duck-typed to
         # avoid importing subprocess machinery for embedded servers).
         self.supervisor = supervisor
+        # Admission control: with ``max_queue_depth`` set, a submission that
+        # would grow the queued backlog past the cap is refused with
+        # 503 + Retry-After instead of accepted into an unbounded queue.
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.admission_retry_after = admission_retry_after
         self.started_at = time.time()
         super().__init__((host, port), _Handler)
 
@@ -112,10 +128,24 @@ class _Handler(BaseHTTPRequestHandler):
         # events (submissions, completions) from the store instead.
         pass
 
-    def _send_json(self, payload: Any, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        try:
+            # The injectable response failure: drop the connection before a
+            # single response byte, as a crashed front end would.
+            fault_point("http.response", path=self.path, status=status)
+        except InjectedFault:
+            self.close_connection = True
+            return
         body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -161,7 +191,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
-        if [part for part in parsed.path.split("/") if part] != ["jobs"]:
+        parts = [part for part in parsed.path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "requeue":
+            self._requeue(parts[1])
+            return
+        if parts != ["jobs"]:
             self._send_error(f"no route for POST {parsed.path}", 404)
             return
         try:
@@ -175,11 +209,21 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("'request' must be a JSON object")
             request = ExperimentRequest.from_dict(request_payload)
             get_experiment(request.experiment)  # unknown names fail here
+            deadline_s = body.get("deadline_s")
+            if deadline_s is not None:
+                deadline_s = float(deadline_s)
+                if deadline_s <= 0:
+                    raise ValueError(
+                        f"deadline_s must be > 0, got {deadline_s}"
+                    )
+            if self._admission_refused(request):
+                return
             job, deduped = self.server.scheduler.submit(
                 request,
                 priority=int(body.get("priority", 0)),
                 max_retries=int(body.get("max_retries", 0)),
                 source=body.get("source") or self.client_address[0],
+                deadline_s=deadline_s,
             )
         except (
             json.JSONDecodeError,
@@ -193,6 +237,55 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             {"job": job.to_dict(include_result=False), "deduped": deduped},
             status=200 if deduped else 201,
+        )
+
+    def _admission_refused(self, request: ExperimentRequest) -> bool:
+        """Apply the queue-depth cap; True when a 503 was sent.
+
+        A submission that can only *attach* (its job already exists and is
+        not about to requeue) adds no backlog and is always admitted — a
+        caller polling for an in-flight result must never see a 503 for it.
+        """
+        cap = self.server.max_queue_depth
+        if cap is None:
+            return False
+        try:
+            existing = self.server.store.get(request.content_hash)
+            attaches = existing.state in (QUEUED, RUNNING, DONE, QUARANTINED)
+        except UnknownJobError:
+            attaches = False
+        if attaches:
+            return False
+        if self.server.store.counts()[QUEUED] < cap:
+            return False
+        retry_after = self.server.admission_retry_after
+        metrics().counter("serve.admission_rejected").inc()
+        self._send_json(
+            {
+                "error": (
+                    f"queue is full ({cap} queued jobs);"
+                    f" retry in {retry_after:g}s"
+                ),
+                "retry_after": retry_after,
+            },
+            status=503,
+            headers={"Retry-After": f"{retry_after:g}"},
+        )
+        return True
+
+    def _requeue(self, job_ref: str) -> None:
+        """POST /jobs/<id>/requeue — the quarantine escape hatch."""
+        try:
+            job = self.server.store.find(job_ref)
+            job, requeued = self.server.scheduler.requeue(job.id)
+        except UnknownJobError as exc:
+            self._send_error(str(exc), 404)
+            return
+        except AmbiguousJobError as exc:
+            self._send_error(str(exc), 409)
+            return
+        self._send_json(
+            {"job": job.to_dict(include_result=False), "requeued": requeued}
         )
 
     def do_DELETE(self) -> None:  # noqa: N802
@@ -297,6 +390,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "requeued": counter_total("jobs.requeued"),
                 "lease_lost": counter_total("jobs.lease_lost"),
                 "busy_retries": counter_total("store.busy_retries"),
+                "quarantined": counter_total("jobs.quarantined"),
+                "manual_requeues": counter_total("jobs.manual_requeues"),
+                "deadline_exceeded": counter_total("serve.deadline_exceeded"),
+                "admission_rejected": counter_total("serve.admission_rejected"),
             },
             "scheduler": {
                 "concurrency": scheduler.concurrency,
@@ -338,7 +435,7 @@ class _Handler(BaseHTTPRequestHandler):
             MAX_EVENTS_TIMEOUT,
         )
         events = self.server.scheduler.events.since(job.id, since)
-        if not events and job.state not in TERMINAL_STATES and timeout > 0:
+        if not events and job.state not in INACTIVE_STATES and timeout > 0:
             events = self.server.scheduler.events.wait(job.id, since, timeout)
             job = self.server.store.get(job.id)
         return {

@@ -36,6 +36,7 @@ worker processes (the ``repro serve --fleet N`` topology).
 
 from __future__ import annotations
 
+import inspect
 import os
 import socket
 import threading
@@ -43,19 +44,70 @@ import time
 from typing import Any, Callable
 
 from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
+from repro.api.stages import DeadlineExceeded
+from repro.faults import fault_point
 from repro.obs import metrics
 from repro.serve.store import (
     DEFAULT_LEASE_TTL,
-    TERMINAL_STATES,
+    DEFAULT_REQUEUE_CAP,
+    INACTIVE_STATES,
     Job,
     JobStore,
 )
 
 # Execution callable signature: (request, options, on_stage) -> result.
+# Implementations may accept an optional fourth positional argument — the
+# absolute epoch-seconds ``deadline`` — which :func:`call_execute` passes
+# only when the callable's signature takes it, so three-argument test
+# doubles keep working unchanged.
 ExecuteFn = Callable[
     [ExperimentRequest, RunOptions, Callable[[str, float], None]],
     ExperimentResult,
 ]
+
+
+def _deadline_style(execute: Callable[..., Any]) -> str | None:
+    """How ``execute`` takes a deadline: "positional", "keyword", or None."""
+    try:
+        parameters = inspect.signature(execute).parameters.values()
+    except (TypeError, ValueError):  # builtins/C callables: assume modern
+        return "positional"
+    positional = [
+        p
+        for p in parameters
+        if p.kind
+        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+    ]
+    if any(p.kind == p.VAR_POSITIONAL for p in positional):
+        return "positional"
+    if len(positional) >= 4:
+        return "positional"
+    if "deadline" in {
+        p.name for p in parameters if p.kind == p.KEYWORD_ONLY
+    }:
+        return "keyword"
+    return None
+
+
+def _accepts_deadline(execute: Callable[..., Any]) -> bool:
+    return _deadline_style(execute) is not None
+
+
+def call_execute(
+    execute: Callable[..., Any],
+    request: ExperimentRequest,
+    options: RunOptions,
+    on_stage: Callable[[str, float], None],
+    deadline: float | None,
+) -> ExperimentResult:
+    """Invoke an :data:`ExecuteFn`, passing ``deadline`` only if accepted."""
+    if deadline is not None:
+        style = _deadline_style(execute)
+        if style == "positional":
+            return execute(request, options, on_stage, deadline)
+        if style == "keyword":
+            return execute(request, options, on_stage, deadline=deadline)
+    return execute(request, options, on_stage)
 
 
 def plan_retry(
@@ -187,10 +239,13 @@ def _default_execute(
     request: ExperimentRequest,
     options: RunOptions,
     on_stage: Callable[[str, float], None],
+    deadline: float | None = None,
 ) -> ExperimentResult:
     from repro.api.registry import run_experiment
 
-    return run_experiment(request, options=options, on_stage=on_stage)
+    return run_experiment(
+        request, options=options, on_stage=on_stage, deadline=deadline
+    )
 
 
 class Scheduler:
@@ -219,6 +274,9 @@ class Scheduler:
         Lease duration stamped on claims and how often the keeper thread
         extends in-flight leases (default: a third of the TTL).  Expired
         leases anywhere in the fleet are reaped every ``lease_ttl / 2``.
+    quarantine_after:
+        The crash-loop bound the reaper applies: a job whose lease expired
+        this many times is quarantined instead of requeued.
     execute:
         The execution callable, replaceable in tests.
     """
@@ -233,12 +291,18 @@ class Scheduler:
         poll_interval: float = 0.2,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         heartbeat_interval: float | None = None,
+        quarantine_after: int = DEFAULT_REQUEUE_CAP,
         execute: ExecuteFn | None = None,
     ) -> None:
         if concurrency < 0:
             raise ValueError(f"concurrency must be >= 0, got {concurrency}")
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if quarantine_after < 0:
+            raise ValueError(
+                f"quarantine_after must be >= 0, got {quarantine_after}"
+            )
+        self.quarantine_after = quarantine_after
         self.store = store
         self.options = options if options is not None else RunOptions()
         self.concurrency = concurrency
@@ -280,7 +344,7 @@ class Scheduler:
         """
         if self._started:
             raise RuntimeError("scheduler already started")
-        recovered = self.store.recover()
+        recovered = self.store.recover(quarantine_after=self.quarantine_after)
         self._stop.clear()
         self._threads = []
         with self._state_lock:
@@ -382,6 +446,7 @@ class Scheduler:
         priority: int = 0,
         max_retries: int | None = None,
         source: str | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[Job, bool]:
         """Submit through the store's dedup seam and wake a worker."""
         job, deduped = self.store.submit(
@@ -389,10 +454,21 @@ class Scheduler:
             priority=priority,
             max_retries=0 if max_retries is None else max_retries,
             source=source,
+            deadline_s=deadline_s,
         )
         with self._wake:
             self._wake.notify_all()
         return job, deduped
+
+    def requeue(self, job_id: str) -> tuple[Job, bool]:
+        """The quarantine escape hatch: release a resting job and wake a
+        worker; the events feed learns about the transition immediately."""
+        job, requeued = self.store.requeue(job_id)
+        if requeued:
+            self.events.emit(job.id, "requeued", reason="manual")
+            with self._wake:
+                self._wake.notify_all()
+        return job, requeued
 
     def cancel(self, job_id: str) -> tuple[Job, bool]:
         """Cancel a queued job *and* tell the events feed about it.
@@ -410,11 +486,15 @@ class Scheduler:
     def wait(
         self, job_id: str, timeout: float | None = None, poll: float = 0.05
     ) -> Job:
-        """Block until the job reaches a terminal state (or ``timeout``)."""
+        """Block until the job is terminal or quarantined (or ``timeout``).
+
+        Quarantine counts as an answer: the job will not run again without
+        operator intervention, so a waiter must not block out its timeout.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             job = self.store.get(job_id)
-            if job.state in TERMINAL_STATES:
+            if job.state in INACTIVE_STATES:
                 return job
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
@@ -466,8 +546,21 @@ class Scheduler:
                     worker_id, current_job=inflight.get(worker_id), now=now
                 )
             if time.monotonic() >= next_reap:
-                for job_id in self.store.reap_expired(now=now):
+                outcome = self.store.reap_expired(
+                    now=now, quarantine_after=self.quarantine_after
+                )
+                for job_id in outcome.requeued:
                     self.events.emit(job_id, "requeued", reason="lease expired")
+                for job_id in outcome.quarantined:
+                    self.events.emit(
+                        job_id,
+                        "quarantined",
+                        reason=(
+                            f"lease expired more than {self.quarantine_after}"
+                            " times (crash loop?)"
+                        ),
+                    )
+                    self.events.mark_terminal(job_id)
                 next_reap = time.monotonic() + self.reap_interval
 
     def _run_job(self, job: Job, worker_id: str) -> None:
@@ -482,8 +575,23 @@ class Scheduler:
             experiment=job.experiment,
             worker=worker_id,
         )
+        # ``started_at`` was stamped by the claim, so the deadline covers
+        # execution only — queue wait does not eat a job's budget.
+        deadline = (
+            None
+            if job.deadline_s is None or job.started_at is None
+            else job.started_at + job.deadline_s
+        )
         try:
-            result = self._execute(job.request(), self.options, on_stage)
+            fault_point(
+                "worker.claim",
+                job=job.id,
+                experiment=job.experiment,
+                execution=job.executions,
+            )
+            result = call_execute(
+                self._execute, job.request(), self.options, on_stage, deadline
+            )
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
             self._record_failure(job, exc, worker_id)
         except BaseException:
@@ -506,7 +614,15 @@ class Scheduler:
         error = f"{type(exc).__name__}: {exc}"
         # ``claim_next`` already counted this execution; the budget is scoped
         # to the current incarnation (a resubmitted failed job retries with a
-        # fresh budget, not one depleted by its history).
+        # fresh budget, not one depleted by its history).  A blown deadline
+        # is terminal regardless of budget: retrying an over-budget job just
+        # blows the same budget again and wastes another worker-deadline.
+        if isinstance(exc, DeadlineExceeded):
+            metrics().counter("serve.deadline_exceeded").inc()
+            self.store.mark_failed(job.id, error, worker_id=worker_id)
+            self.events.emit(job.id, "failed", error=error, deadline=True)
+            self.events.mark_terminal(job.id)
+            return
         retry_at = plan_retry(job, self.retry_base_delay, self.retry_max_delay)
         if retry_at is not None:
             self.store.mark_failed(
@@ -525,4 +641,10 @@ class Scheduler:
             self.events.mark_terminal(job.id)
 
 
-__all__ = ["ExecuteFn", "JobEvents", "Scheduler", "plan_retry"]
+__all__ = [
+    "ExecuteFn",
+    "JobEvents",
+    "Scheduler",
+    "call_execute",
+    "plan_retry",
+]

@@ -8,11 +8,16 @@ scheduling state machine::
 
     queued --> running --> done
        ^          |
-       |          +------> failed     (after the retry budget is exhausted;
-       |          |                    transient failures requeue with a
-       |          +------> (requeued)  backoff gate in ``not_before``;
-       |          |                    an *expired lease* requeues too)
-       +--- cancelled                 (queued jobs only)
+       |          +------> failed      (after the retry budget is exhausted;
+       |          |                     transient failures requeue with a
+       |          +------> (requeued)   backoff gate in ``not_before``;
+       |          |                     an *expired lease* requeues too —
+       |          |                     at most ``quarantine_after`` times)
+       |          +------> quarantined (crash-loop bound: the lease expired
+       |                                ``requeue_count`` >= cap times; only
+       +--- cancelled                   an explicit ``requeue`` — the
+                                        ``repro requeue <job>`` escape
+                                        hatch — releases it)
 
 plus the canonical request JSON, per-stage timings streamed in live while
 the job runs (via the pipeline's ``on_stage`` callback), the serialized
@@ -45,12 +50,14 @@ import socket
 import sqlite3
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.api.request import ExperimentRequest, ExperimentResult
+from repro.faults import fault_point
 from repro.obs import metrics
 
 # Job states.
@@ -59,9 +66,18 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+QUARANTINED = "quarantined"
 
-STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, QUARANTINED)
 TERMINAL_STATES: frozenset[str] = frozenset({DONE, FAILED, CANCELLED})
+# States a job can rest in forever: terminal outcomes plus quarantine.
+# "Every submitted job reaches an inactive state" is the chaos invariant.
+INACTIVE_STATES: frozenset[str] = TERMINAL_STATES | {QUARANTINED}
+
+# How many lease-expiry requeues a job gets before it is quarantined
+# instead of requeued — the crash-loop bound.  A job that kills its worker
+# every time would otherwise be requeued forever by ``reap_expired``.
+DEFAULT_REQUEUE_CAP = 5
 
 # Default lease duration stamped by ``claim_next``; workers heartbeat well
 # inside this window (every ttl/3 by convention) so only a dead worker's
@@ -75,7 +91,7 @@ _BUSY_RETRIES = 5
 _BUSY_RETRY_BASE = 0.05  # seconds; doubles per attempt
 
 # Bump on incompatible schema changes; checked against PRAGMA user_version.
-_SCHEMA_VERSION = 2
+_SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -98,7 +114,12 @@ CREATE TABLE IF NOT EXISTS jobs (
     timings     TEXT NOT NULL DEFAULT '{}', -- live per-stage seconds
     worker_id        TEXT,                 -- lease owner while running
     lease_expires_at REAL,                 -- lease deadline (epoch seconds)
-    heartbeat_at     REAL                  -- last lease extension
+    heartbeat_at     REAL,                 -- last lease extension
+    requeue_count    INTEGER NOT NULL DEFAULT 0,  -- lease-expiry requeues
+                                                  -- since last (re)submit
+    deadline_s       REAL,                 -- per-job execution deadline
+    complete_count   INTEGER NOT NULL DEFAULT 0   -- applied mark_done count
+                                                  -- (double-completion probe)
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before, priority);
 CREATE INDEX IF NOT EXISTS idx_jobs_lease ON jobs (state, lease_expires_at);
@@ -121,18 +142,32 @@ CREATE TABLE IF NOT EXISTS workers (
 );
 """
 
-# v1 -> v2: the lease columns.  ALTERs must run before ``_SCHEMA`` so the
-# new ``idx_jobs_lease`` index finds its column on an old database.
-_V1_TO_V2 = (
-    "ALTER TABLE jobs ADD COLUMN worker_id TEXT",
-    "ALTER TABLE jobs ADD COLUMN lease_expires_at REAL",
-    "ALTER TABLE jobs ADD COLUMN heartbeat_at REAL",
-)
+# Incremental migrations, applied in sequence from the database's recorded
+# version up to ``_SCHEMA_VERSION``.  ALTERs must run before ``_SCHEMA`` so
+# new indexes find their columns on an old database; each statement is
+# individually idempotent (duplicate-column errors are swallowed), so a
+# crash mid-migration is healed by simply reopening the store.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    # v1 -> v2: the lease columns.
+    1: (
+        "ALTER TABLE jobs ADD COLUMN worker_id TEXT",
+        "ALTER TABLE jobs ADD COLUMN lease_expires_at REAL",
+        "ALTER TABLE jobs ADD COLUMN heartbeat_at REAL",
+    ),
+    # v2 -> v3: crash-loop quarantine + per-job deadlines + the
+    # double-completion probe.
+    2: (
+        "ALTER TABLE jobs ADD COLUMN requeue_count INTEGER NOT NULL DEFAULT 0",
+        "ALTER TABLE jobs ADD COLUMN deadline_s REAL",
+        "ALTER TABLE jobs ADD COLUMN complete_count INTEGER NOT NULL DEFAULT 0",
+    ),
+}
 
 _JOB_COLUMNS = (
     "id, experiment, request, state, priority, created_at, started_at, "
     "finished_at, not_before, executions, max_retries, retry_base, error, "
     "result, timings, worker_id, lease_expires_at, heartbeat_at, "
+    "requeue_count, deadline_s, complete_count, "
     "(SELECT COUNT(*) FROM submissions s WHERE s.job_id = jobs.id) AS submissions"
 )
 
@@ -177,6 +212,9 @@ class Job:
     worker_id: str | None = None
     lease_expires_at: float | None = None
     heartbeat_at: float | None = None
+    requeue_count: int = 0
+    deadline_s: float | None = None
+    complete_count: int = 0
 
     @property
     def short_id(self) -> str:
@@ -185,6 +223,11 @@ class Job:
     @property
     def is_terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def is_inactive(self) -> bool:
+        """Terminal or quarantined — the job will not run again by itself."""
+        return self.state in INACTIVE_STATES
 
     @property
     def executions_this_incarnation(self) -> int:
@@ -227,6 +270,9 @@ class Job:
             "worker_id": self.worker_id,
             "lease_expires_at": self.lease_expires_at,
             "heartbeat_at": self.heartbeat_at,
+            "requeue_count": self.requeue_count,
+            "deadline_s": self.deadline_s,
+            "complete_count": self.complete_count,
             "request": json.loads(self.request_json),
         }
         if include_result:
@@ -234,6 +280,27 @@ class Job:
                 json.loads(self.result_json) if self.result_json else None
             )
         return payload
+
+
+@dataclass(frozen=True)
+class ReapOutcome:
+    """What one :meth:`JobStore.reap_expired` pass did.
+
+    Iterable and truthy like the plain id list it replaced, so callers that
+    only care about "which jobs moved" keep working unchanged.
+    """
+
+    requeued: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter([*self.requeued, *self.quarantined])
+
+    def __len__(self) -> int:
+        return len(self.requeued) + len(self.quarantined)
+
+    def __bool__(self) -> bool:
+        return bool(self.requeued or self.quarantined)
 
 
 def _job_from_row(row: sqlite3.Row) -> Job:
@@ -257,6 +324,9 @@ def _job_from_row(row: sqlite3.Row) -> Job:
         worker_id=row["worker_id"],
         lease_expires_at=row["lease_expires_at"],
         heartbeat_at=row["heartbeat_at"],
+        requeue_count=row["requeue_count"],
+        deadline_s=row["deadline_s"],
+        complete_count=row["complete_count"],
     )
 
 
@@ -270,6 +340,18 @@ class JobStore:
         if self.path.parent != Path("."):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        try:
+            self._open(busy_timeout_ms)
+        except sqlite3.DatabaseError:
+            # A corrupt database file must not take the whole fleet down at
+            # boot: move it aside (with its WAL/SHM siblings) and start
+            # fresh.  Queued jobs in the corrupt file are lost, but clients
+            # resubmit by content hash, so the loss is recoverable — a
+            # crashed boot loop is not.
+            self._move_corrupt_aside()
+            self._open(busy_timeout_ms)
+
+    def _open(self, busy_timeout_ms: int) -> None:
         # isolation_level=None: autocommit mode — transactions are explicit
         # (BEGIN IMMEDIATE in ``_write``), never implicit-deferred, so every
         # read-modify-write holds the database write lock from its first
@@ -277,28 +359,54 @@ class JobStore:
         self._conn = sqlite3.connect(
             str(self.path), check_same_thread=False, isolation_level=None
         )
-        self._conn.row_factory = sqlite3.Row
-        with self._lock:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
-            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-            if version not in (0, 1, _SCHEMA_VERSION):
-                raise ValueError(
-                    f"job store {self.path} has schema version {version}, "
-                    f"this build expects <= {_SCHEMA_VERSION}"
+        try:
+            self._conn.row_factory = sqlite3.Row
+            with self._lock:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute(
+                    f"PRAGMA busy_timeout={int(busy_timeout_ms)}"
                 )
-            # DDL runs in autocommit (executescript commits any pending
-            # transaction anyway); every statement is idempotent, so a crash
-            # mid-migration is healed by simply reopening the store.
-            if version == 1:
-                for ddl in _V1_TO_V2:
-                    try:
-                        self._conn.execute(ddl)
-                    except sqlite3.OperationalError as exc:
-                        if "duplicate column" not in str(exc):
-                            raise
-            self._conn.executescript(_SCHEMA)
-            self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+                version = self._conn.execute(
+                    "PRAGMA user_version"
+                ).fetchone()[0]
+                if version > _SCHEMA_VERSION:
+                    raise ValueError(
+                        f"job store {self.path} has schema version {version},"
+                        f" this build expects <= {_SCHEMA_VERSION}"
+                    )
+                # DDL runs in autocommit (executescript commits any pending
+                # transaction anyway); every statement is idempotent, so a
+                # crash mid-migration is healed by reopening the store.
+                # version 0 is a fresh database: no tables to ALTER, the
+                # executescript below creates everything at v3 directly.
+                for from_version in range(version or _SCHEMA_VERSION, _SCHEMA_VERSION):
+                    for ddl in _MIGRATIONS[from_version]:
+                        try:
+                            self._conn.execute(ddl)
+                        except sqlite3.OperationalError as exc:
+                            if "duplicate column" not in str(exc):
+                                raise
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+        except BaseException:
+            self._conn.close()
+            raise
+
+    def _move_corrupt_aside(self) -> None:
+        stamp = int(time.time())
+        target = self.path.with_name(f"{self.path.name}.corrupt-{stamp}")
+        warnings.warn(
+            f"job store {self.path} is corrupt; moving it to {target}"
+            " and starting with a fresh database",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        os.replace(self.path, target)
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path.with_name(self.path.name + suffix)
+            if sidecar.exists():
+                os.replace(sidecar, target.with_name(target.name + suffix))
+        metrics().counter("store.corrupt_recovered").inc()
 
     def close(self) -> None:
         with self._lock:
@@ -314,7 +422,7 @@ class JobStore:
     # Write transactions
     # ------------------------------------------------------------------
     @contextmanager
-    def _write(self) -> Iterator[sqlite3.Connection]:
+    def _write(self, op: str = "", **fault_ctx: Any) -> Iterator[sqlite3.Connection]:
         """One ``BEGIN IMMEDIATE`` transaction, retried on ``SQLITE_BUSY``.
 
         ``BEGIN IMMEDIATE`` takes the database write lock *at BEGIN*, so the
@@ -323,6 +431,11 @@ class JobStore:
         for a competing writer; if it still surfaces ``SQLITE_BUSY`` (a
         writer hogging the lock past the timeout) we back off and retry a
         bounded number of times before giving up loudly.
+
+        ``op`` names the write for the ``store.commit`` fault site, checked
+        *after* the transaction body and *before* COMMIT: an injected error
+        rolls the whole transaction back, exactly like a real commit-time
+        I/O failure, and an injected crash loses it with the process.
         """
         with self._lock:
             for attempt in range(_BUSY_RETRIES):
@@ -339,6 +452,7 @@ class JobStore:
                     continue
                 try:
                     yield self._conn
+                    fault_point("store.commit", op=op, **fault_ctx)
                 except BaseException:
                     try:
                         self._conn.execute("ROLLBACK")
@@ -359,6 +473,7 @@ class JobStore:
         max_retries: int = 0,
         source: str | None = None,
         now: float | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[Job, bool]:
         """Submit a request; returns ``(job, deduped)``.
 
@@ -366,18 +481,25 @@ class JobStore:
         already ``queued``/``running``/``done`` only gains a submission row
         (``deduped=True`` — no new execution will happen).  A ``failed`` or
         ``cancelled`` job is *requeued* in place (``deduped=False`` — it will
-        execute again), keeping its execution history.
+        execute again), keeping its execution history.  A ``quarantined``
+        job only *attaches* too: quarantine is sticky, so a crash-looping
+        job cannot be restarted by accident — only the explicit
+        :meth:`requeue` escape hatch releases it.
+
+        ``deadline_s`` is a per-job execution budget checked cooperatively
+        at pipeline stage boundaries; exceeding it fails the job terminally.
         """
         now = time.time() if now is None else now
         job_id = request.content_hash
-        with self._write() as conn:
+        with self._write("submit", job=job_id) as conn:
             row = conn.execute(
                 "SELECT state FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
             if row is None:
                 conn.execute(
                     "INSERT INTO jobs (id, experiment, request, state, priority,"
-                    " created_at, max_retries) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    " created_at, max_retries, deadline_s)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         job_id,
                         request.experiment,
@@ -386,12 +508,14 @@ class JobStore:
                         priority,
                         now,
                         max_retries,
+                        deadline_s,
                     ),
                 )
                 deduped = False
-            elif row["state"] in (QUEUED, RUNNING, DONE):
-                # Attach to the in-flight or completed job.  A queued job can
-                # still absorb a higher priority or a larger retry budget.
+            elif row["state"] in (QUEUED, RUNNING, DONE, QUARANTINED):
+                # Attach to the in-flight, completed, or quarantined job.  A
+                # queued job can still absorb a higher priority or a larger
+                # retry budget.
                 conn.execute(
                     "UPDATE jobs SET priority=MAX(priority, ?),"
                     " max_retries=MAX(max_retries, ?) WHERE id=? AND state=?",
@@ -401,13 +525,15 @@ class JobStore:
             else:  # failed / cancelled: requeue the same job
                 # ``retry_base`` snapshots the execution count so the fresh
                 # ``max_retries`` budget applies to this incarnation only,
-                # not to the job's lifetime history.
+                # not to the job's lifetime history.  ``requeue_count``
+                # resets too: the crash-loop bound is per incarnation.
                 conn.execute(
                     "UPDATE jobs SET state=?, priority=?, max_retries=?,"
                     " retry_base=executions, not_before=0, error=NULL,"
                     " started_at=NULL, finished_at=NULL, worker_id=NULL,"
-                    " lease_expires_at=NULL, heartbeat_at=NULL WHERE id=?",
-                    (QUEUED, priority, max_retries, job_id),
+                    " lease_expires_at=NULL, heartbeat_at=NULL,"
+                    " requeue_count=0, deadline_s=? WHERE id=?",
+                    (QUEUED, priority, max_retries, deadline_s, job_id),
                 )
                 deduped = False
             conn.execute(
@@ -504,7 +630,7 @@ class JobStore:
         """
         now = time.time() if now is None else now
         worker_id = worker_id or default_worker_id()
-        with self._write() as conn:
+        with self._write("claim_next", worker=worker_id) as conn:
             row = conn.execute(
                 "SELECT id, created_at, not_before FROM jobs"
                 " WHERE state=? AND not_before<=?"
@@ -541,7 +667,7 @@ class JobStore:
         by the owner guard on ``mark_done``/``mark_failed``.
         """
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("heartbeat", job=job_id) as conn:
             cursor = conn.execute(
                 "UPDATE jobs SET lease_expires_at=?, heartbeat_at=?"
                 " WHERE id=? AND worker_id=? AND state=?",
@@ -552,49 +678,94 @@ class JobStore:
             metrics().counter("jobs.lease_lost").inc()
         return alive
 
-    def reap_expired(self, now: float | None = None) -> list[str]:
-        """Requeue every running job whose lease lapsed; returns their ids.
+    def reap_expired(
+        self,
+        now: float | None = None,
+        quarantine_after: int = DEFAULT_REQUEUE_CAP,
+    ) -> "ReapOutcome":
+        """Requeue or quarantine every running job whose lease lapsed.
 
         This is the crash-recovery path of the worker fleet: a SIGKILL'd
         worker stops heartbeating, its leases expire, and the next reaper
         pass (any process may run one) puts the jobs back in the queue with
-        their execution history intact.
+        their execution history intact — *unless* the job has already been
+        requeued this way ``quarantine_after`` times, in which case it is
+        quarantined instead: a job that kills its worker on every attempt
+        must not be allowed to grind the fleet forever.  Only the explicit
+        :meth:`requeue` escape hatch releases a quarantined job.
         """
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("reap_expired") as conn:
             rows = conn.execute(
-                "SELECT id FROM jobs WHERE state=?"
+                "SELECT id, requeue_count FROM jobs WHERE state=?"
                 " AND lease_expires_at IS NOT NULL AND lease_expires_at<=?",
                 (RUNNING, now),
             ).fetchall()
-            ids = [row["id"] for row in rows]
-            if ids:
-                marks = ",".join("?" for _ in ids)
+            requeued = [
+                row["id"]
+                for row in rows
+                if row["requeue_count"] < quarantine_after
+            ]
+            quarantined = [
+                row["id"]
+                for row in rows
+                if row["requeue_count"] >= quarantine_after
+            ]
+            if requeued:
+                marks = ",".join("?" for _ in requeued)
                 conn.execute(
                     f"UPDATE jobs SET state=?, worker_id=NULL,"
                     f" lease_expires_at=NULL, heartbeat_at=NULL,"
-                    f" started_at=NULL, not_before=0 WHERE id IN ({marks})",
-                    (QUEUED, *ids),
+                    f" started_at=NULL, not_before=0,"
+                    f" requeue_count=requeue_count+1 WHERE id IN ({marks})",
+                    (QUEUED, *requeued),
                 )
-        if ids:
-            metrics().counter("jobs.lease_expired").inc(len(ids))
-            metrics().counter("jobs.requeued").inc(len(ids))
-        return ids
+            if quarantined:
+                marks = ",".join("?" for _ in quarantined)
+                conn.execute(
+                    f"UPDATE jobs SET state=?, worker_id=NULL,"
+                    f" lease_expires_at=NULL, heartbeat_at=NULL,"
+                    f" finished_at=?,"
+                    f" error=COALESCE(error, 'quarantined: lease expired '"
+                    f" || (requeue_count + 1) || ' times (crash loop?)')"
+                    f" WHERE id IN ({marks})",
+                    (QUARANTINED, now, *quarantined),
+                )
+        total = len(requeued) + len(quarantined)
+        if total:
+            metrics().counter("jobs.lease_expired").inc(total)
+        if requeued:
+            metrics().counter("jobs.requeued").inc(len(requeued))
+        if quarantined:
+            metrics().counter("jobs.quarantined").inc(len(quarantined))
+        return ReapOutcome(requeued=requeued, quarantined=quarantined)
 
-    def recover(self, now: float | None = None) -> int:
+    def recover(
+        self,
+        now: float | None = None,
+        quarantine_after: int = DEFAULT_REQUEUE_CAP,
+    ) -> int:
         """Requeue interrupted jobs: expired leases plus lease-less rows.
 
         Subsumed by :meth:`reap_expired` for leased rows; the extra case is
         a ``running`` row with no lease at all (a database written by the
         pre-lease schema, mid-migration).  Jobs whose lease is still live
         are left alone — they belong to a worker process that may well still
-        be running.
+        be running.  Applies the same crash-loop bound as the reaper.
         """
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("recover") as conn:
+            conn.execute(
+                "UPDATE jobs SET state=?, worker_id=NULL,"
+                " lease_expires_at=NULL, heartbeat_at=NULL, finished_at=?"
+                " WHERE state=? AND (lease_expires_at IS NULL"
+                " OR lease_expires_at<=?) AND requeue_count>=?",
+                (QUARANTINED, now, RUNNING, now, quarantine_after),
+            )
             cursor = conn.execute(
                 "UPDATE jobs SET state=?, worker_id=NULL, lease_expires_at=NULL,"
-                " heartbeat_at=NULL, started_at=NULL, not_before=0"
+                " heartbeat_at=NULL, started_at=NULL, not_before=0,"
+                " requeue_count=requeue_count+1"
                 " WHERE state=? AND (lease_expires_at IS NULL"
                 " OR lease_expires_at<=?)",
                 (QUEUED, RUNNING, now),
@@ -603,6 +774,28 @@ class JobStore:
         if requeued:
             metrics().counter("jobs.requeued").inc(requeued)
         return requeued
+
+    def requeue(self, job_id: str, now: float | None = None) -> tuple[Job, bool]:
+        """Manually release a resting job back to the queue — the
+        ``repro requeue <job>`` escape hatch for quarantine.
+
+        Returns ``(job, requeued)``.  Applies to ``quarantined``, ``failed``
+        and ``cancelled`` jobs; the requeue counter resets so the released
+        job gets a full crash-loop budget for its new incarnation.
+        """
+        now = time.time() if now is None else now
+        with self._write("requeue", job=job_id) as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state=?, retry_base=executions, not_before=0,"
+                " error=NULL, started_at=NULL, finished_at=NULL,"
+                " worker_id=NULL, lease_expires_at=NULL, heartbeat_at=NULL,"
+                " requeue_count=0 WHERE id=? AND state IN (?, ?, ?)",
+                (QUEUED, job_id, QUARANTINED, FAILED, CANCELLED),
+            )
+            requeued = cursor.rowcount > 0
+        if requeued:
+            metrics().counter("jobs.manual_requeues").inc()
+        return self.get(job_id), requeued
 
     def mark_done(
         self,
@@ -620,10 +813,14 @@ class JobStore:
         now = time.time() if now is None else now
         timings = json.dumps(dict(result.timings))
         guard, args = self._owner_guard(worker_id)
-        with self._write() as conn:
+        with self._write("mark_done", job=job_id) as conn:
+            # ``complete_count`` only moves when the guarded UPDATE lands —
+            # it is the chaos harness's double-completion probe, visible
+            # across processes (unlike per-process metrics).
             cursor = conn.execute(
                 "UPDATE jobs SET state=?, finished_at=?, result=?, error=NULL,"
-                f" timings=?, lease_expires_at=NULL WHERE id=?{guard}",
+                " timings=?, lease_expires_at=NULL,"
+                f" complete_count=complete_count+1 WHERE id=?{guard}",
                 (DONE, now, result.to_json(indent=None), timings, job_id, *args),
             )
             applied = cursor.rowcount > 0
@@ -649,7 +846,7 @@ class JobStore:
         """
         now = time.time() if now is None else now
         guard, args = self._owner_guard(worker_id)
-        with self._write() as conn:
+        with self._write("mark_failed", job=job_id) as conn:
             if retry_at is not None:
                 cursor = conn.execute(
                     "UPDATE jobs SET state=?, not_before=?, error=?,"
@@ -686,7 +883,7 @@ class JobStore:
         deduped submissions), and terminal jobs are left as they are.
         """
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("cancel", job=job_id) as conn:
             cursor = conn.execute(
                 "UPDATE jobs SET state=?, finished_at=? WHERE id=? AND state=?",
                 (CANCELLED, now, job_id, QUEUED),
@@ -698,7 +895,7 @@ class JobStore:
 
     def record_stage(self, job_id: str, stage: str, seconds: float) -> None:
         """Stream one completed stage's timing into the job row (live)."""
-        with self._write() as conn:
+        with self._write("record_stage", job=job_id, stage=stage) as conn:
             row = conn.execute(
                 "SELECT timings FROM jobs WHERE id=?", (job_id,)
             ).fetchone()
@@ -736,7 +933,7 @@ class JobStore:
     ) -> None:
         """Announce a worker; re-registration resets its liveness row."""
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("register_worker", worker=worker_id) as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO workers"
                 " (id, pid, host, started_at, heartbeat_at)"
@@ -758,7 +955,7 @@ class JobStore:
     ) -> None:
         """Refresh a worker's liveness row (idle or mid-job)."""
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("worker_heartbeat", worker=worker_id) as conn:
             conn.execute(
                 "UPDATE workers SET heartbeat_at=?, current_job=? WHERE id=?",
                 (now, current_job, worker_id),
@@ -767,7 +964,7 @@ class JobStore:
     def worker_finished(self, worker_id: str, ok: bool) -> None:
         """Bump a worker's done/failed tallies after one job."""
         column = "jobs_done" if ok else "jobs_failed"
-        with self._write() as conn:
+        with self._write("worker_finished", worker=worker_id) as conn:
             conn.execute(
                 f"UPDATE workers SET {column}={column}+1, current_job=NULL"
                 " WHERE id=?",
@@ -775,7 +972,7 @@ class JobStore:
             )
 
     def deregister_worker(self, worker_id: str) -> None:
-        with self._write() as conn:
+        with self._write("deregister_worker", worker=worker_id) as conn:
             conn.execute("DELETE FROM workers WHERE id=?", (worker_id,))
 
     def list_workers(self, now: float | None = None) -> list[dict[str, Any]]:
@@ -798,7 +995,7 @@ class JobStore:
     ) -> int:
         """Drop worker rows whose heartbeat is older than ``max_age``."""
         now = time.time() if now is None else now
-        with self._write() as conn:
+        with self._write("prune_workers") as conn:
             cursor = conn.execute(
                 "DELETE FROM workers WHERE heartbeat_at<?", (now - max_age,)
             )
@@ -809,11 +1006,15 @@ __all__ = [
     "AmbiguousJobError",
     "CANCELLED",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_REQUEUE_CAP",
     "DONE",
     "FAILED",
+    "INACTIVE_STATES",
     "Job",
     "JobStore",
+    "QUARANTINED",
     "QUEUED",
+    "ReapOutcome",
     "RUNNING",
     "STATES",
     "TERMINAL_STATES",

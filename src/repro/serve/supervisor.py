@@ -22,13 +22,18 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro.obs import metrics
 
 
-def _worker_env() -> dict[str, str]:
-    """Subprocess env that can import this very ``repro`` package."""
+def _worker_env(extra: Mapping[str, str] | None = None) -> dict[str, str]:
+    """Subprocess env that can import this very ``repro`` package.
+
+    ``extra`` entries are layered on top — the chaos harness ships its fault
+    plan to every worker this way (``REPRO_FAULTS``) without mutating the
+    supervisor's own ``os.environ``.
+    """
     import repro
 
     package_root = Path(repro.__file__).resolve().parent.parent
@@ -39,6 +44,8 @@ def _worker_env() -> dict[str, str]:
         if not existing
         else str(package_root) + os.pathsep + existing
     )
+    if extra:
+        env.update(extra)
     return env
 
 
@@ -60,6 +67,13 @@ class WorkerSupervisor:
         Pause before restarting a dead worker (dampens crash loops).
     monitor_interval:
         How often the monitor thread polls worker processes.
+    quarantine_after:
+        Crash-loop cap forwarded to every worker's reaper (``None`` keeps
+        the worker default).
+    extra_env:
+        Extra environment variables for every worker process (layered over
+        the inherited environment; the chaos harness ships fault plans
+        through ``REPRO_FAULTS`` here).
     """
 
     def __init__(
@@ -73,6 +87,8 @@ class WorkerSupervisor:
         job_workers: int | None = None,
         respawn_delay: float = 1.0,
         monitor_interval: float = 0.5,
+        quarantine_after: int | None = None,
+        extra_env: Mapping[str, str] | None = None,
     ) -> None:
         if count < 1:
             raise ValueError(f"fleet size must be >= 1, got {count}")
@@ -85,6 +101,8 @@ class WorkerSupervisor:
         self.job_workers = job_workers
         self.respawn_delay = respawn_delay
         self.monitor_interval = monitor_interval
+        self.quarantine_after = quarantine_after
+        self.extra_env = dict(extra_env) if extra_env else None
         self._procs: list[subprocess.Popen | None] = [None] * count
         self._restarts = [0] * count
         self._respawn_at = [0.0] * count
@@ -113,12 +131,16 @@ class WorkerSupervisor:
             command += ["--no-cache"]
         if self.job_workers is not None:
             command += ["--workers", str(self.job_workers)]
+        if self.quarantine_after is not None:
+            command += ["--requeue-cap", str(self.quarantine_after)]
         return command
 
     def _spawn(self, slot: int) -> subprocess.Popen:
         # Workers inherit stdout/stderr: their claim/done/requeue lines land
         # in the service log, interleaved and prefixed with their worker id.
-        return subprocess.Popen(self._command(), env=_worker_env())
+        return subprocess.Popen(
+            self._command(), env=_worker_env(self.extra_env)
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -32,10 +32,13 @@ import time
 from typing import Callable
 
 from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
+from repro.api.stages import DeadlineExceeded
+from repro.faults import fault_point
 from repro.obs import metrics
-from repro.serve.scheduler import ExecuteFn, plan_retry
+from repro.serve.scheduler import ExecuteFn, call_execute, plan_retry
 from repro.serve.store import (
     DEFAULT_LEASE_TTL,
+    DEFAULT_REQUEUE_CAP,
     JobStore,
     Job,
     default_worker_id,
@@ -46,10 +49,13 @@ def _default_execute(
     request: ExperimentRequest,
     options: RunOptions,
     on_stage: Callable[[str, float], None],
+    deadline: float | None = None,
 ) -> ExperimentResult:
     from repro.api.registry import run_experiment
 
-    return run_experiment(request, options=options, on_stage=on_stage)
+    return run_experiment(
+        request, options=options, on_stage=on_stage, deadline=deadline
+    )
 
 
 class Worker:
@@ -76,6 +82,8 @@ class Worker:
         without a supervisor).
     retry_base_delay / retry_max_delay:
         Backoff policy for failed executions (same as the scheduler's).
+    quarantine_after:
+        Crash-loop bound applied by this worker's reaper passes.
     execute:
         The execution callable, replaceable in tests.
     """
@@ -91,11 +99,13 @@ class Worker:
         reap: bool = True,
         retry_base_delay: float = 0.5,
         retry_max_delay: float = 60.0,
+        quarantine_after: int = DEFAULT_REQUEUE_CAP,
         execute: ExecuteFn | None = None,
         log: Callable[[str], None] | None = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.quarantine_after = quarantine_after
         self.store = store
         self.options = options if options is not None else RunOptions()
         self.worker_id = worker_id or default_worker_id()
@@ -134,10 +144,18 @@ class Worker:
         try:
             while not stop.is_set():
                 if self.reap and time.monotonic() >= next_reap:
-                    for job_id in self.store.reap_expired():
+                    outcome = self.store.reap_expired(
+                        quarantine_after=self.quarantine_after
+                    )
+                    for job_id in outcome.requeued:
                         self._log(
                             f"worker {self.worker_id}: requeued expired lease"
                             f" on job {job_id[:12]}"
+                        )
+                    for job_id in outcome.quarantined:
+                        self._log(
+                            f"worker {self.worker_id}: quarantined crash-"
+                            f"looping job {job_id[:12]}"
                         )
                     next_reap = time.monotonic() + self.reap_interval
                 job = self.store.claim_next(
@@ -193,8 +211,23 @@ class Worker:
         def on_stage(stage: str, seconds: float) -> None:
             self.store.record_stage(job.id, stage, seconds)
 
+        # ``started_at`` was stamped by the claim, so the deadline covers
+        # execution only — queue wait does not eat a job's budget.
+        deadline = (
+            None
+            if job.deadline_s is None or job.started_at is None
+            else job.started_at + job.deadline_s
+        )
         try:
-            result = self._execute(job.request(), self.options, on_stage)
+            fault_point(
+                "worker.claim",
+                job=job.id,
+                experiment=job.experiment,
+                execution=job.executions,
+            )
+            result = call_execute(
+                self._execute, job.request(), self.options, on_stage, deadline
+            )
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
             done.set()
             beater.join()
@@ -230,6 +263,17 @@ class Worker:
 
     def _record_failure(self, job: Job, exc: Exception) -> None:
         error = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, DeadlineExceeded):
+            # Terminal regardless of retry budget: the same budget would be
+            # blown again, wasting another worker-deadline of fleet time.
+            metrics().counter("serve.deadline_exceeded").inc()
+            self.store.mark_failed(job.id, error, worker_id=self.worker_id)
+            self._log(
+                f"worker {self.worker_id}: job {job.short_id} exceeded its"
+                f" deadline ({error})"
+            )
+            self.store.worker_finished(self.worker_id, ok=False)
+            return
         retry_at = plan_retry(job, self.retry_base_delay, self.retry_max_delay)
         if retry_at is not None:
             self.store.mark_failed(

@@ -11,6 +11,7 @@ import repro.api as api
 
 # The frozen public surface.  Keep sorted.
 EXPECTED_SURFACE = [
+    "DeadlineExceeded",
     "EXPERIMENTS",
     "Experiment",
     "ExperimentReport",

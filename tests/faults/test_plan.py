@@ -1,0 +1,118 @@
+"""FaultPlan/FaultRule: validation, matching, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ACTIONS, FaultPlan, FaultRule, InjectedFault
+
+
+class TestRuleValidation:
+    def test_defaults_are_a_single_error_firing(self):
+        rule = FaultRule(site="store.commit")
+        assert rule.action == "error"
+        assert rule.times == 1
+        assert rule.after == 0
+        assert rule.chance == 1.0
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(site="store.commit", action="explode")
+
+    def test_rejects_empty_site(self):
+        with pytest.raises(ValueError, match="non-empty site"):
+            FaultRule(site="")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"after": -1},
+            {"times": 0},
+            {"chance": 1.5},
+            {"chance": -0.1},
+            {"duration": -2.0},
+        ],
+    )
+    def test_rejects_out_of_range_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(site="store.commit", **kwargs)
+
+    def test_times_none_means_unlimited(self):
+        rule = FaultRule(site="worker.claim", action="crash", times=None)
+        assert rule.times is None
+
+    def test_every_listed_action_constructs(self):
+        for action in ACTIONS:
+            FaultRule(site="x", action=action)
+
+
+class TestRuleMatching:
+    def test_empty_match_hits_everything(self):
+        rule = FaultRule(site="store.commit")
+        assert rule.matches({})
+        assert rule.matches({"op": "submit", "job": "abc"})
+
+    def test_subset_equality(self):
+        rule = FaultRule(site="store.commit", match={"op": "record_stage"})
+        assert rule.matches({"op": "record_stage", "job": "abc"})
+        assert not rule.matches({"op": "submit", "job": "abc"})
+
+    def test_absent_context_key_never_matches(self):
+        """No wildcard-by-omission: a match key missing from ctx is a miss."""
+        rule = FaultRule(site="store.commit", match={"job": "abc"})
+        assert not rule.matches({"op": "submit"})
+
+    def test_match_accepts_mapping_and_pairs(self):
+        by_dict = FaultRule(site="s", match={"a": 1, "b": 2})
+        by_pairs = FaultRule(site="s", match=(("b", 2), ("a", 1)))
+        assert by_dict.match == by_pairs.match  # normalised + sorted
+
+
+class TestSerialization:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=7,
+            name="drill",
+            rules=(
+                FaultRule(
+                    site="worker.claim",
+                    action="crash",
+                    match={"job": "abc"},
+                    times=None,
+                ),
+                FaultRule(
+                    site="stage.boundary",
+                    action="hang",
+                    duration=2.5,
+                    after=1,
+                ),
+                FaultRule(
+                    site="store.commit",
+                    chance=0.5,
+                    message="refused",
+                ),
+            ),
+        )
+
+    def test_json_round_trip_is_lossless(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_sites_are_sorted_and_deduped(self):
+        assert self._plan().sites == (
+            "stage.boundary",
+            "store.commit",
+            "worker.claim",
+        )
+
+    def test_rules_must_be_fault_rules(self):
+        with pytest.raises(TypeError, match="rules must be FaultRule"):
+            FaultPlan(rules=({"site": "store.commit"},))
+
+
+class TestInjectedFault:
+    def test_carries_site_and_message(self):
+        exc = InjectedFault("store.commit", "refused")
+        assert exc.site == "store.commit"
+        assert "store.commit" in str(exc)
+        assert "refused" in str(exc)

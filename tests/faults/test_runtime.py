@@ -1,0 +1,193 @@
+"""Fault runtime: install/clear, firing gates, env loading, reporting."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.faults.runtime as runtime
+from repro.faults import (
+    ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    fault_point,
+    fault_report,
+    install_plan,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _plan(*rules: FaultRule, seed: int = 0) -> FaultPlan:
+    return FaultPlan(seed=seed, rules=rules)
+
+
+class TestNoPlan:
+    def test_fault_point_is_a_noop_without_a_plan(self):
+        fault_point("store.commit", op="submit")  # must not raise
+
+    def test_active_plan_and_report_are_none(self):
+        assert active_plan() is None
+        assert fault_report() is None
+
+
+class TestFiringGates:
+    def test_error_rule_raises_injected_fault(self):
+        install_plan(_plan(FaultRule(site="store.commit", message="no")))
+        with pytest.raises(InjectedFault, match="store.commit"):
+            fault_point("store.commit")
+
+    def test_match_filters_by_context(self):
+        install_plan(
+            _plan(FaultRule(site="store.commit", match={"op": "claim"}))
+        )
+        fault_point("store.commit", op="submit")  # miss
+        with pytest.raises(InjectedFault):
+            fault_point("store.commit", op="claim")
+
+    def test_times_bounds_total_firings(self):
+        install_plan(_plan(FaultRule(site="s", times=2)))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                fault_point("s")
+        fault_point("s")  # exhausted: silent
+
+    def test_after_skips_leading_hits(self):
+        install_plan(_plan(FaultRule(site="s", after=2)))
+        fault_point("s")
+        fault_point("s")
+        with pytest.raises(InjectedFault):
+            fault_point("s")
+
+    def test_hang_sleeps_then_continues(self):
+        install_plan(_plan(FaultRule(site="s", action="hang", duration=0.0)))
+        fault_point("s")  # returns instead of raising
+
+    def test_first_matching_rule_wins(self):
+        install_plan(
+            _plan(
+                FaultRule(site="s", match={"op": "a"}, message="first"),
+                FaultRule(site="s", message="second"),
+            )
+        )
+        with pytest.raises(InjectedFault, match="first"):
+            fault_point("s", op="a")
+        with pytest.raises(InjectedFault, match="second"):
+            fault_point("s", op="b")
+
+    def test_chance_draws_are_seeded_and_deterministic(self):
+        """Same plan, same hit sequence => identical firing decisions."""
+
+        def firings(seed: int) -> list[bool]:
+            install_plan(
+                _plan(
+                    FaultRule(site="s", chance=0.5, times=None), seed=seed
+                )
+            )
+            out = []
+            for _ in range(32):
+                try:
+                    fault_point("s")
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        first, second = firings(7), firings(7)
+        assert first == second
+        assert True in first and False in first  # 0.5 actually gates
+        assert firings(8) != first  # and the seed matters
+
+
+class TestReporting:
+    def test_report_counts_hits_and_firings(self):
+        install_plan(
+            _plan(FaultRule(site="s", match={"op": "x"}, times=1))
+        )
+        fault_point("s", op="y")  # miss: no hit counted (match failed)
+        with pytest.raises(InjectedFault):
+            fault_point("s", op="x")
+        fault_point("s", op="x")  # hit but exhausted
+        report = fault_report()
+        (rule,) = report["rules"]
+        assert rule["hits"] == 2
+        assert rule["fired"] == 1
+
+    def test_install_replaces_and_clear_deactivates(self):
+        install_plan(_plan(FaultRule(site="s")))
+        assert active_plan() is not None
+        clear_plan()
+        assert active_plan() is None
+        fault_point("s")
+
+
+class TestEnvironmentLoading:
+    def test_subprocess_loads_plan_from_env(self):
+        """The fleet seam: REPRO_FAULTS JSON activates lazily in a child."""
+        plan = _plan(FaultRule(site="s", message="from-env"))
+        script = (
+            "from repro.faults import fault_point, InjectedFault\n"
+            "try:\n"
+            "    fault_point('s')\n"
+            "    print('silent')\n"
+            "except InjectedFault as exc:\n"
+            "    print('fired:' + str(exc))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(SRC),
+                ENV_VAR: plan.to_json(),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "fired:injected fault at 's': from-env"
+
+    def test_malformed_env_plan_warns_and_stays_inactive(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        monkeypatch.setattr(runtime, "_active", None)
+        monkeypatch.setattr(runtime, "_env_checked", False)
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            fault_point("s")
+        fault_point("s")  # checked once, then permanently silent
+
+    def test_crash_action_exits_with_conventional_code(self):
+        plan = _plan(FaultRule(site="s", action="crash"))
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.faults import fault_point; fault_point('s')",
+            ],
+            env={
+                "PYTHONPATH": str(SRC),
+                ENV_VAR: plan.to_json(),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == runtime.CRASH_EXIT_CODE
+
+    def test_env_plan_round_trips_through_json(self):
+        plan = _plan(
+            FaultRule(site="worker.claim", action="crash", times=None)
+        )
+        assert FaultPlan.from_json(
+            json.dumps(json.loads(plan.to_json()))
+        ) == plan

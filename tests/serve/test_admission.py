@@ -1,0 +1,146 @@
+"""Admission control: queue-depth cap, 503 + Retry-After, client backoff."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ExperimentRequest, RunOptions
+from repro.serve.client import ServeBusyError, ServeClient
+from repro.serve.http_api import ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import JobStore
+
+
+def _request(rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment="fig8", pruning_rate=rate)
+
+
+@pytest.fixture
+def capped_service(tmp_path):
+    """Idle scheduler (jobs stay queued) behind a max_queue_depth=1 server."""
+    store = JobStore(tmp_path / "serve.db")
+    scheduler = Scheduler(store, options=RunOptions(use_cache=False))
+    server = ExperimentServer(
+        scheduler, port=0, max_queue_depth=1, admission_retry_after=0.05
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServeClient(server.url)
+    server.shutdown()
+    server.server_close()
+    store.close()
+
+
+class TestRefusal:
+    def test_submission_over_the_cap_is_refused_with_retry_after(
+        self, capped_service
+    ):
+        assert capped_service.submit(_request(rate=0.1))["job"]
+        with pytest.raises(ServeBusyError) as excinfo:
+            capped_service.submit(_request(rate=0.2), admission_retries=0)
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after == pytest.approx(0.05)
+        assert "queue" in excinfo.value.message
+
+    def test_duplicate_submission_is_always_admitted(self, capped_service):
+        """An attach adds no queue depth — refusing it would break clients
+        polling for a result they already queued."""
+        capped_service.submit(_request(rate=0.1))
+        response = capped_service.submit(
+            _request(rate=0.1), admission_retries=0
+        )
+        assert response["deduped"] is True
+
+    def test_refused_job_is_not_recorded(self, capped_service):
+        capped_service.submit(_request(rate=0.1))
+        with pytest.raises(ServeBusyError):
+            capped_service.submit(_request(rate=0.2), admission_retries=0)
+        ids = {job["id"] for job in capped_service.jobs()}
+        assert _request(rate=0.2).content_hash not in ids
+
+    def test_cancelling_frees_a_queue_slot(self, capped_service):
+        first = capped_service.submit(_request(rate=0.1))["job"]
+        with pytest.raises(ServeBusyError):
+            capped_service.submit(_request(rate=0.2), admission_retries=0)
+        capped_service.cancel(first["id"])
+        admitted = capped_service.submit(
+            _request(rate=0.2), admission_retries=0
+        )
+        assert admitted["job"]["state"] == "queued"
+
+
+class TestClientBackoff:
+    def test_submit_retries_until_a_slot_frees(
+        self, capped_service, monkeypatch
+    ):
+        """The client sleeps the hinted Retry-After (with jitter) between
+        attempts; once capacity frees, the retried submit is admitted."""
+        blocker = capped_service.submit(_request(rate=0.1))["job"]
+        sleeps: list[float] = []
+
+        def sleep_then_free(seconds: float) -> None:
+            sleeps.append(seconds)
+            capped_service.cancel(blocker["id"])  # capacity frees mid-backoff
+
+        import repro.serve.client as client_module
+
+        monkeypatch.setattr(client_module.time, "sleep", sleep_then_free)
+        response = capped_service.submit(
+            _request(rate=0.2), admission_retries=3
+        )
+        assert response["job"]["state"] == "queued"
+        assert len(sleeps) == 1
+        # Retry-After plus up to 25% jitter, never less than the hint.
+        assert 0.05 <= sleeps[0] <= 0.05 * 1.25
+
+    def test_exhausted_retries_surface_the_busy_error(
+        self, capped_service, monkeypatch
+    ):
+        capped_service.submit(_request(rate=0.1))
+        import repro.serve.client as client_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        with pytest.raises(ServeBusyError):
+            capped_service.submit(_request(rate=0.2), admission_retries=2)
+        assert len(sleeps) == 2  # slept between the 3 attempts, then raised
+
+    def test_stats_count_admission_rejections(self, capped_service):
+        capped_service.submit(_request(rate=0.1))
+        with pytest.raises(ServeBusyError):
+            capped_service.submit(_request(rate=0.2), admission_retries=0)
+        stats = capped_service.stats()
+        assert stats["jobs"]["admission_rejected"] >= 1
+
+
+class TestUncappedDefault:
+    def test_no_cap_admits_everything(self, tmp_path):
+        store = JobStore(tmp_path / "serve.db")
+        scheduler = Scheduler(store, options=RunOptions(use_cache=False))
+        server = ExperimentServer(scheduler, port=0)  # max_queue_depth=None
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(server.url)
+            for index in range(10):
+                client.submit(
+                    _request(rate=0.01 + index * 0.05), admission_retries=0
+                )
+            assert len(client.jobs()) == 10
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()
+
+    def test_cap_must_be_positive(self, tmp_path):
+        store = JobStore(tmp_path / "serve.db")
+        scheduler = Scheduler(store, options=RunOptions(use_cache=False))
+        try:
+            with pytest.raises(ValueError, match="max_queue_depth"):
+                ExperimentServer(scheduler, port=0, max_queue_depth=0)
+        finally:
+            store.close()

@@ -1,0 +1,56 @@
+"""The chaos drill's plan and batch (the full drill runs in CI, not here)."""
+
+from __future__ import annotations
+
+from repro.faults import FaultPlan
+from repro.serve.chaos import HANG_EXPERIMENT, _drill_requests, default_chaos_plan
+
+
+class TestDefaultPlan:
+    def test_covers_the_three_required_sites(self):
+        plan = default_chaos_plan(0, crash_job="c" * 64, commit_job="d" * 64)
+        assert plan.sites == ("stage.boundary", "store.commit", "worker.claim")
+        actions = {rule.site: rule.action for rule in plan.rules}
+        assert actions == {
+            "worker.claim": "crash",
+            "stage.boundary": "hang",
+            "store.commit": "error",
+        }
+
+    def test_crash_rule_never_exhausts(self):
+        """Respawned workers must keep dying on the crash victim, or the
+        job completes instead of quarantining."""
+        plan = default_chaos_plan(0, crash_job="c" * 64, commit_job="d" * 64)
+        (crash_rule,) = [r for r in plan.rules if r.action == "crash"]
+        assert crash_rule.times is None
+        assert dict(crash_rule.match) == {"job": "c" * 64}
+
+    def test_plan_ships_through_json(self):
+        plan = default_chaos_plan(7, crash_job="c" * 64, commit_job="d" * 64)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert plan.seed == 7
+
+
+class TestDrillBatch:
+    def test_batch_jobs_are_distinct(self):
+        for smoke in (True, False):
+            requests = _drill_requests(smoke)
+            hashes = [r.content_hash for r in requests.values()]
+            assert len(set(hashes)) == len(hashes)
+
+    def test_hang_experiment_is_exclusive_to_the_hang_victim(self):
+        """The hang rule matches by experiment name, so any other job of
+        that experiment would be wedged too — the batch must reserve it."""
+        for smoke in (True, False):
+            requests = _drill_requests(smoke)
+            owners = [
+                role
+                for role, request in requests.items()
+                if request.experiment == HANG_EXPERIMENT
+            ]
+            assert owners == ["hang"]
+
+    def test_batch_is_smoke_scale(self):
+        for request in _drill_requests(True).values():
+            assert request.scale is not None
+            assert request.scale.epochs <= 1

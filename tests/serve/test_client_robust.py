@@ -1,0 +1,143 @@
+"""Client resilience: reconnect budget, long-poll timeouts, injected faults."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ExperimentRequest, RunOptions
+from repro.faults import FaultPlan, FaultRule, clear_plan, install_plan
+from repro.serve.client import ServeClient, ServeUnavailableError
+from repro.serve.http_api import ExperimentServer
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import JobStore
+
+
+def _request(rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment="fig8", pruning_rate=rate)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    store = JobStore(tmp_path / "serve.db")
+    scheduler = Scheduler(store, options=RunOptions(use_cache=False))
+    server = ExperimentServer(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServeClient(server.url)
+    server.shutdown()
+    server.server_close()
+    store.close()
+
+
+class TestWaitReconnectBudget:
+    def test_wait_gives_up_after_continuous_outage(self):
+        """No service at all: wait() raises ServeUnavailableError once the
+        reconnect budget is spent — not a TimeoutError, and not instantly."""
+        client = ServeClient("http://127.0.0.1:9", timeout=0.2)
+        started = time.monotonic()
+        with pytest.raises(ServeUnavailableError):
+            client.wait("a" * 64, poll=0.02, reconnect_budget=0.3)
+        elapsed = time.monotonic() - started
+        assert elapsed >= 0.3  # it really did keep retrying
+        assert elapsed < 30.0
+
+    def test_wait_rides_out_a_transient_outage(self, idle_service):
+        """Two injected connection failures mid-wait must be absorbed."""
+        job = idle_service.submit(_request())["job"]
+        idle_service.cancel(job["id"])  # cancelled == inactive: wait returns
+        install_plan(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="client.request", action="error", times=2),
+                )
+            )
+        )
+        finished = idle_service.wait(
+            job["id"], timeout=30.0, poll=0.02, reconnect_budget=10.0
+        )
+        assert finished["state"] == "cancelled"
+
+    def test_wait_raises_when_budget_smaller_than_outage(self, idle_service):
+        job = idle_service.submit(_request())["job"]
+        install_plan(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="client.request", action="error", times=None
+                    ),
+                )
+            )
+        )
+        with pytest.raises(ServeUnavailableError):
+            idle_service.wait(job["id"], poll=0.02, reconnect_budget=0.2)
+
+
+class TestInjectedTransportFaults:
+    def test_client_request_fault_maps_to_unavailable(self, idle_service):
+        install_plan(
+            FaultPlan(rules=(FaultRule(site="client.request", times=1),))
+        )
+        with pytest.raises(ServeUnavailableError, match="injected fault"):
+            idle_service.health()
+        assert idle_service.health()["ok"] is True  # next call goes through
+
+    def test_http_response_fault_drops_the_connection(self, idle_service):
+        """A server-side response fault looks like a dead connection to the
+        client — the absorb-and-retry machinery handles it, not a 5xx."""
+        install_plan(
+            FaultPlan(rules=(FaultRule(site="http.response", times=1),))
+        )
+        with pytest.raises(ServeUnavailableError):
+            idle_service.health()
+        assert idle_service.health()["ok"] is True
+
+
+class TestEventsTimeout:
+    def test_socket_timeout_exceeds_the_poll_timeout(self, idle_service):
+        """A 120s long poll must not be killed by the 30s default socket
+        timeout — the io timeout derives from the poll timeout."""
+        captured = {}
+        original = idle_service._call
+
+        def spy(method, path, body=None, timeout=None):
+            captured["timeout"] = timeout
+            return {"job": "x", "state": "queued", "events": [], "next": 0}
+
+        idle_service._call = spy
+        try:
+            idle_service.events("a" * 64, timeout=120.0)
+        finally:
+            idle_service._call = original
+        assert captured["timeout"] >= 130.0
+
+    def test_short_polls_keep_the_default_socket_timeout(self, idle_service):
+        captured = {}
+        original = idle_service._call
+
+        def spy(method, path, body=None, timeout=None):
+            captured["timeout"] = timeout
+            return {}
+
+        idle_service._call = spy
+        try:
+            idle_service.events("a" * 64, timeout=1.0)
+        finally:
+            idle_service._call = original
+        # max(default 30s, 1 + 10): the client default dominates.
+        assert captured["timeout"] == pytest.approx(30.0)
+
+    def test_events_round_trip_against_a_live_service(self, idle_service):
+        job = idle_service.submit(_request())["job"]
+        response = idle_service.events(job["id"], timeout=0.1)
+        assert response["state"] == "queued"
+        assert response["next"] >= 0

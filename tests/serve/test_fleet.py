@@ -162,9 +162,9 @@ class TestSigkillRecovery:
             claimed_at = time.time()
             store.claim_next(worker_id="w-held", lease_ttl=2.0, now=claimed_at)
             # Immediately after the claim the lease is live: nothing reaps.
-            assert store.reap_expired(now=claimed_at + 1.0) == []
+            assert not store.reap_expired(now=claimed_at + 1.0)
             assert store.get(_request(rate=0.5).content_hash).state == RUNNING
-            assert store.reap_expired(now=claimed_at + 3.0) != []
+            assert store.reap_expired(now=claimed_at + 3.0)
             assert store.get(_request(rate=0.5).content_hash).state == QUEUED
 
 
@@ -195,7 +195,7 @@ class TestHeartbeatLiveness:
             reaped: list[str] = []
             deadline = time.time() + lease_ttl * 4
             while runner.is_alive() and time.time() < deadline:
-                reaped += store.reap_expired()
+                reaped += list(store.reap_expired())
                 time.sleep(0.05)
             runner.join(timeout=30.0)
             assert not runner.is_alive()

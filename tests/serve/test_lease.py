@@ -65,7 +65,7 @@ class TestHeartbeat:
         assert extended.lease_expires_at == pytest.approx(now + 18.0)
         assert extended.heartbeat_at == pytest.approx(now + 8.0)
         # The extended lease survives past the original deadline.
-        assert store.reap_expired(now=now + 12.0) == []
+        assert list(store.reap_expired(now=now + 12.0)) == []
         assert store.get(job.id).state == RUNNING
 
     def test_heartbeat_from_wrong_worker_fails(self, store):
@@ -78,7 +78,7 @@ class TestHeartbeat:
         store.submit(_request())
         now = time.time()
         job = store.claim_next(worker_id="w1", lease_ttl=1.0, now=now)
-        assert store.reap_expired(now=now + 2.0) == [job.id]
+        assert store.reap_expired(now=now + 2.0).requeued == [job.id]
         assert not store.heartbeat(job.id, "w1", lease_ttl=1.0, now=now + 2.5)
 
 
@@ -90,12 +90,14 @@ class TestReaper:
         dead = store.claim_next(worker_id="w-dead", lease_ttl=1.0, now=now)
         live = store.claim_next(worker_id="w-live", lease_ttl=120.0, now=now)
         reaped = store.reap_expired(now=now + 5.0)
-        assert reaped == [dead.id]
+        assert reaped.requeued == [dead.id]
+        assert reaped.quarantined == []
         requeued = store.get(dead.id)
         assert requeued.state == QUEUED
         assert requeued.worker_id is None
         assert requeued.lease_expires_at is None
         assert requeued.executions == 1  # execution history survives the reap
+        assert requeued.requeue_count == 1  # ...and counts toward the cap
         assert store.get(live.id).state == RUNNING
         assert store.get(live.id).worker_id == "w-live"
 
@@ -219,7 +221,7 @@ class TestMigration:
         _build_v1_database(path)
         with JobStore(path) as store:
             version = store._conn.execute("PRAGMA user_version").fetchone()[0]
-            assert version == 2
+            assert version == 3
             job = store.get(_request().content_hash)
             assert job.state == RUNNING
             assert job.worker_id is None

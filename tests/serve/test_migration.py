@@ -1,0 +1,136 @@
+"""Schema migrations v1/v2 -> v3 and corrupt-database recovery."""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.api import ExperimentRequest
+from repro.serve.store import JobStore, QUEUED, RUNNING
+
+from test_lease import _build_v1_database  # sibling module, same dir
+
+
+def _request(rate: float = 0.9) -> ExperimentRequest:
+    return ExperimentRequest(experiment="fig8", pruning_rate=rate)
+
+
+def _user_version(store: JobStore) -> int:
+    return store._conn.execute("PRAGMA user_version").fetchone()[0]
+
+
+def _build_v2_database(path) -> None:
+    """A v1 database plus the lease columns — exactly what v2 wrote."""
+    _build_v1_database(path)
+    conn = sqlite3.connect(str(path))
+    for ddl in (
+        "ALTER TABLE jobs ADD COLUMN worker_id TEXT",
+        "ALTER TABLE jobs ADD COLUMN lease_expires_at REAL",
+        "ALTER TABLE jobs ADD COLUMN heartbeat_at REAL",
+    ):
+        conn.execute(ddl)
+    conn.execute(
+        "UPDATE jobs SET worker_id='w-old', lease_expires_at=?, heartbeat_at=?",
+        (time.time() - 100.0, time.time() - 100.0),
+    )
+    conn.execute("PRAGMA user_version=2")
+    conn.commit()
+    conn.close()
+
+
+class TestMigrationLadder:
+    """Every starting version lands on the same v3 shape, idempotently."""
+
+    def test_fresh_database_is_created_at_v3(self, tmp_path):
+        with JobStore(tmp_path / "fresh.db") as store:
+            assert _user_version(store) == 3
+            job, _ = store.submit(_request())
+            assert job.requeue_count == 0
+            assert job.deadline_s is None
+            assert job.complete_count == 0
+
+    def test_v1_database_reaches_v3(self, tmp_path):
+        path = tmp_path / "v1.db"
+        _build_v1_database(path)
+        with JobStore(path) as store:
+            assert _user_version(store) == 3
+            job = store.get(_request().content_hash)
+            assert job.requeue_count == 0
+            assert job.complete_count == 0
+
+    def test_v2_database_reaches_v3_and_keeps_lease_state(self, tmp_path):
+        path = tmp_path / "v2.db"
+        _build_v2_database(path)
+        with JobStore(path) as store:
+            assert _user_version(store) == 3
+            job = store.get(_request().content_hash)
+            assert job.state == RUNNING
+            assert job.worker_id == "w-old"  # v2 data survived
+            assert job.requeue_count == 0  # v3 columns defaulted
+            # The expired v2 lease behaves under the new quarantine reaper.
+            outcome = store.reap_expired(quarantine_after=5)
+            assert outcome.requeued == [job.id]
+            assert store.get(job.id).state == QUEUED
+
+    @pytest.mark.parametrize("builder", [_build_v1_database, _build_v2_database])
+    def test_migration_is_idempotent_across_reopens(self, tmp_path, builder):
+        path = tmp_path / "ladder.db"
+        builder(path)
+        for _ in range(3):
+            with JobStore(path) as store:
+                assert _user_version(store) == 3
+                store.get(_request().content_hash)
+
+    def test_v3_database_reopens_untouched(self, tmp_path):
+        path = tmp_path / "v3.db"
+        with JobStore(path) as store:
+            store.submit(_request(), deadline_s=4.5)
+        with JobStore(path) as store:
+            assert _user_version(store) == 3
+            assert store.get(_request().content_hash).deadline_s == 4.5
+
+
+class TestCorruptDatabase:
+    def test_corrupt_file_is_moved_aside_and_recreated(self, tmp_path):
+        path = tmp_path / "serve.db"
+        path.write_bytes(b"this is not a sqlite database at all............")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            store = JobStore(path)
+        try:
+            job, _ = store.submit(_request())  # the fresh store works
+            assert job.state == QUEUED
+        finally:
+            store.close()
+        moved = list(tmp_path.glob("serve.db.corrupt-*"))
+        assert len(moved) == 1
+        assert moved[0].read_bytes().startswith(b"this is not")
+
+    def test_corrupt_sidecar_files_do_not_survive(self, tmp_path):
+        """No stale WAL/SHM may sit next to the fresh database (either
+        sqlite discards them during the failed open, or the recovery moves
+        them aside with the corrupt main file)."""
+        path = tmp_path / "serve.db"
+        path.write_bytes(b"garbage")
+        (tmp_path / "serve.db-wal").write_bytes(b"wal garbage")
+        (tmp_path / "serve.db-shm").write_bytes(b"shm garbage")
+        with pytest.warns(RuntimeWarning):
+            with JobStore(path) as store:
+                store.submit(_request())  # fresh database actually writes
+        wal = tmp_path / "serve.db-wal"
+        assert not (
+            wal.exists() and wal.read_bytes().startswith(b"wal garbage")
+        )
+
+    def test_future_schema_is_an_error_not_a_corruption(self, tmp_path):
+        """A newer-versioned (valid) database must refuse, not be destroyed."""
+        path = tmp_path / "future.db"
+        conn = sqlite3.connect(str(path))
+        conn.execute("PRAGMA user_version=9")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="schema version 9"):
+            JobStore(path)
+        assert path.exists()  # still where it was
+        assert list(tmp_path.glob("future.db.corrupt-*")) == []

@@ -11,6 +11,7 @@ from repro.serve.store import (
     DONE,
     FAILED,
     JobStore,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     UnknownJobError,
@@ -171,7 +172,14 @@ class TestStateMachine:
         store.submit(_request())
         counts = store.counts()
         assert counts[QUEUED] == 1
-        assert set(counts) == {QUEUED, RUNNING, DONE, FAILED, CANCELLED}
+        assert set(counts) == {
+            QUEUED,
+            RUNNING,
+            DONE,
+            FAILED,
+            CANCELLED,
+            QUARANTINED,
+        }
 
 
 class TestPersistenceAndRecovery:
