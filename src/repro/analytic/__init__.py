@@ -1,0 +1,45 @@
+"""repro.analytic — the closed-form cost-model tier.
+
+Three pieces:
+
+* :mod:`repro.analytic.fidelity` — the :class:`Fidelity` enum and helpers;
+  imported eagerly because the request layer depends on it at module load.
+* :mod:`repro.analytic.model` — vectorized closed-form estimators over
+  batched design-point grids.
+* :mod:`repro.analytic.validate` — the ``analytic-validate`` cross-validation
+  experiment with enforceable per-metric error bounds.
+
+``model`` and ``validate`` are exposed lazily: they import the explore and
+api layers, and ``api.request`` imports this package for the fidelity enum —
+eager imports here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analytic.fidelity import (
+    DEFAULT_FIDELITY,
+    FIDELITY_CHOICES,
+    Fidelity,
+    fidelity_of,
+)
+
+_LAZY_SUBMODULES = ("model", "validate")
+
+__all__ = [
+    "DEFAULT_FIDELITY",
+    "FIDELITY_CHOICES",
+    "Fidelity",
+    "fidelity_of",
+    "model",
+    "validate",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        module = importlib.import_module(f"repro.analytic.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,77 @@
+"""The fidelity knob: which cost-model tier evaluates a request.
+
+Every experiment that owns a ``simulate`` stage can run at one of three
+tiers, ordered fastest to most detailed:
+
+``analytic``
+    The closed-form vectorized cost model (:mod:`repro.analytic.model`).
+    Whole design grids evaluate in one batched numpy call — microseconds per
+    point instead of a full instruction-stream walk.  Cross-validated against
+    the simulator by the ``analytic-validate`` experiment.
+``vectorized``
+    The layer-level instruction-stream simulator with vectorized kernels —
+    the default, and the tier every seed result was produced at.
+``scalar``
+    The same simulator forced onto the serial, in-process reference path
+    (and the scalar PE backend where a PE-level component runs).  Numerically
+    identical to ``vectorized``; kept as the slow trust anchor.
+
+The knob lives on :class:`~repro.api.request.ExperimentRequest` — it changes
+the provenance (and, within the error bounds, potentially the value) of the
+result, so it is content-hash-affecting.  ``RunOptions`` knobs, by contrast,
+must never change the result.  To keep every pre-existing request hash
+stable, the field is only serialized when it differs from
+:data:`DEFAULT_FIDELITY`.
+
+This module is deliberately import-light (stdlib only): the request layer
+imports it at module load.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+
+class Fidelity(Enum):
+    """Cost-model tier of one experiment run (fastest to most detailed)."""
+
+    ANALYTIC = "analytic"
+    VECTORIZED = "vectorized"
+    SCALAR = "scalar"
+
+    @classmethod
+    def normalize(cls, value: Any) -> "Fidelity":
+        """Coerce a ``Fidelity`` or its string name; reject anything else."""
+        if isinstance(value, Fidelity):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.strip().lower())
+            except ValueError:
+                pass
+        raise ValueError(
+            f"unknown fidelity {value!r}; choose from "
+            f"{', '.join(tier.value for tier in cls)}"
+        )
+
+
+#: The tier every request runs at unless asked otherwise — and the one tier
+#: that is omitted from the serialized request, so legacy hashes are stable.
+DEFAULT_FIDELITY = Fidelity.VECTORIZED
+
+#: CLI flag choices, in documented order.
+FIDELITY_CHOICES: tuple[str, ...] = tuple(tier.value for tier in Fidelity)
+
+
+def fidelity_of(request: Any) -> Fidelity:
+    """The fidelity tier of a request (default for objects without the field)."""
+    return Fidelity.normalize(getattr(request, "fidelity", DEFAULT_FIDELITY))
+
+
+__all__ = [
+    "DEFAULT_FIDELITY",
+    "FIDELITY_CHOICES",
+    "Fidelity",
+    "fidelity_of",
+]

@@ -33,6 +33,7 @@ require a deprecation cycle (see DESIGN.md).
 
 from __future__ import annotations
 
+from repro.analytic.fidelity import DEFAULT_FIDELITY, FIDELITY_CHOICES, Fidelity, fidelity_of
 from repro.api.registry import (
     EXPERIMENTS,
     Experiment,
@@ -63,11 +64,15 @@ from repro.api.stages import (
     Pipeline,
     PipelineContext,
     Stage,
+    fidelity_dispatch,
 )
 
 __all__ = [
+    "DEFAULT_FIDELITY",
     "DeadlineExceeded",
     "EXPERIMENTS",
+    "FIDELITY_CHOICES",
+    "Fidelity",
     "Experiment",
     "ExperimentReport",
     "ExperimentRequest",
@@ -85,6 +90,8 @@ __all__ = [
     "canonical_json",
     "content_hash",
     "default_runner",
+    "fidelity_dispatch",
+    "fidelity_of",
     "get_experiment",
     "get_workload",
     "list_experiments",

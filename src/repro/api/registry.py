@@ -105,6 +105,12 @@ class Experiment:
     build: Callable[[ExperimentRequest], Pipeline]
     description: str = ""
     tags: tuple[str, ...] = field(default=())
+    #: Grouping used by ``repro list`` (``"paper-figures"``,
+    #: ``"design-space"``, ``"ablations"``, ...).
+    category: str = "general"
+    #: Whether the experiment's simulate stage dispatches on the request's
+    #: fidelity tier (``--fidelity`` is meaningful).
+    supports_fidelity: bool = False
 
     def pipeline(self, request: ExperimentRequest) -> Pipeline:
         return self.build(request)
@@ -194,7 +200,11 @@ def register_workload(
 
 
 def register_experiment(
-    name: str, description: str = "", tags: tuple[str, ...] = ()
+    name: str,
+    description: str = "",
+    tags: tuple[str, ...] = (),
+    category: str = "general",
+    supports_fidelity: bool = False,
 ) -> Callable[[Callable[[ExperimentRequest], Pipeline]], Callable[[ExperimentRequest], Pipeline]]:
     """Decorator registering a ``request -> Pipeline`` builder as an experiment."""
 
@@ -203,7 +213,14 @@ def register_experiment(
     ) -> Callable[[ExperimentRequest], Pipeline]:
         EXPERIMENTS.add(
             name,
-            Experiment(name=name, build=build, description=description, tags=tags),
+            Experiment(
+                name=name,
+                build=build,
+                description=description,
+                tags=tags,
+                category=category,
+                supports_fidelity=supports_fidelity,
+            ),
         )
         return build
 
@@ -223,6 +240,7 @@ def ensure_builtins_registered() -> None:
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
+    import repro.analytic.validate  # noqa: F401  (analytic-validate)
     import repro.bench  # noqa: F401  (registers: bench)
     import repro.eval.ablations  # noqa: F401  (ablate-fifo/-rate/-pes/-energy)
     import repro.eval.fig8  # noqa: F401  (fig8)

@@ -28,6 +28,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+# Import-light by design (stdlib-only module): the fidelity knob is part of
+# the request schema, so the enum lives in a leaf module both layers can use.
+from repro.analytic.fidelity import DEFAULT_FIDELITY, Fidelity
+
 # Default cache location; kept textually in sync with
 # ``repro.explore.cache.DEFAULT_CACHE_DIR`` (asserted by the API test suite)
 # so the API layer stays import-free at module load.
@@ -114,6 +118,13 @@ class ExperimentRequest:
     params:
         Experiment-specific parameters as a sorted ``(name, value)`` tuple;
         values must be JSON-native (lists/dicts/str/num/bool/None).
+    fidelity:
+        Cost-model tier (``"analytic"``/``"vectorized"``/``"scalar"``, see
+        :mod:`repro.analytic.fidelity`).  Content-hash-affecting: the tier
+        changes the provenance of the result, so two requests differing only
+        in fidelity must never share a cache entry.  Serialized only when it
+        differs from the default so every pre-existing request hash is
+        unchanged.
     """
 
     experiment: str
@@ -121,6 +132,7 @@ class ExperimentRequest:
     pruning_rate: float = 0.9
     scale: Any = None
     params: tuple[tuple[str, Any], ...] = ()
+    fidelity: str = DEFAULT_FIDELITY.value
 
     def __post_init__(self) -> None:
         if not self.experiment or not isinstance(self.experiment, str):
@@ -153,6 +165,10 @@ class ExperimentRequest:
             raise ValueError(f"duplicate parameter name(s) in {names}")
         object.__setattr__(self, "params", normalized)
 
+        object.__setattr__(
+            self, "fidelity", Fidelity.normalize(self.fidelity).value
+        )
+
     # ------------------------------------------------------------------
     # Parameter access
     # ------------------------------------------------------------------
@@ -173,19 +189,35 @@ class ExperimentRequest:
             pruning_rate=self.pruning_rate,
             scale=self.scale,
             params=tuple(merged.items()),
+            fidelity=self.fidelity,
+        )
+
+    def with_fidelity(self, fidelity: Any) -> "ExperimentRequest":
+        """Copy of this request at another cost-model tier."""
+        return ExperimentRequest(
+            experiment=self.experiment,
+            workloads=self.workloads,
+            pruning_rate=self.pruning_rate,
+            scale=self.scale,
+            params=self.params,
+            fidelity=Fidelity.normalize(fidelity).value,
         )
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "experiment": self.experiment,
             "workloads": [list(pair) for pair in self.workloads],
             "pruning_rate": self.pruning_rate,
             "scale": scale_to_dict(self.scale),
             "params": {name: value for name, value in self.params},
         }
+        # Omitted at the default tier so legacy request hashes are stable.
+        if self.fidelity != DEFAULT_FIDELITY.value:
+            data["fidelity"] = self.fidelity
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentRequest":
@@ -195,6 +227,7 @@ class ExperimentRequest:
             pruning_rate=data.get("pruning_rate", 0.9),
             scale=_scale_from_dict(data["scale"]) if data.get("scale") else None,
             params=tuple(dict(data.get("params", {})).items()),
+            fidelity=data.get("fidelity", DEFAULT_FIDELITY.value),
         )
 
     def to_json(self, indent: int | None = None) -> str:

@@ -333,6 +333,7 @@ def _report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "bench",
     description="Staged performance benchmark (train/compile/simulate/row-op validate)",
+    category="validation",
 )
 def build_bench_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(

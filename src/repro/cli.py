@@ -53,12 +53,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import operator
 import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.api import (
+    DEFAULT_FIDELITY,
+    FIDELITY_CHOICES,
     ExperimentRequest,
     RunOptions,
     list_experiments,
@@ -156,6 +159,13 @@ def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="tiny fixed grid for CI smoke runs (overrides the space options)",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=FIDELITY_CHOICES,
+        default=DEFAULT_FIDELITY.value,
+        help="cost-model tier: analytic (closed-form, microseconds/point), "
+        "vectorized (the simulator, default), scalar (serial trust anchor)",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -208,8 +218,15 @@ def _sweep_request(args: argparse.Namespace, experiment: str) -> ExperimentReque
     }
     if experiment == "pareto":
         params["objectives"] = list(_parse_list(args.objectives, str))
+    if getattr(args, "resim_pareto", False):
+        if args.fidelity != "analytic":
+            raise SystemExit("--resim-pareto requires --fidelity analytic")
+        params["resim_pareto"] = True
     return ExperimentRequest(
-        experiment=experiment, workloads=tuple(workloads), params=params
+        experiment=experiment,
+        workloads=tuple(workloads),
+        params=params,
+        fidelity=args.fidelity,
     )
 
 
@@ -234,10 +251,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _check_export_suffix(args.out)
     result = run_experiment(_sweep_request(args, "sweep"), _engine_options(args))
     records = result.native["records"]
-    ranked = sorted(records, key=lambda r: r.latency_us)
+    # attrgetter keeps the million-record sort off the Python bytecode path.
+    ranked = sorted(records, key=operator.attrgetter("latency_us"))
     print(format_records_table(ranked, limit=args.top))
     elapsed = sum(result.stage_seconds.values())
     print(f"\n{result.native['stats']} in {elapsed:.2f}s")
+    resimulated = result.native.get("resimulated")
+    if resimulated is not None:
+        print(
+            f"\nre-simulated Pareto band: {len(resimulated)} point(s) "
+            f"({result.native.get('resim_stats', '')})"
+        )
+        print(
+            format_records_table(
+                sorted(resimulated, key=operator.attrgetter("latency_us")),
+                limit=args.top
+            )
+        )
     if args.out:
         export_records(records, args.out)
         print(f"wrote {len(records)} records to {args.out}")
@@ -364,6 +394,7 @@ def request_from_args(args: argparse.Namespace) -> ExperimentRequest:
         pruning_rate=args.pruning_rate,
         scale=ExperimentScale.preset(scale_name),
         params=tuple(_parse_set_params(args.set or []).items()),
+        fidelity=getattr(args, "fidelity", DEFAULT_FIDELITY.value),
     )
 
 
@@ -384,7 +415,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(result.summary)
     if args.out:
         print(f"wrote {args.out}", file=sys.stderr)
-    return 0
+    # Experiments that self-check (analytic-validate) declare pass/fail in
+    # ``payload["ok"]``; surface a failure as a non-zero exit so CI can gate
+    # on ``repro run analytic-validate`` directly.
+    return 0 if result.payload.get("ok", True) else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -409,9 +443,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("experiments:")
-    for experiment in list_experiments():
-        print(f"  {experiment.name:<16} {experiment.description}")
+    experiments = list_experiments()
+    categories: dict[str, list] = {}
+    for experiment in experiments:
+        categories.setdefault(experiment.category, []).append(experiment)
+    print("experiments ([fidelity] = accepts --fidelity analytic|vectorized|scalar):")
+    for category in sorted(categories):
+        print(f"  {category}:")
+        for experiment in categories[category]:
+            marker = "[fidelity] " if experiment.supports_fidelity else ""
+            print(f"    {experiment.name:<18} {marker}{experiment.description}")
     print()
     print("workloads (any registered model x dataset):")
     for workload in list_workloads():
@@ -451,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         parser.add_argument(
             "--smoke", action="store_true", help="shorthand for --scale smoke"
+        )
+        parser.add_argument(
+            "--fidelity",
+            choices=FIDELITY_CHOICES,
+            default=DEFAULT_FIDELITY.value,
+            help="cost-model tier (experiments marked [fidelity] in `repro list`)",
         )
         parser.add_argument(
             "--set", action="append", metavar="KEY=VALUE",
@@ -500,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows of the latency-ranked table to print (default: %(default)s)",
     )
     sweep.add_argument("--out", default=None, help="export records to a .csv/.json file")
+    sweep.add_argument(
+        "--resim-pareto", action="store_true",
+        help="with --fidelity analytic: re-simulate the analytic Pareto band "
+        "at full fidelity (two-phase sweep)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     pareto = sub.add_parser("pareto", help="extract per-workload Pareto frontiers")

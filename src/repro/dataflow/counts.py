@@ -116,17 +116,31 @@ class StepCounts:
 
 
 # Offsets are packed two per word in the compressed format (16-bit datapath).
-_OFFSET_PACKING = 2.0
+OFFSET_PACKING = 2.0
 
 
-def _compressed_words(values: float) -> float:
-    """Buffer words for ``values`` non-zero values in compressed format."""
-    return values * (1.0 + 1.0 / _OFFSET_PACKING)
+def compressed_words(values):
+    """Buffer words for ``values`` non-zero values in compressed format.
+
+    Works element-wise on numpy arrays as well as scalars — the analytic
+    cost model (:mod:`repro.analytic.model`) evaluates it over whole design
+    grids and must agree with the scalar path bit for bit.
+    """
+    return values * (1.0 + 1.0 / OFFSET_PACKING)
 
 
-def _skip_factor(density: float, kernel: int) -> float:
-    """Probability that at least one of ``kernel`` aligned positions is live."""
+def skip_factor(density, kernel):
+    """Probability that at least one of ``kernel`` aligned positions is live.
+
+    Scalar or element-wise over numpy arrays (see :func:`compressed_words`).
+    """
     return 1.0 - (1.0 - density) ** kernel
+
+
+# Backwards-compatible private aliases (pre-analytic-tier call sites).
+_OFFSET_PACKING = OFFSET_PACKING
+_compressed_words = compressed_words
+_skip_factor = skip_factor
 
 
 def forward_counts(

@@ -107,6 +107,7 @@ def _fifo_report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "ablate-fifo",
     description="E-A1 — FIFO threshold-prediction error and realised density vs depth",
+    category="ablations",
 )
 def build_fifo_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(
@@ -264,6 +265,7 @@ def _energy_compile_stage(ctx: PipelineContext) -> dict:
 @register_experiment(
     "ablate-rate",
     description="E-A2 — speedup/efficiency vs target pruning rate (analytic densities)",
+    category="ablations",
 )
 def build_rate_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
     return _sweep_pipeline("ablate-rate", _rate_compile_stage)
@@ -272,6 +274,7 @@ def build_rate_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
 @register_experiment(
     "ablate-pes",
     description="E-A2 — speedup/efficiency vs PE count, both architectures scaled",
+    category="ablations",
 )
 def build_pe_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
     return _sweep_pipeline("ablate-pes", _pes_compile_stage)
@@ -280,6 +283,7 @@ def build_pe_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
 @register_experiment(
     "ablate-energy",
     description="E-A2 — efficiency sensitivity to one energy-model constant",
+    category="ablations",
 )
 def build_energy_ablation_pipeline(request: ExperimentRequest) -> Pipeline:
     return _sweep_pipeline("ablate-energy", _energy_compile_stage)

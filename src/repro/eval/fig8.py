@@ -294,9 +294,35 @@ def compile_stage(ctx: PipelineContext) -> list[WorkloadJob]:
     ]
 
 
-def simulate_stage(ctx: PipelineContext) -> list[WorkloadResult]:
-    """``simulate`` — both architectures per job, fanned out by the Runner."""
+def _simulate_vectorized(ctx: PipelineContext) -> list[WorkloadResult]:
     return ctx.runner.map(_run_job, ctx["compile"])
+
+
+def _simulate_scalar(ctx: PipelineContext) -> list[WorkloadResult]:
+    # The serial trust anchor: the same jobs, strictly in-process.
+    return [_run_job(job) for job in ctx["compile"]]
+
+
+def _simulate_analytic(ctx: PipelineContext) -> list[WorkloadResult]:
+    from repro.analytic.model import run_workload_jobs_analytic
+
+    return run_workload_jobs_analytic(ctx["compile"])
+
+
+def simulate_stage(ctx: PipelineContext) -> list[WorkloadResult]:
+    """``simulate`` — both architectures per job, at the requested fidelity.
+
+    Shared by fig8 and fig9: the analytic tier materializes full per-(layer,
+    step) results, so the fig9 energy-breakdown report works on it unchanged.
+    """
+    from repro.api import fidelity_dispatch
+
+    return fidelity_dispatch(
+        ctx,
+        vectorized=_simulate_vectorized,
+        analytic=_simulate_analytic,
+        scalar=_simulate_scalar,
+    )
 
 
 def workload_payload(result_workloads: list[WorkloadResult]) -> dict[str, dict[str, float]]:
@@ -327,6 +353,8 @@ def _fig8_report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "fig8",
     description="Fig. 8 — per-sample training latency and speedup vs the dense baseline",
+    category="paper-figures",
+    supports_fidelity=True,
 )
 def build_fig8_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(

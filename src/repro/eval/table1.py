@@ -186,6 +186,7 @@ def _report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "table1",
     description="Table I — measured sparsity class of the six training data types",
+    category="paper-tables",
 )
 def build_table1_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(

@@ -251,6 +251,7 @@ def _report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "table2",
     description="Table II — accuracy and gradient density vs pruning rate p",
+    category="paper-tables",
 )
 def build_table2_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(

@@ -23,7 +23,8 @@ monkeypatch to prove a cached pass performs zero simulator calls.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from functools import lru_cache
+from typing import Any, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.api.runner import Runner
 
@@ -69,6 +70,46 @@ def analytic_densities(
     )
 
 
+# Design grids repeat the same handful of architecture overrides across
+# thousands of pruning-rate points, so config construction (frozen-dataclass
+# replace + validation) and the to_dict expansion hashed into cache keys are
+# memoized on the canonical override tuples.  All cached values are frozen
+# dataclasses or read-only payload dicts shared across points.
+
+
+@lru_cache(maxsize=65536)
+def _configs_for(
+    overrides: tuple[tuple[str, Any], ...],
+) -> tuple[ArchConfig, ArchConfig]:
+    changes = dict(overrides)
+    return (
+        sparsetrain_config().evolve(**changes),
+        dense_baseline_config().evolve(**changes),
+    )
+
+
+@lru_cache(maxsize=65536)
+def _energy_model_for(
+    energy_overrides: tuple[tuple[str, float], ...],
+) -> EnergyModel:
+    return EnergyModel().with_overrides(**dict(energy_overrides))
+
+
+@lru_cache(maxsize=65536)
+def _config_payloads(
+    overrides: tuple[tuple[str, Any], ...],
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    sparse, baseline = _configs_for(overrides)
+    return sparse.to_dict(), baseline.to_dict()
+
+
+@lru_cache(maxsize=65536)
+def _energy_payload(
+    energy_overrides: tuple[tuple[str, float], ...],
+) -> dict[str, Any]:
+    return asdict(_energy_model_for(energy_overrides))
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One (architecture, pruning rate, workload) evaluation request.
@@ -112,13 +153,13 @@ class DesignPoint:
         return point
 
     def sparse_config(self) -> ArchConfig:
-        return sparsetrain_config().evolve(**dict(self.overrides))
+        return _configs_for(self.overrides)[0]
 
     def baseline_config(self) -> ArchConfig:
-        return dense_baseline_config().evolve(**dict(self.overrides))
+        return _configs_for(self.overrides)[1]
 
     def energy_model(self) -> EnergyModel:
-        return EnergyModel().with_overrides(**dict(self.energy_overrides))
+        return _energy_model_for(self.energy_overrides)
 
     @property
     def workload(self) -> str:
@@ -135,9 +176,9 @@ class DesignPoint:
                 "natural_grad_density": NATURAL_GRADIENT_DENSITY,
                 "activation_density": NATURAL_ACTIVATION_DENSITY,
             },
-            "sparse_config": self.sparse_config().to_dict(),
-            "baseline_config": self.baseline_config().to_dict(),
-            "energy_model": asdict(self.energy_model()),
+            "sparse_config": dict(_config_payloads(self.overrides)[0]),
+            "baseline_config": dict(_config_payloads(self.overrides)[1]),
+            "energy_model": dict(_energy_payload(self.energy_overrides)),
         }
 
     @property
@@ -145,9 +186,14 @@ class DesignPoint:
         return stable_key(self.key_payload())
 
 
-@dataclass(frozen=True)
-class EvaluationRecord:
-    """Objectives and diagnostics of one evaluated design point."""
+class EvaluationRecord(NamedTuple):
+    """Objectives and diagnostics of one evaluated design point.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the analytic tier
+    materializes one of these per grid cell, and ``tuple.__new__`` builds
+    10^5 records ~3x faster than a frozen dataclass ``__init__`` (which
+    pays one ``object.__setattr__`` call per field).
+    """
 
     key: str
     model: str
@@ -169,13 +215,28 @@ class EvaluationRecord:
         return f"{self.model}/{self.dataset}"
 
     def to_dict(self) -> dict[str, Any]:
-        data = {name: getattr(self, name) for name in self.__dataclass_fields__}
-        data["overrides"] = dict(self.overrides)
-        return data
+        # Spelled out (not a __dataclass_fields__ loop): serializing the
+        # capped payload of a 10^5-point sweep calls this 10^4 times.
+        return {
+            "key": self.key,
+            "model": self.model,
+            "dataset": self.dataset,
+            "pruning_rate": self.pruning_rate,
+            "overrides": dict(self.overrides),
+            "num_pes": self.num_pes,
+            "buffer_kib": self.buffer_kib,
+            "latency_us": self.latency_us,
+            "energy_uj": self.energy_uj,
+            "area_mm2": self.area_mm2,
+            "baseline_latency_us": self.baseline_latency_us,
+            "baseline_energy_uj": self.baseline_energy_uj,
+            "speedup": self.speedup,
+            "energy_efficiency": self.energy_efficiency,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationRecord":
-        kwargs = {name: data[name] for name in cls.__dataclass_fields__}
+        kwargs = {name: data[name] for name in cls._fields}
         kwargs["overrides"] = tuple(sorted(dict(data["overrides"]).items()))
         return cls(**kwargs)
 
@@ -221,10 +282,29 @@ def points_for(
 ) -> list[DesignPoint]:
     """Cross a design space with a workload list into concrete points."""
     assignments = space.sample(sample, seed) if sample is not None else list(space.points())
+    # The axis split is a property of the space, not of any one assignment:
+    # resolve it once, then build each point's override tuple directly.  The
+    # same prepared list is crossed with every workload, and per-assignment
+    # dict filtering/sorting/validation would dominate million-point compiles.
+    axis_names = {axis.name for axis in space.axes}
+    extra = axis_names - set(ARCH_AXES) - {"pruning_rate"}
+    if extra:
+        raise ValueError(f"unknown assignment key(s) {sorted(extra)}")
+    arch_keys = sorted(axis_names & set(ARCH_AXES))
+    prepared: list[tuple[float, tuple[tuple[str, Any], ...]]] = []
+    for assignment in assignments:
+        overrides = tuple((key, assignment[key]) for key in arch_keys)
+        # Invalid combinations (e.g. a PE count that is not a multiple of
+        # the group size) raise here in the driver, once per unique combo.
+        _configs_for(overrides)
+        prepared.append((float(assignment.get("pruning_rate", 0.9)), overrides))
     return [
-        DesignPoint.from_assignment(model, dataset, assignment)
-        for model, dataset in workloads
-        for assignment in assignments
+        DesignPoint(model, dataset, rate, overrides)
+        for model, dataset in (
+            (normalize_model_name(m), normalize_dataset_name(d))
+            for m, d in workloads
+        )
+        for rate, overrides in prepared
     ]
 
 

@@ -17,20 +17,30 @@ These wrap the design-space subsystem in the :mod:`repro.api` pipeline shape
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
+from repro.analytic.fidelity import Fidelity, fidelity_of
 from repro.api import (
     ExperimentReport,
     ExperimentRequest,
     Pipeline,
     PipelineContext,
     Stage,
+    fidelity_dispatch,
     register_experiment,
 )
 from repro.explore.engine import DesignPoint, ExplorationEngine, points_for
 from repro.explore.pareto import parse_objectives, pareto_by_workload
 from repro.explore.space import DesignSpace, grid_axis
 from repro.explore.report import format_frontier, format_records_table
+from repro.models.zoo import normalize_dataset_name, normalize_model_name
+
+# Sweep payloads are stored verbatim by the serve job store; a million-point
+# analytic sweep must not turn one SQLite row into a gigabyte.  Reports keep
+# the full record list in ``native`` and cap the serialized payload at this
+# many (latency-ranked) records unless the request overrides ``max_records``.
+DEFAULT_MAX_PAYLOAD_RECORDS = 10000
 
 # Default sweep grid (kept in sync with the CLI's documented defaults).
 DEFAULT_SWEEP_WORKLOADS: tuple[tuple[str, str], ...] = (
@@ -45,58 +55,170 @@ DEFAULT_RATES: tuple[float, ...] = (0.5, 0.7, 0.9, 0.95)
 DEFAULT_OBJECTIVE_NAMES: tuple[str, ...] = ("latency_us", "energy_uj", "area_mm2")
 
 
-def _compile_stage(ctx: PipelineContext) -> list[DesignPoint]:
-    """``compile`` — cross the parameter grid with the workload list."""
+def _compile_stage(ctx: PipelineContext):
+    """``compile`` — cross the parameter grid with the workload list.
+
+    Returns a :class:`DesignPoint` list, except for full (unsampled,
+    duplicate-free) grids at analytic fidelity, which stay in axis form
+    (:class:`~repro.analytic.model.AnalyticGridPlan`): at 10^5+ points,
+    materializing one point object per cell would dwarf the closed-form
+    evaluation itself.
+    """
     request = ctx.request
     workloads = request.workloads or DEFAULT_SWEEP_WORKLOADS
+    pes = tuple(request.param("pes", list(DEFAULT_PES)))
+    buffers = tuple(request.param("buffers", list(DEFAULT_BUFFERS)))
+    rates = tuple(request.param("pruning_rates", list(DEFAULT_RATES)))
+    sample = request.param("sample")
+    if sample is None and fidelity_of(request) is Fidelity.ANALYTIC and all(
+        len(set(axis)) == len(axis) for axis in (pes, buffers, rates)
+    ):
+        from repro.analytic.model import AnalyticGridPlan
+
+        return AnalyticGridPlan(
+            workloads=tuple(
+                (normalize_model_name(m), normalize_dataset_name(d))
+                for m, d in workloads
+            ),
+            pes=pes,
+            buffers=buffers,
+            rates=rates,
+        )
     space = DesignSpace(
         axes=(
-            grid_axis("num_pes", tuple(request.param("pes", list(DEFAULT_PES)))),
-            grid_axis(
-                "buffer_kib", tuple(request.param("buffers", list(DEFAULT_BUFFERS)))
-            ),
-            grid_axis(
-                "pruning_rate",
-                tuple(request.param("pruning_rates", list(DEFAULT_RATES))),
-            ),
+            grid_axis("num_pes", pes),
+            grid_axis("buffer_kib", buffers),
+            grid_axis("pruning_rate", rates),
         )
     )
-    return points_for(
-        space,
-        workloads,
-        sample=request.param("sample"),
-        seed=request.param("seed", 0),
-    )
+    return points_for(space, workloads, sample=sample, seed=request.param("seed", 0))
 
 
-def _simulate_stage(ctx: PipelineContext) -> dict[str, Any]:
-    """``simulate`` — evaluate through the cached, parallel engine."""
+def _engine_for(ctx: PipelineContext, parallel: bool | None = None) -> ExplorationEngine:
     options = ctx.options
     cache = ctx.extras.get("sweep_cache")
     if cache is None and "sweep_cache" not in ctx.extras:
         cache = options.sweep_cache()
-    engine = ExplorationEngine(
+    return ExplorationEngine(
         cache=cache,
         max_workers=options.max_workers,
-        parallel=options.parallel,
+        parallel=options.parallel if parallel is None else parallel,
     )
+
+
+def _simulate_vectorized(ctx: PipelineContext) -> dict[str, Any]:
+    """The default tier: the cached, parallel instruction-stream engine."""
+    engine = _engine_for(ctx)
     records = engine.run(ctx["compile"])
     return {"records": records, "stats": engine.stats.describe()}
+
+
+def _simulate_scalar(ctx: PipelineContext) -> dict[str, Any]:
+    """The serial trust anchor: same engine, parallelism forced off."""
+    engine = _engine_for(ctx, parallel=False)
+    records = engine.run(ctx["compile"])
+    return {"records": records, "stats": engine.stats.describe()}
+
+
+def _simulate_analytic(ctx: PipelineContext) -> dict[str, Any]:
+    """The closed-form tier, optionally followed by a Pareto re-simulation.
+
+    Analytic records carry fidelity-salted keys
+    (:func:`repro.analytic.model.analytic_point_key`) and are *not* written
+    to the sweep cache: a point costs microseconds, so caching would only
+    bloat the JSONL store without saving time.  With ``resim_pareto`` the
+    per-workload Pareto band of the analytic sweep is re-evaluated through
+    the regular engine — legacy keys, cache and all — so the band records
+    are bit-identical to simulating those points directly.
+    """
+    from repro.analytic.model import (
+        AnalyticGridPlan,
+        analytic_point_key,
+        evaluate_grid_analytic,
+        evaluate_points_analytic,
+    )
+
+    compiled = ctx["compile"]
+    if isinstance(compiled, AnalyticGridPlan):
+        records = evaluate_grid_analytic(compiled)
+        duplicates = 0  # duplicate-free axes => every grid cell is distinct
+    else:
+        records = evaluate_points_analytic(compiled)
+        duplicates = len(compiled) - len(records)
+    stats = (
+        f"{len(compiled)} points ({duplicates} duplicate), "
+        f"{len(records)} analytic (closed-form)"
+    )
+    result: dict[str, Any] = {"records": records, "stats": stats}
+    if not ctx.request.param("resim_pareto", False):
+        return result
+
+    # Phase two: re-simulate only the analytic Pareto band.
+    objectives = parse_objectives(
+        tuple(ctx.request.param("objectives", list(DEFAULT_OBJECTIVE_NAMES)))
+    )
+    frontiers = pareto_by_workload(records, objectives)
+    band_records = [
+        record
+        for workload in sorted(frontiers)
+        for record in frontiers[workload]
+    ]
+    if isinstance(compiled, AnalyticGridPlan):
+        # Grid points carry no energy overrides, so the band points can be
+        # reconstructed from their records directly.
+        band_points = [
+            DesignPoint(r.model, r.dataset, r.pruning_rate, r.overrides)
+            for r in band_records
+        ]
+    else:
+        point_by_key = {analytic_point_key(point): point for point in compiled}
+        band_points = [point_by_key[record.key] for record in band_records]
+    engine = _engine_for(ctx)
+    result["resimulated"] = engine.run(band_points)
+    result["resim_stats"] = engine.stats.describe()
+    return result
+
+
+def _simulate_stage(ctx: PipelineContext) -> dict[str, Any]:
+    """``simulate`` — evaluate at the tier the request's fidelity asks for."""
+    return fidelity_dispatch(
+        ctx,
+        vectorized=_simulate_vectorized,
+        analytic=_simulate_analytic,
+        scalar=_simulate_scalar,
+    )
 
 
 def _sweep_report_stage(ctx: PipelineContext) -> ExperimentReport:
     simulated = ctx["simulate"]
     records, stats = simulated["records"], simulated["stats"]
-    ranked = sorted(records, key=lambda r: r.latency_us)
+    # attrgetter keeps the 10^6-record sort off the Python bytecode path.
+    ranked = sorted(records, key=operator.attrgetter("latency_us"))
     top = ctx.request.param("top", 16)
     summary = format_records_table(ranked, limit=top) + f"\n\n{stats}"
-    payload = {
-        "records": [record.to_dict() for record in records],
+    max_records = int(ctx.request.param("max_records", DEFAULT_MAX_PAYLOAD_RECORDS))
+    payload: dict[str, Any] = {
+        "records": [record.to_dict() for record in ranked[:max_records]],
         "stats": stats,
     }
-    return ExperimentReport(
-        payload=payload, summary=summary, native={"records": records, "stats": stats}
-    )
+    if len(records) > max_records:
+        payload["records_truncated"] = True
+        payload["records_total"] = len(records)
+    native: dict[str, Any] = {"records": records, "stats": stats}
+    if "resimulated" in simulated:
+        resimulated = simulated["resimulated"]
+        resim_stats = simulated.get("resim_stats", "")
+        payload["resimulated"] = [record.to_dict() for record in resimulated]
+        payload["resim_stats"] = resim_stats
+        native["resimulated"] = resimulated
+        native["resim_stats"] = resim_stats
+        summary += (
+            f"\n\nre-simulated Pareto band ({len(resimulated)} points; {resim_stats}):\n"
+            + format_records_table(
+                sorted(resimulated, key=operator.attrgetter("latency_us")), limit=top
+            )
+        )
+    return ExperimentReport(payload=payload, summary=summary, native=native)
 
 
 def _pareto_report_stage(ctx: PipelineContext) -> ExperimentReport:
@@ -128,6 +250,8 @@ def _pareto_report_stage(ctx: PipelineContext) -> ExperimentReport:
 @register_experiment(
     "sweep",
     description="Design-space sweep (PE count x buffer x pruning rate x workloads)",
+    category="design-space",
+    supports_fidelity=True,
 )
 def build_sweep_pipeline(request: ExperimentRequest) -> Pipeline:
     return Pipeline(
@@ -143,6 +267,8 @@ def build_sweep_pipeline(request: ExperimentRequest) -> Pipeline:
 @register_experiment(
     "pareto",
     description="Per-workload Pareto frontiers over a design-space sweep",
+    category="design-space",
+    supports_fidelity=True,
 )
 def build_pareto_pipeline(request: ExperimentRequest) -> Pipeline:
     # Fail on a bad objective list at build time, before any simulation runs.

@@ -30,7 +30,10 @@ from __future__ import annotations
 from collections import deque
 
 import numpy as np
-from scipy.stats import norm
+# ndtri is the standard-normal inverse CDF: the same value as
+# ``scipy.stats.norm.ppf`` (which wraps it) without dragging the whole
+# ``scipy.stats`` distribution machinery into every CLI startup.
+from scipy.special import ndtri
 
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -56,7 +59,7 @@ def quantile_factor(target_sparsity: float) -> float:
         return 0.0
     if target_sparsity == 1.0:
         return float("inf")
-    return float(norm.ppf((1.0 + target_sparsity) / 2.0))
+    return float(ndtri((1.0 + target_sparsity) / 2.0))
 
 
 def determine_threshold(gradients: np.ndarray, target_sparsity: float) -> float:

@@ -23,6 +23,8 @@ import sys
 import threading
 from typing import Any, Sequence
 
+from repro.analytic.fidelity import DEFAULT_FIDELITY, FIDELITY_CHOICES
+
 DEFAULT_DB = ".repro-cache/serve.db"
 
 
@@ -348,6 +350,14 @@ def _format_stats(stats: dict[str, Any]) -> str:
             f"misses={info.get('misses', 0)} "
             f"hit_rate={'n/a' if rate is None else f'{rate:.0%}'}"
         )
+    analytic = stats.get("analytic") or {}
+    if analytic:
+        error = analytic.get("validate_max_rel_error")
+        lines.append(
+            f"analytic: points_evaluated={analytic.get('points_evaluated', 0)} "
+            f"validate_max_rel_error="
+            f"{'n/a' if error is None else f'{error:.3e}'}"
+        )
     return "\n".join(lines)
 
 
@@ -580,6 +590,10 @@ def register_serve_commands(
     submit.add_argument(
         "--set", action="append", metavar="KEY=VALUE",
         help="experiment-specific parameter (JSON values accepted; repeatable)",
+    )
+    submit.add_argument(
+        "--fidelity", choices=FIDELITY_CHOICES, default=DEFAULT_FIDELITY.value,
+        help="cost-model tier (content-hash-affecting: tiers dedup separately)",
     )
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument(

@@ -374,6 +374,7 @@ class _Handler(BaseHTTPRequestHandler):
             info["hit_rate"] = (info["hits"] / lookups) if lookups else None
 
         queue_wait = snapshot.get("serve.queue_wait_seconds", ())
+        validate_error = snapshot.get("analytic.validate.max_rel_error", ())
         return {
             "version": repro.__version__,
             "uptime_s": time.time() - server.started_at,
@@ -403,6 +404,12 @@ class _Handler(BaseHTTPRequestHandler):
             },
             "stages": stages,
             "caches": caches,
+            "analytic": {
+                "points_evaluated": counter_total("analytic.points_evaluated"),
+                "validate_max_rel_error": (
+                    validate_error[0]["value"] if validate_error else None
+                ),
+            },
             "metrics": snapshot,
         }
 

@@ -1,0 +1,195 @@
+"""The analytic tier must agree with the simulator to float-noise level.
+
+Both paths compute identical closed-form expected values; any disagreement
+beyond summation-order noise (~1e-12 relative) is a structural divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.model import (
+    analytic_point_key,
+    analytic_simulation_result,
+    compare_workload_analytic,
+    evaluate_points_analytic,
+    run_workload_jobs_analytic,
+)
+from repro.explore.engine import DesignPoint, analytic_densities, evaluate_point
+from repro.models.zoo import get_model_spec
+from repro.sim.runner import (
+    WorkloadJob,
+    compare_workload,
+    simulate_baseline,
+    simulate_sparsetrain,
+)
+
+RTOL = 1e-9
+
+RECORD_METRICS = (
+    "latency_us",
+    "energy_uj",
+    "area_mm2",
+    "baseline_latency_us",
+    "baseline_energy_uj",
+    "speedup",
+    "energy_efficiency",
+)
+
+POINTS = [
+    DesignPoint(model="AlexNet", dataset="CIFAR-10", pruning_rate=0.9),
+    DesignPoint(
+        model="AlexNet",
+        dataset="CIFAR-10",
+        pruning_rate=0.7,
+        overrides=(("buffer_kib", 192), ("num_pes", 84)),
+    ),
+    DesignPoint(
+        model="ResNet-18",
+        dataset="CIFAR-10",
+        pruning_rate=0.95,
+        overrides=(("batch_size", 16), ("pe_utilization", 0.7)),
+    ),
+    DesignPoint(
+        model="MobileNetV1",
+        dataset="CIFAR-10",
+        pruning_rate=0.5,
+        overrides=(("dram_words_per_cycle", 8.0),),
+        energy_overrides=(("dram_pj", 80.0),),
+    ),
+    DesignPoint(model="VGG-16", dataset="ImageNet", pruning_rate=0.9),
+]
+
+
+class TestBatchedRecordsMatchSimulator:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        analytic = evaluate_points_analytic(POINTS)
+        simulated = [evaluate_point(point) for point in POINTS]
+        return list(zip(analytic, simulated))
+
+    @pytest.mark.parametrize("metric", RECORD_METRICS)
+    def test_metric_within_float_noise(self, pairs, metric):
+        for analytic, simulated in pairs:
+            assert getattr(analytic, metric) == pytest.approx(
+                getattr(simulated, metric), rel=RTOL
+            )
+
+    def test_non_metric_fields_carried_over(self, pairs):
+        for analytic, simulated in pairs:
+            assert analytic.model == simulated.model
+            assert analytic.dataset == simulated.dataset
+            assert analytic.pruning_rate == simulated.pruning_rate
+            assert analytic.overrides == simulated.overrides
+            assert analytic.num_pes == simulated.num_pes
+            assert analytic.buffer_kib == simulated.buffer_kib
+
+    def test_records_are_plain_floats(self, pairs):
+        # numpy scalars would break the exact CSV round-trip of the report
+        # module, like the simulator path they must be built-in floats.
+        for analytic, _ in pairs:
+            for metric in RECORD_METRICS:
+                assert type(getattr(analytic, metric)) is float
+
+
+class TestAnalyticKeys:
+    def test_salted_keys_differ_from_simulator_keys(self):
+        for point in POINTS:
+            assert analytic_point_key(point) != point.key
+
+    def test_records_carry_salted_keys(self):
+        records = evaluate_points_analytic(POINTS[:2])
+        assert [record.key for record in records] == [
+            analytic_point_key(point) for point in POINTS[:2]
+        ]
+
+    def test_dedup_first_seen_order(self):
+        records = evaluate_points_analytic([POINTS[0], POINTS[1], POINTS[0]])
+        assert len(records) == 2
+        assert records[0].key == analytic_point_key(POINTS[0])
+        assert records[1].key == analytic_point_key(POINTS[1])
+
+    def test_chunking_is_invisible(self):
+        many = [
+            DesignPoint(
+                model="AlexNet",
+                dataset="CIFAR-10",
+                pruning_rate=round(0.5 + 0.004 * index, 6),
+            )
+            for index in range(100)
+        ]
+        whole = evaluate_points_analytic(many)
+        chunked = evaluate_points_analytic(many, chunk_points=7)
+        assert [record.to_dict() for record in whole] == [
+            record.to_dict() for record in chunked
+        ]
+
+
+class TestMaterializedSimulationResult:
+    @pytest.fixture(scope="class")
+    def spec_and_densities(self):
+        spec = get_model_spec("AlexNet", "CIFAR-10")
+        return spec, analytic_densities(spec, 0.9)
+
+    def test_sparse_steps_match_simulator(self, spec_and_densities):
+        spec, densities = spec_and_densities
+        config = DesignPoint(model="AlexNet", dataset="CIFAR-10").sparse_config()
+        analytic = analytic_simulation_result(spec, densities, config)
+        simulated = simulate_sparsetrain(spec, densities, config)
+        assert len(analytic.steps) == len(simulated.steps)
+        for a, s in zip(analytic.steps, simulated.steps):
+            assert (a.layer_name, a.step) == (s.layer_name, s.step)
+            assert a.cycles == pytest.approx(s.cycles, rel=RTOL)
+            assert a.compute_cycles == pytest.approx(s.compute_cycles, rel=RTOL)
+            assert a.dram_cycles == pytest.approx(s.dram_cycles, rel=RTOL)
+            assert a.events.macs == pytest.approx(s.events.macs, rel=RTOL)
+            assert a.events.sram_words == pytest.approx(s.events.sram_words, rel=RTOL)
+            assert a.events.dram_words == pytest.approx(s.events.dram_words, rel=RTOL)
+
+    def test_baseline_steps_match_simulator(self, spec_and_densities):
+        spec, _ = spec_and_densities
+        config = DesignPoint(model="AlexNet", dataset="CIFAR-10").baseline_config()
+        analytic = analytic_simulation_result(spec, None, config, sparse=False)
+        simulated = simulate_baseline(spec, config)
+        assert analytic.total_cycles == pytest.approx(
+            simulated.total_cycles, rel=RTOL
+        )
+        assert analytic.energy_uj == pytest.approx(simulated.energy_uj, rel=RTOL)
+
+    def test_energy_fractions_match(self, spec_and_densities):
+        # Fig. 9 slices per-component energy; the analytic result must carry
+        # a real breakdown, not just totals.
+        spec, densities = spec_and_densities
+        analytic = compare_workload_analytic(spec, densities)
+        simulated = compare_workload(spec, densities)
+        fa = analytic.comparison.sparsetrain.energy_fractions()
+        fs = simulated.comparison.sparsetrain.energy_fractions()
+        for component in fs:
+            assert fa[component] == pytest.approx(fs[component], rel=1e-6)
+
+    def test_workload_jobs_front_end(self, spec_and_densities):
+        spec, densities = spec_and_densities
+        job = WorkloadJob(spec=spec, densities=densities)
+        (analytic,) = run_workload_jobs_analytic([job])
+        simulated = compare_workload(spec, densities)
+        assert analytic.speedup == pytest.approx(simulated.speedup, rel=RTOL)
+        assert analytic.energy_efficiency == pytest.approx(
+            simulated.energy_efficiency, rel=RTOL
+        )
+
+
+class TestObsCounters:
+    def test_points_evaluated_counter_increments(self):
+        from repro.obs import metrics
+
+        def total() -> float:
+            snapshot = metrics().snapshot()
+            return sum(
+                entry["value"]
+                for entry in snapshot.get("analytic.points_evaluated", ())
+            )
+
+        before = total()
+        evaluate_points_analytic(POINTS[:3])
+        assert total() == before + 3

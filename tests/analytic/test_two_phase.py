@@ -1,0 +1,174 @@
+"""Two-phase sweeps: analytic full grid, Pareto band re-simulated exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentRequest, RunOptions, run_experiment
+from repro.explore.engine import DesignPoint, ExplorationEngine
+
+
+def _sweep_request(**extra_params) -> ExperimentRequest:
+    params = {
+        "pes": [84, 168, 336],
+        "buffers": [192, 386],
+        "pruning_rates": [0.7, 0.9],
+        **extra_params,
+    }
+    return ExperimentRequest(
+        experiment="sweep",
+        workloads=(("AlexNet", "CIFAR-10"), ("ResNet-18", "CIFAR-10")),
+        params=params,
+        fidelity="analytic",
+    )
+
+
+class TestTwoPhaseSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            _sweep_request(resim_pareto=True),
+            options=RunOptions(use_cache=False, parallel=False),
+        )
+
+    def test_band_is_bit_identical_to_direct_simulation(self, result):
+        resimulated = result.native["resimulated"]
+        assert resimulated
+        # Re-simulate the same points directly through a fresh engine: the
+        # band records must match bit for bit (same keys, same floats).
+        points = [
+            DesignPoint(
+                model=record.model,
+                dataset=record.dataset,
+                pruning_rate=record.pruning_rate,
+                overrides=record.overrides,
+            )
+            for record in resimulated
+        ]
+        direct = ExplorationEngine(cache=None, parallel=False).run(points)
+        assert [r.to_dict() for r in direct] == [r.to_dict() for r in resimulated]
+
+    def test_band_uses_legacy_simulator_keys(self, result):
+        analytic_keys = {record.key for record in result.native["records"]}
+        for record in result.native["resimulated"]:
+            assert record.key not in analytic_keys
+
+    def test_band_is_a_subset_of_the_grid(self, result):
+        grid = {
+            (r.model, r.dataset, r.pruning_rate, r.num_pes, r.buffer_kib)
+            for r in result.native["records"]
+        }
+        band = {
+            (r.model, r.dataset, r.pruning_rate, r.num_pes, r.buffer_kib)
+            for r in result.native["resimulated"]
+        }
+        assert band <= grid
+        assert len(band) < len(grid)
+
+    def test_payload_carries_both_phases(self, result):
+        assert len(result.payload["records"]) == len(result.native["records"])
+        assert len(result.payload["resimulated"]) == len(
+            result.native["resimulated"]
+        )
+        assert "analytic" in result.payload["stats"]
+        assert "simulated" in result.payload["resim_stats"]
+
+
+class TestGridFastPath:
+    """Full grids skip point materialization; results must not change."""
+
+    def test_grid_evaluator_matches_point_list_bit_for_bit(self):
+        from repro.analytic.model import (
+            AnalyticGridPlan,
+            evaluate_grid_analytic,
+            evaluate_points_analytic,
+        )
+        from repro.explore.engine import points_for
+        from repro.explore.space import DesignSpace, grid_axis
+
+        pes, buffers, rates = (84, 168, 336), (192, 386), (0.5, 0.9)
+        workloads = (("AlexNet", "CIFAR-10"), ("ResNet-18", "CIFAR-10"))
+        grid = evaluate_grid_analytic(
+            AnalyticGridPlan(workloads=workloads, pes=pes, buffers=buffers, rates=rates)
+        )
+        space = DesignSpace(
+            axes=(
+                grid_axis("num_pes", pes),
+                grid_axis("buffer_kib", buffers),
+                grid_axis("pruning_rate", rates),
+            )
+        )
+        via_points = evaluate_points_analytic(points_for(space, list(workloads)))
+        assert len(grid) == len(via_points) == 24
+        assert [r.to_dict() for r in grid] == [r.to_dict() for r in via_points]
+
+    def test_sampled_sweep_uses_the_point_path(self):
+        # ``sample`` has seeded-subset semantics the grid plan cannot honour.
+        result = run_experiment(
+            _sweep_request(sample=5, seed=1),
+            options=RunOptions(use_cache=False, parallel=False),
+        )
+        assert len(result.native["records"]) == 10  # 5 sampled x 2 workloads
+        for record in result.native["records"]:
+            assert record.key.startswith("analytic:")
+
+    def test_duplicate_axis_values_rejected_like_every_tier(self):
+        # The grid plan only covers duplicate-free axes; duplicates fall
+        # through to the DesignSpace path, which rejects them exactly as the
+        # vectorized tier would.
+        with pytest.raises(ValueError, match="duplicate values"):
+            run_experiment(
+                _sweep_request(pes=[84, 84, 168]),
+                options=RunOptions(use_cache=False, parallel=False),
+            )
+
+
+class TestAnalyticSweepWithoutResim:
+    def test_no_band_by_default(self):
+        result = run_experiment(
+            _sweep_request(),
+            options=RunOptions(use_cache=False, parallel=False),
+        )
+        assert "resimulated" not in result.native
+        assert "resimulated" not in result.payload
+
+    def test_payload_record_cap(self):
+        result = run_experiment(
+            _sweep_request(max_records=5),
+            options=RunOptions(use_cache=False, parallel=False),
+        )
+        assert len(result.native["records"]) == 24
+        assert len(result.payload["records"]) == 5
+        assert result.payload["records_truncated"] is True
+        assert result.payload["records_total"] == 24
+        # The cap keeps the best (latency-ranked) records.
+        kept = [record["latency_us"] for record in result.payload["records"]]
+        assert kept == sorted(kept)
+
+    def test_analytic_records_not_written_to_sweep_cache(self, tmp_path):
+        options = RunOptions(use_cache=True, cache_dir=tmp_path, parallel=False)
+        run_experiment(_sweep_request(), options=options)
+        cache = options.sweep_cache()
+        assert len(cache) == 0
+
+    def test_large_grid_is_fast(self):
+        # ~2.4k points in well under the simulated default's wall clock.
+        import time
+
+        request = ExperimentRequest(
+            experiment="sweep",
+            workloads=(("AlexNet", "CIFAR-10"),),
+            params={
+                "pes": [3 * n for n in range(8, 48)],
+                "buffers": list(range(64, 364, 50)),
+                "pruning_rates": [0.5 + 0.05 * i for i in range(10)],
+            },
+            fidelity="analytic",
+        )
+        start = time.perf_counter()
+        result = run_experiment(
+            request, options=RunOptions(use_cache=False, parallel=False)
+        )
+        elapsed = time.perf_counter() - start
+        assert len(result.native["records"]) == 40 * 6 * 10
+        assert elapsed < 30.0

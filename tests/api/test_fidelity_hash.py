@@ -1,0 +1,106 @@
+"""Hash stability of the fidelity field.
+
+Two invariants guard the caches:
+
+* legacy requests (no fidelity / default fidelity) keep their pre-field
+  content hashes bit for bit — pinned below against hashes computed before
+  the field existed;
+* requests differing only in fidelity hash differently, so neither the
+  serve store's dedup-by-hash nor the sweep ResultCache can ever mix tiers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.model import analytic_point_key
+from repro.api import ExperimentRequest
+from repro.explore.cache import ResultCache
+from repro.explore.engine import DesignPoint
+
+# Content hashes computed on the seed code base, before the fidelity field
+# existed.  These must never change.
+PINNED_SWEEP_HASH = "2551fa9699dcba75aa5d7c02c8f129f9cee411eb1152fd98a8f1b7907cb44263"
+PINNED_FIG8_HASH = "53828017b485b95225b8c92738f5df1da181532f018831b3799fa708901059be"
+
+
+def _sweep_request(**kwargs) -> ExperimentRequest:
+    return ExperimentRequest(
+        experiment="sweep",
+        workloads=(("AlexNet", "CIFAR-10"),),
+        pruning_rate=0.9,
+        params={
+            "pes": [84, 168],
+            "buffers": [386],
+            "pruning_rates": [0.9],
+            "sample": None,
+            "seed": 0,
+        },
+        **kwargs,
+    )
+
+
+class TestLegacyHashStability:
+    def test_pinned_seed_hashes_unchanged(self):
+        assert _sweep_request().content_hash == PINNED_SWEEP_HASH
+        assert (
+            ExperimentRequest(experiment="fig8").content_hash == PINNED_FIG8_HASH
+        )
+
+    def test_default_fidelity_not_serialized(self):
+        data = _sweep_request().to_dict()
+        assert "fidelity" not in data
+        assert ExperimentRequest.from_dict(data).fidelity == "vectorized"
+
+    def test_explicit_default_equals_legacy(self):
+        assert (
+            _sweep_request(fidelity="vectorized").content_hash == PINNED_SWEEP_HASH
+        )
+
+
+class TestTierSeparation:
+    def test_fidelity_changes_the_hash(self):
+        hashes = {
+            _sweep_request(fidelity=tier).content_hash
+            for tier in ("analytic", "vectorized", "scalar")
+        }
+        assert len(hashes) == 3
+
+    def test_non_default_fidelity_round_trips(self):
+        request = _sweep_request(fidelity="analytic")
+        data = request.to_dict()
+        assert data["fidelity"] == "analytic"
+        restored = ExperimentRequest.from_dict(data)
+        assert restored == request
+        assert restored.content_hash == request.content_hash
+
+    def test_serve_store_dedup_keeps_tiers_apart(self, tmp_path):
+        from repro.serve.store import JobStore
+
+        store = JobStore(tmp_path / "serve.db")
+        try:
+            legacy, deduped_a = store.submit(_sweep_request())
+            analytic, deduped_b = store.submit(_sweep_request(fidelity="analytic"))
+            again, deduped_c = store.submit(_sweep_request(fidelity="analytic"))
+            assert not deduped_a and not deduped_b
+            assert legacy.id != analytic.id
+            assert deduped_c and again.id == analytic.id
+            assert legacy.fidelity == "vectorized"
+            assert analytic.fidelity == "analytic"
+            assert analytic.to_dict()["fidelity"] == "analytic"
+        finally:
+            store.close()
+
+    def test_result_cache_keys_keep_tiers_apart(self, tmp_path):
+        point = DesignPoint(model="AlexNet", dataset="CIFAR-10", pruning_rate=0.9)
+        assert analytic_point_key(point) != point.key
+        cache = ResultCache(tmp_path / "sweep.jsonl")
+        from repro.analytic.model import evaluate_points_analytic
+        from repro.explore.engine import evaluate_point
+
+        simulated = evaluate_point(point)
+        analytic = evaluate_points_analytic([point])[0]
+        cache.put(simulated.key, simulated.to_dict())
+        cache.put(analytic.key, analytic.to_dict())
+        assert cache.get(point.key) == simulated.to_dict()
+        assert cache.get(analytic_point_key(point)) == analytic.to_dict()

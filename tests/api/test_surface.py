@@ -11,12 +11,15 @@ import repro.api as api
 
 # The frozen public surface.  Keep sorted.
 EXPECTED_SURFACE = [
+    "DEFAULT_FIDELITY",
     "DeadlineExceeded",
     "EXPERIMENTS",
     "Experiment",
     "ExperimentReport",
     "ExperimentRequest",
     "ExperimentResult",
+    "FIDELITY_CHOICES",
+    "Fidelity",
     "Pipeline",
     "PipelineContext",
     "Registry",
@@ -30,6 +33,8 @@ EXPECTED_SURFACE = [
     "canonical_json",
     "content_hash",
     "default_runner",
+    "fidelity_dispatch",
+    "fidelity_of",
     "get_experiment",
     "get_workload",
     "list_experiments",
@@ -42,6 +47,7 @@ EXPECTED_SURFACE = [
 # The built-in experiment registry every release must keep serving.
 EXPECTED_EXPERIMENTS = {
     "ablate-energy",
+    "analytic-validate",
     "ablate-fifo",
     "ablate-pes",
     "ablate-rate",
