@@ -122,6 +122,7 @@ class Experiment:
         extras: dict[str, Any] | None = None,
         on_stage: Callable[[str, float], None] | None = None,
         deadline: float | None = None,
+        trace_id: str | None = None,
     ) -> ExperimentResult:
         """Execute the pipeline for ``request`` and package the result.
 
@@ -131,6 +132,9 @@ class Experiment:
         ``deadline`` is an absolute epoch-seconds budget checked at stage
         boundaries; past it the run raises
         :class:`~repro.api.stages.DeadlineExceeded`.
+        ``trace_id`` stamps every span of the run for cross-process trace
+        merging; when omitted it is inherited from the ambient trace context
+        (the one a fleet worker establishes around execution).
         """
         if request.experiment != self.name:
             raise ValueError(
@@ -141,6 +145,10 @@ class Experiment:
         # ``parallel=False`` forces the serial path; otherwise the worker
         # count decides (None/1 = serial, >1 = pool), matching the historical
         # ``simulate_many`` semantics the fig/bench pipelines rely on.
+        if trace_id is None:
+            from repro.obs import current_trace
+
+            trace_id = current_trace().trace_id
         ctx = PipelineContext(
             request=request,
             options=options,
@@ -150,6 +158,7 @@ class Experiment:
             extras=dict(extras or {}),
             on_stage=on_stage,
             deadline=deadline,
+            trace_id=trace_id,
         )
         pipeline = self.pipeline(request)
         report = pipeline.run(ctx)
@@ -282,10 +291,11 @@ def run_experiment(
     extras: dict[str, Any] | None = None,
     on_stage: Callable[[str, float], None] | None = None,
     deadline: float | None = None,
+    trace_id: str | None = None,
 ) -> ExperimentResult:
     """Resolve ``request.experiment`` in the registry and execute it."""
     return get_experiment(request.experiment).run(
-        request, options, extras, on_stage, deadline
+        request, options, extras, on_stage, deadline, trace_id
     )
 
 

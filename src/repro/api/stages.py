@@ -37,7 +37,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.api.request import ExperimentRequest, RunOptions
 from repro.api.runner import Runner
 from repro.faults import fault_point
-from repro.obs import metrics, trace_span
+from repro.obs import metrics, trace_context, trace_span
 
 # The canonical stage vocabulary, in canonical order.
 STAGE_ORDER: tuple[str, ...] = (
@@ -111,6 +111,11 @@ class PipelineContext:
     #: Absolute epoch-seconds deadline, or ``None`` for no budget.  Checked
     #: cooperatively at stage boundaries via :meth:`check_deadline`.
     deadline: float | None = None
+    #: Distributed-trace correlation id.  When set, :meth:`Pipeline.run`
+    #: enters the matching trace context so every stage span is stamped
+    #: with it; ``None`` inherits whatever ambient context the caller (a
+    #: fleet worker, the scheduler) already established.
+    trace_id: str | None = None
 
     def check_deadline(self, now: float | None = None) -> None:
         """Raise :class:`DeadlineExceeded` when the deadline has passed."""
@@ -225,7 +230,11 @@ class Pipeline:
         """
         artifact: Any = None
         experiment = ctx.request.experiment
-        with trace_span(f"pipeline.{self.name}", experiment=experiment):
+        # A ``None`` trace_id pushes an empty overlay frame: ambient context
+        # (a worker's job scope) flows through untouched.
+        with trace_context(trace_id=ctx.trace_id), trace_span(
+            f"pipeline.{self.name}", experiment=experiment
+        ):
             for stage in self.stages:
                 # The cooperative interruption seam: a fault plan can wedge
                 # (hang) or break a run exactly between stages, and the

@@ -375,6 +375,85 @@ def run_bench(
     return bench_result
 
 
+#: Stages whose baseline p95 is below this are skipped by the regression
+#: check: sub-50ms quantiles are dominated by scheduler and allocator noise,
+#: and a 20% band around them gates on nothing real.
+MIN_STAGE_SECONDS = 0.05
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+    min_stage_seconds: float = MIN_STAGE_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Compare a bench payload against a committed baseline.
+
+    Returns ``(violations, checked)``: human-readable violation strings
+    (empty = pass) and notes describing every comparison actually made.
+    Two gates, both relative with the same ``tolerance`` band:
+
+    * ``rowop_speedup`` must not drop more than ``tolerance`` below the
+      baseline — the vectorized-engine advantage is the repository's
+      headline performance claim;
+    * each stage's ``p95`` (from ``metrics.stage_seconds``) must not exceed
+      the baseline by more than ``tolerance``, skipping stages whose
+      baseline p95 sits under ``min_stage_seconds`` (pure noise) or that
+      either run lacks.
+
+    Raises ``ValueError`` when the two payloads ran at different scales
+    (``smoke`` flags differ) — comparing a smoke run against a full-scale
+    baseline measures the scale difference, not a regression.
+    """
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        raise ValueError(
+            "bench scale mismatch: current smoke="
+            f"{bool(current.get('smoke'))} vs baseline smoke="
+            f"{bool(baseline.get('smoke'))}; rerun at the baseline's scale"
+        )
+    violations: list[str] = []
+    checked: list[str] = []
+
+    base_speedup = float(baseline.get("rowop_speedup", 0.0))
+    cur_speedup = float(current.get("rowop_speedup", 0.0))
+    floor = base_speedup * (1.0 - tolerance)
+    checked.append(
+        f"rowop_speedup {cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+        f"(floor {floor:.2f}x)"
+    )
+    if cur_speedup < floor:
+        violations.append(
+            f"rowop_speedup regressed: {cur_speedup:.2f}x < "
+            f"{floor:.2f}x ({base_speedup:.2f}x baseline - {tolerance:.0%})"
+        )
+
+    base_stages = (baseline.get("metrics") or {}).get("stage_seconds") or {}
+    cur_stages = (current.get("metrics") or {}).get("stage_seconds") or {}
+    for stage, base_info in base_stages.items():
+        base_p95 = base_info.get("p95")
+        cur_p95 = (cur_stages.get(stage) or {}).get("p95")
+        if base_p95 is None or cur_p95 is None:
+            checked.append(f"stage {stage}: skipped (p95 missing)")
+            continue
+        if base_p95 < min_stage_seconds:
+            checked.append(
+                f"stage {stage}: skipped (baseline p95 {base_p95:.3f}s "
+                f"under the {min_stage_seconds:.2f}s noise floor)"
+            )
+            continue
+        ceiling = base_p95 * (1.0 + tolerance)
+        checked.append(
+            f"stage {stage} p95 {cur_p95:.3f}s vs baseline {base_p95:.3f}s "
+            f"(ceiling {ceiling:.3f}s)"
+        )
+        if cur_p95 > ceiling:
+            violations.append(
+                f"stage {stage} p95 regressed: {cur_p95:.3f}s > "
+                f"{ceiling:.3f}s ({base_p95:.3f}s baseline + {tolerance:.0%})"
+            )
+    return violations, checked
+
+
 def _write_atomic(out: Path, payload: dict[str, Any]) -> None:
     """Write the benchmark JSON via temp file + ``os.replace``.
 

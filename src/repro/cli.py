@@ -32,18 +32,24 @@ Subcommands
     Time the pipeline stage by stage (train, compile, simulate, row-op
     validate) and write ``BENCH_repro.json`` — the repository's performance
     trajectory.  The row-op stage cross-validates the scalar and vectorized
-    PE backends and reports their speedup.
+    PE backends and reports their speedup.  ``--check`` compares the run
+    against a committed baseline and exits non-zero on a >tolerance
+    regression in the row-op speedup or any stage p95 — the CI perf gate.
 ``trace``
     Run any registered experiment with the same flags as ``run`` and dump a
     Chrome-trace JSON (``chrome://tracing`` / Perfetto) of the pipeline's
-    stage spans — ``repro trace fig8 --smoke --out trace.json``.
-``serve`` / ``submit`` / ``status`` / ``stats`` / ``cancel``
+    stage spans — ``repro trace fig8 --smoke --out trace.json``.  With
+    ``--job <id>`` it instead exports a service job's *merged distributed
+    trace*: the spans of every fleet process that touched the job plus the
+    synthetic queue-wait span, from the running service (``--url``) or
+    straight off the job store's span spools (``--db``).
+``serve`` / ``submit`` / ``status`` / ``stats`` / ``top`` / ``cancel``
     The persistent experiment job service (:mod:`repro.serve`): ``serve``
     runs the SQLite-backed scheduler + HTTP API in the foreground until
     SIGINT/SIGTERM (then drains gracefully); the other verbs are thin
     clients — submit a request (deduplicated by content hash, ``--wait``
     blocks until done), inspect job states, watch live telemetry
-    (``repro stats --watch``), cancel queued jobs.
+    (``repro stats --watch``, ``repro top``), cancel queued jobs.
 
 Every run prints the same tables the library returns, so a CLI invocation is
 a reproducible, copy-pasteable experiment description.
@@ -348,8 +354,18 @@ def cmd_fig9(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
+    from repro.bench import check_regression, run_bench
 
+    baseline = None
+    if args.check:
+        # Read the baseline *before* the run: with the default --out the run
+        # overwrites BENCH_repro.json, and the committed numbers must be in
+        # hand first.
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     result = run_bench(
         smoke=args.smoke,
         out=args.out,
@@ -358,6 +374,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     print(result.format())
     print(f"wrote {args.out}")
+    if baseline is None:
+        return 0
+    violations, checked = check_regression(
+        result.to_payload(), baseline, tolerance=args.tolerance
+    )
+    print(f"\nregression check vs {args.baseline} (tolerance {args.tolerance:.0%}):")
+    for note in checked:
+        print(f"  {note}")
+    if violations:
+        for violation in violations:
+            print(f"REGRESSION: {violation}", file=sys.stderr)
+        return 1
+    print("no regression: all checks within tolerance")
     return 0
 
 
@@ -421,10 +450,69 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.payload.get("ok", True) else 1
 
 
+def _trace_job(args: argparse.Namespace) -> int:
+    """``repro trace --job``: export a job's merged distributed trace.
+
+    Two sources for the same document: with ``--db`` the job row and span
+    spools are read straight off disk (works with the service down — crash
+    forensics); otherwise the running service's ``GET /jobs/<id>/trace``
+    endpoint is asked (works from any machine that can reach it).
+    """
+    if args.db:
+        from repro.obs.sink import merge_trace, obs_dir_for, read_spans
+        from repro.serve.store import JobStore, UnknownJobError
+
+        with JobStore(args.db) as store:
+            try:
+                job = store.find(args.job)
+            except UnknownJobError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            spans = (
+                read_spans(obs_dir_for(store.path), trace_id=job.trace_id)
+                if job.trace_id
+                else []
+            )
+            document = merge_trace(spans, job=job.to_dict(include_result=False))
+    else:
+        from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
+
+        try:
+            document = ServeClient(args.url or DEFAULT_URL).trace(args.job)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    Path(args.out).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    meta = document.get("metadata") or {}
+    wait = meta.get("queue_wait_s")
+    print(
+        f"job {str(meta.get('job_id'))[:12]} trace {meta.get('trace_id')}: "
+        f"{meta.get('span_count', 0)} span(s) from "
+        f"{len(meta.get('pids') or [])} process(es) "
+        f"{meta.get('pids')}, queue wait "
+        f"{'n/a' if wait is None else f'{wait:.3f}s'}"
+    )
+    print(
+        f"wrote {args.out} "
+        "(load in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one experiment and dump its Chrome-trace (Perfetto-loadable)."""
     from repro.obs import TRACE
 
+    if args.job:
+        return _trace_job(args)
+    if not args.experiment:
+        print(
+            "error: an experiment name (or --job <id>) is required",
+            file=sys.stderr,
+        )
+        return 2
     request = request_from_args(args)
     options = RunOptions(
         max_workers=args.workers,
@@ -476,11 +564,19 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sub.add_parser("list", help="list registered experiments and workloads")
     listing.set_defaults(func=cmd_list)
 
-    def _add_request_arguments(parser: argparse.ArgumentParser) -> None:
+    def _add_request_arguments(
+        parser: argparse.ArgumentParser, experiment_required: bool = True
+    ) -> None:
         """The shared experiment-request flags of `run` and `trace`."""
-        parser.add_argument(
-            "experiment", help="registered experiment name (see `repro list`)"
-        )
+        if experiment_required:
+            parser.add_argument(
+                "experiment", help="registered experiment name (see `repro list`)"
+            )
+        else:
+            parser.add_argument(
+                "experiment", nargs="?", default=None,
+                help="registered experiment name (omit with --job)",
+            )
         parser.add_argument(
             "--workloads", default=None,
             help="comma-separated <model>/<dataset> pairs (default: the experiment's grid)",
@@ -530,12 +626,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="run an experiment and dump a Chrome-trace of its pipeline stages",
+        help="run an experiment (or export a service job's merged distributed "
+             "trace with --job) as a Chrome-trace JSON",
     )
-    _add_request_arguments(trace)
+    _add_request_arguments(trace, experiment_required=False)
     trace.add_argument(
         "--out", default="trace.json", metavar="FILE",
         help="Chrome-trace output file (default: %(default)s)",
+    )
+    trace.add_argument(
+        "--job", default=None, metavar="ID",
+        help="export the merged fleet trace of this service job id (or "
+             "unique prefix) instead of running an experiment",
+    )
+    trace.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service URL for --job (default: the local service)",
+    )
+    trace.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="with --job: read the job store + span spools straight off "
+             "disk instead of asking a running service",
     )
     trace.set_defaults(func=cmd_trace)
 
@@ -622,6 +733,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-cache", action="store_true",
         help="measure densities fresh instead of using the disk cache",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="after the run, compare against --baseline and exit 1 on a "
+             "speedup or stage-p95 regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--baseline", default="BENCH_repro.json", metavar="FILE",
+        help="committed baseline for --check (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRACTION",
+        help="--check relative tolerance band (default: %(default)s = 20%%)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -8,6 +8,13 @@ The dependency-free observability layer every other subsystem records into:
 * :mod:`repro.obs.trace` — :func:`trace_span`, a context manager recording
   structured spans (start/duration/parent/attrs) into a bounded in-memory
   ring with JSONL and Chrome-trace (Perfetto) exporters.
+* :mod:`repro.obs.context` — the ambient trace context (``trace_id`` /
+  ``job_id`` / ``worker_id``) that stamps every span so spans from many
+  processes can be correlated into one distributed trace.
+* :mod:`repro.obs.sink` — the per-DB span store and metrics time-series:
+  each fleet process spools its spans and periodic metrics snapshots to
+  bounded JSONL files beside ``serve.db``; readers merge them into one
+  Chrome/Perfetto trace per job and one ``/metrics/history`` series.
 
 Instrumented seams: pipeline stage execution (:mod:`repro.api.stages`), the
 worker-pool :class:`~repro.api.Runner`, the persistent result/density caches,
@@ -23,6 +30,14 @@ gate bounds it at <= 2% on the simulate stage).
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    TraceContext,
+    bind_trace,
+    current_trace,
+    new_trace_id,
+    set_trace_defaults,
+    trace_context,
+)
 from repro.obs.metrics import (
     BUCKETS_PER_DECADE,
     Counter,
@@ -40,6 +55,7 @@ from repro.obs.trace import (
     TRACE,
     TraceBuffer,
     current_span_id,
+    spans_to_chrome_trace,
     trace_span,
 )
 
@@ -56,7 +72,14 @@ __all__ = [
     "Span",
     "TRACE",
     "TraceBuffer",
+    "TraceContext",
+    "bind_trace",
     "current_span_id",
+    "current_trace",
     "metrics",
+    "new_trace_id",
+    "set_trace_defaults",
+    "spans_to_chrome_trace",
+    "trace_context",
     "trace_span",
 ]

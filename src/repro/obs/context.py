@@ -1,0 +1,167 @@
+"""Ambient trace context: the correlation half of distributed tracing.
+
+A *trace* is one job's journey through the fleet — submitted over HTTP,
+queued in the store, claimed by a worker process, executed as a pipeline.
+Each process only ever sees its own slice of that journey, so spans must be
+stamped with enough identity to be merged later: ``trace_id`` (shared by
+every span of one job), ``job_id``, ``worker_id`` and ``pid``.
+
+The stamp travels as *ambient context*: a thread-local stack of overlay
+frames pushed by :func:`trace_context` around a unit of work.  Inner frames
+inherit any field they leave as ``None``, so the HTTP handler can establish
+``trace_id`` and the pipeline below it only needs to add nothing.  The
+:data:`~repro.obs.trace.TRACE` buffer reads :func:`current_trace` whenever a
+span closes and stamps the span — callers of ``trace_span`` never pass
+identity explicitly.
+
+Two deliberate properties:
+
+* **Thread-scoped, like the span stack.**  A worker thread executing a job
+  wraps the whole execution in one ``trace_context``; helper threads it
+  spawns (heartbeats) do their own non-traced work.  This mirrors the
+  parent-span stack in :mod:`repro.obs.trace` so the two always agree.
+* **Late binding.**  ``bind_trace`` rewrites the *innermost* frame, which
+  matters at submission: the HTTP front-end opens its span before the store
+  decides whether the submission dedup-attaches to an existing job (keeping
+  that job's original ``trace_id``).  After ``submit`` returns, the handler
+  binds the authoritative ids so the span — recorded when the frame exits —
+  carries them.
+
+Process-wide defaults (``set_trace_defaults``) cover identity that never
+changes within a process, such as a worker's ``worker_id``.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The fields an overlay frame may carry.  Order matters: it is the
+#: precedence-independent canonical listing used when merging frames.
+_FIELDS = ("trace_id", "job_id", "worker_id")
+
+_local = threading.local()
+_defaults: dict[str, str] = {}
+_defaults_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """An immutable snapshot of the ambient correlation fields."""
+
+    trace_id: str | None = None
+    job_id: str | None = None
+    worker_id: str | None = None
+
+    def to_dict(self) -> dict[str, str]:
+        """Only the bound fields, for log/span stamping."""
+        return {
+            field: value
+            for field in _FIELDS
+            if (value := getattr(self, field)) is not None
+        }
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id, assigned once at job submission."""
+    return uuid.uuid4().hex
+
+
+def _frames() -> list[dict[str, str]]:
+    stack = getattr(_local, "frames", None)
+    if stack is None:
+        stack = []
+        _local.frames = stack
+    return stack
+
+
+def set_trace_defaults(**fields: str | None) -> None:
+    """Set process-wide fallback fields (typically a worker's ``worker_id``).
+
+    Defaults sit *below* every :func:`trace_context` frame; a ``None`` value
+    clears the default.
+    """
+    with _defaults_lock:
+        for field, value in fields.items():
+            if field not in _FIELDS:
+                raise ValueError(f"unknown trace field {field!r}")
+            if value is None:
+                _defaults.pop(field, None)
+            else:
+                _defaults[field] = str(value)
+
+
+def current_trace() -> TraceContext:
+    """The merged ambient context: defaults overlaid by every open frame."""
+    merged: dict[str, str] = dict(_defaults)
+    for frame in _frames():
+        merged.update(frame)
+    return TraceContext(**{field: merged.get(field) for field in _FIELDS})
+
+
+@contextmanager
+def trace_context(
+    trace_id: str | None = None,
+    job_id: str | None = None,
+    worker_id: str | None = None,
+) -> Iterator[TraceContext]:
+    """Push an overlay frame; ``None`` fields inherit from the outer scope.
+
+    Yields the merged :class:`TraceContext` in effect inside the frame
+    (before any :func:`bind_trace` rewrites).
+    """
+    frame = {
+        field: str(value)
+        for field, value in (
+            ("trace_id", trace_id),
+            ("job_id", job_id),
+            ("worker_id", worker_id),
+        )
+        if value is not None
+    }
+    stack = _frames()
+    stack.append(frame)
+    try:
+        yield current_trace()
+    finally:
+        # Pop by identity: a frame leaked by a generator being closed out of
+        # order must not pop someone else's.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is frame:
+                del stack[index]
+                break
+
+
+def bind_trace(**fields: str | None) -> None:
+    """Rewrite fields of the *innermost* open frame (late binding).
+
+    With no open frame the fields fall through to the process defaults —
+    callers that want late binding should already be inside a
+    :func:`trace_context`.
+    """
+    for field in fields:
+        if field not in _FIELDS:
+            raise ValueError(f"unknown trace field {field!r}")
+    stack = _frames()
+    if not stack:
+        set_trace_defaults(**fields)
+        return
+    frame = stack[-1]
+    for field, value in fields.items():
+        if value is None:
+            frame.pop(field, None)
+        else:
+            frame[field] = str(value)
+
+
+__all__ = [
+    "TraceContext",
+    "bind_trace",
+    "current_trace",
+    "new_trace_id",
+    "set_trace_defaults",
+    "trace_context",
+]

@@ -1,0 +1,442 @@
+"""The per-DB span store and metrics time-series — durable fleet telemetry.
+
+One job service = one SQLite store = one *obs directory* right beside it
+(``serve.db`` → ``serve.db.obs/``).  Every process of the fleet — the HTTP
+front-end, in-process scheduler workers, and each ``repro worker``
+subprocess — runs a :class:`ProcessTelemetry` agent that
+
+* installs a :class:`SpanSpool` as a sink on the process-global
+  :data:`~repro.obs.trace.TRACE` ring, appending each completed span (already
+  stamped with ``trace_id``/``job_id``/``worker_id``/``pid``) as one JSON
+  line to its own ``spans-<host>-<pid>.jsonl`` file, and
+* periodically snapshots the process's
+  :class:`~repro.obs.metrics.MetricsRegistry` into a bounded
+  ``metrics-<host>-<pid>.jsonl`` ring.
+
+Per-process append-only files sidestep cross-process write contention
+entirely (no locks shared with the job store's SQLite transactions) and make
+crash forensics trivial: a SIGKILL'd worker's spool survives it, so the
+merged trace still shows what the dead process did.
+
+Bounding is three-layered: each spool rotates at ``max_bytes`` keeping one
+predecessor generation, each metrics ring compacts down to ``capacity``
+entries, and :func:`prune_obs_dir` caps the file count per kind so a
+long-lived service's churn of worker pids cannot grow the directory without
+bound.
+
+Readers (:func:`read_spans`, :func:`read_metrics_history`) scan every
+generation of every process's file, skipping torn or corrupt lines — a
+process may die mid-write, and telemetry must degrade, not raise.
+:func:`merge_trace` assembles one Chrome/Perfetto document from the spans of
+every process that touched a job, plus a synthetic ``queue.wait`` span
+derived from the job row (``started_at - max(created_at, not_before)`` —
+by construction the same quantity the store observes into the
+``serve.queue_wait_seconds`` histogram at claim time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry, metrics
+from repro.obs.trace import TRACE, Span, TraceBuffer, spans_to_chrome_trace
+
+# Per-process spool rotation threshold and per-kind directory file cap.
+DEFAULT_SPOOL_MAX_BYTES = 4 * 1024 * 1024
+DEFAULT_DIR_MAX_FILES = 32
+# Metrics ring: entries retained per process and the default snapshot cadence.
+DEFAULT_HISTORY_CAPACITY = 360
+DEFAULT_SNAPSHOT_INTERVAL = 2.0
+
+_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _safe_host() -> str:
+    return _SAFE.sub("_", socket.gethostname() or "host") or "host"
+
+
+def obs_dir_for(db_path: str | Path) -> Path:
+    """The obs directory paired with a job-store database path."""
+    return Path(str(db_path) + ".obs")
+
+
+def prune_obs_dir(
+    directory: str | Path,
+    prefix: str,
+    max_files: int = DEFAULT_DIR_MAX_FILES,
+) -> list[Path]:
+    """Delete the oldest ``<prefix>-*`` files beyond ``max_files``.
+
+    Ordered by mtime so the spools of long-dead processes go first; returns
+    the paths removed.  Missing files (a concurrent pruner) are skipped.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    candidates = sorted(
+        (path for path in directory.glob(f"{prefix}-*") if path.is_file()),
+        key=lambda path: (path.stat().st_mtime, path.name),
+    )
+    removed: list[Path] = []
+    excess = len(candidates) - max_files
+    for path in candidates[:max(0, excess)]:
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:
+            continue
+    return removed
+
+
+class SpanSpool:
+    """Append-only JSONL span sink for one process, with size rotation.
+
+    ``record`` is the :meth:`TraceBuffer.add_sink` callback: one
+    ``json.dumps`` + buffered write + flush per span, serialized under a
+    lock.  At ``max_bytes`` the file rotates to ``<name>.jsonl.1``
+    (overwriting the previous generation), so one process retains at most
+    two generations ≈ ``2 * max_bytes``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        worker_id: str | None = None,
+        max_bytes: int = DEFAULT_SPOOL_MAX_BYTES,
+        max_files: int = DEFAULT_DIR_MAX_FILES,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker_id = worker_id
+        self.max_bytes = max_bytes
+        self.path = self.directory / f"spans-{_safe_host()}-{os.getpid()}.jsonl"
+        self._lock = threading.Lock()
+        self._handle: Any = None
+        self._size = 0
+        prune_obs_dir(self.directory, "spans", max_files)
+
+    def record(self, span: Span | dict[str, Any]) -> None:
+        payload = span.to_dict() if isinstance(span, Span) else dict(span)
+        if self.worker_id and not payload.get("worker_id"):
+            payload["worker_id"] = self.worker_id
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self._open()
+            if self._size + len(line) > self.max_bytes and self._size > 0:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += len(line)
+
+    def _open(self) -> None:
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def _iter_jsonl(path: Path) -> Iterable[dict[str, Any]]:
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn write from a killed process
+                if isinstance(entry, dict):
+                    yield entry
+    except OSError:
+        return
+
+
+def read_spans(
+    directory: str | Path,
+    trace_id: str | None = None,
+    job_id: str | None = None,
+    limit: int = 100_000,
+) -> list[dict[str, Any]]:
+    """All spooled spans (every process, every generation), start-ordered.
+
+    Filters by ``trace_id``/``job_id`` when given; tolerates missing
+    directories and corrupt lines.
+    """
+    directory = Path(directory)
+    spans: list[dict[str, Any]] = []
+    if not directory.is_dir():
+        return spans
+    for path in sorted(directory.glob("spans-*.jsonl*")):
+        for entry in _iter_jsonl(path):
+            if trace_id is not None and entry.get("trace_id") != trace_id:
+                continue
+            if job_id is not None and entry.get("job_id") != job_id:
+                continue
+            spans.append(entry)
+            if len(spans) >= limit:
+                break
+        if len(spans) >= limit:
+            break
+    spans.sort(key=lambda span: (span.get("start") or 0.0, span.get("span_id") or 0))
+    return spans
+
+
+def merge_trace(
+    spans: list[dict[str, Any]], job: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """One Chrome/Perfetto document from the spans of every process.
+
+    When the job row is given, a synthetic ``queue.wait`` span is prepended
+    on its own pid-0 "job queue" track: duration
+    ``started_at - max(created_at, not_before)``, the exact quantity the
+    store observed into ``serve.queue_wait_seconds`` when the job was
+    claimed.
+    """
+    document = spans_to_chrome_trace(spans)
+    events = document["traceEvents"]
+    queue_wait: float | None = None
+    trace_id = next(
+        (span.get("trace_id") for span in spans if span.get("trace_id")), None
+    )
+    if job is not None:
+        trace_id = trace_id or job.get("trace_id")
+        started = job.get("started_at")
+        created = job.get("created_at")
+        if started is not None and created is not None:
+            became_due = max(created, job.get("not_before") or created)
+            queue_wait = max(0.0, started - became_due)
+            events.insert(
+                0,
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"name": "job queue"},
+                },
+            )
+            events.append(
+                {
+                    "name": "queue.wait",
+                    "ph": "X",
+                    "ts": became_due * 1e6,
+                    "dur": queue_wait * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        "synthetic": True,
+                        "job_id": job.get("id"),
+                        "trace_id": trace_id,
+                        "state": job.get("state"),
+                    },
+                }
+            )
+    pids = sorted(
+        {event["pid"] for event in events if event.get("ph") == "X" and event["pid"]}
+    )
+    document["metadata"] = {
+        "trace_id": trace_id,
+        "job_id": job.get("id") if job else None,
+        "span_count": len(spans),
+        "pids": pids,
+        "queue_wait_s": queue_wait,
+    }
+    return document
+
+
+class SnapshotRing:
+    """A bounded per-process JSONL ring of metrics snapshots.
+
+    Appends one ``{ts, pid, host, worker_id, metrics}`` line per snapshot;
+    when the file holds twice ``capacity`` lines it is compacted (rewritten
+    from the in-memory deque via a temp file + atomic replace), so the file
+    is bounded at roughly ``2 * capacity`` entries at all times.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        worker_id: str | None = None,
+        capacity: int = DEFAULT_HISTORY_CAPACITY,
+        max_files: int = DEFAULT_DIR_MAX_FILES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker_id = worker_id
+        self.capacity = capacity
+        self.path = self.directory / f"metrics-{_safe_host()}-{os.getpid()}.jsonl"
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._written = 0
+        prune_obs_dir(self.directory, "metrics", max_files)
+
+    def snapshot(
+        self, registry: MetricsRegistry | None = None, now: float | None = None
+    ) -> dict[str, Any]:
+        registry = registry if registry is not None else metrics()
+        entry = {
+            "ts": time.time() if now is None else now,
+            "pid": os.getpid(),
+            "host": _safe_host(),
+            "worker_id": self.worker_id,
+            "metrics": registry.snapshot(),
+        }
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._entries.append(entry)
+            self._written += 1
+            if self._written >= 2 * self.capacity:
+                self._compact()
+            else:
+                with self.path.open("a", encoding="utf-8") as handle:
+                    handle.write(line)
+        return entry
+
+    def _compact(self) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        os.replace(tmp, self.path)
+        self._written = len(self._entries)
+
+    def entries(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._entries)
+
+
+def read_metrics_history(
+    directory: str | Path,
+    limit: int = DEFAULT_HISTORY_CAPACITY,
+    since: float | None = None,
+) -> list[dict[str, Any]]:
+    """Merged snapshots across every process, timestamp-ascending.
+
+    ``limit`` keeps the newest entries after merging; ``since`` drops
+    entries at or before that epoch timestamp first.
+    """
+    directory = Path(directory)
+    entries: list[dict[str, Any]] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("metrics-*.jsonl")):
+        for entry in _iter_jsonl(path):
+            if since is not None and (entry.get("ts") or 0.0) <= since:
+                continue
+            entries.append(entry)
+    entries.sort(key=lambda entry: entry.get("ts") or 0.0)
+    if limit is not None and len(entries) > limit:
+        entries = entries[-limit:]
+    return entries
+
+
+class ProcessTelemetry:
+    """Per-process telemetry agent: span spool + periodic metrics snapshots.
+
+    ``start`` installs the spool as a :data:`TRACE` sink and launches a
+    daemon thread snapshotting the registry every ``snapshot_interval``
+    seconds; ``stop`` removes the sink, takes one final snapshot, and closes
+    the spool.  Idempotent in both directions, cheap enough to run in every
+    fleet process permanently.
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        worker_id: str | None = None,
+        snapshot_interval: float = DEFAULT_SNAPSHOT_INTERVAL,
+        history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+        spool_max_bytes: int = DEFAULT_SPOOL_MAX_BYTES,
+        buffer: TraceBuffer | None = None,
+    ) -> None:
+        self.directory = obs_dir_for(db_path)
+        self.snapshot_interval = snapshot_interval
+        self.spool = SpanSpool(
+            self.directory, worker_id=worker_id, max_bytes=spool_max_bytes
+        )
+        self.ring = SnapshotRing(
+            self.directory, worker_id=worker_id, capacity=history_capacity
+        )
+        self._buffer = buffer if buffer is not None else TRACE
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    def start(self) -> "ProcessTelemetry":
+        if self._started:
+            return self
+        self._started = True
+        self._stop.clear()
+        self._buffer.add_sink(self.spool.record)
+        if self.snapshot_interval > 0:
+            self._thread = threading.Thread(
+                target=self._snapshot_loop, name="obs-telemetry", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _snapshot_loop(self) -> None:
+        while not self._stop.wait(self.snapshot_interval):
+            try:
+                self.ring.snapshot()
+            except Exception:
+                metrics().counter("obs.snapshot_errors").inc()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._buffer.remove_sink(self.spool.record)
+        try:
+            self.ring.snapshot()
+        except Exception:
+            metrics().counter("obs.snapshot_errors").inc()
+        self.spool.close()
+
+    def __enter__(self) -> "ProcessTelemetry":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = [
+    "DEFAULT_DIR_MAX_FILES",
+    "DEFAULT_HISTORY_CAPACITY",
+    "DEFAULT_SNAPSHOT_INTERVAL",
+    "DEFAULT_SPOOL_MAX_BYTES",
+    "ProcessTelemetry",
+    "SnapshotRing",
+    "SpanSpool",
+    "merge_trace",
+    "obs_dir_for",
+    "prune_obs_dir",
+    "read_metrics_history",
+    "read_spans",
+]

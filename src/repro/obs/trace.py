@@ -8,18 +8,25 @@ calls in one thread parent naturally, while spans recorded concurrently from
 other threads (scheduler workers, the HTTP handler pool) stay independent
 roots instead of inheriting a random parent.
 
+Every recorded span is additionally stamped with the ambient
+:mod:`~repro.obs.context` fields (``trace_id``, ``job_id``, ``worker_id``)
+and the recording ``pid`` — the identity that lets spans spooled by many
+processes be merged back into one distributed trace
+(:func:`repro.obs.sink.merge_trace`).
+
 The ring is bounded (default 4096 spans) and recording is append-to-deque
 cheap, so tracing stays on permanently; nothing touches the filesystem until
-an exporter is invoked:
+an exporter is invoked or a *sink* is installed:
 
 * :meth:`TraceBuffer.write_jsonl` — one span dict per line, greppable;
 * :meth:`TraceBuffer.write_chrome_trace` — the Chrome trace-event JSON that
   ``chrome://tracing`` and https://ui.perfetto.dev load directly (complete
-  ``"ph": "X"`` events, microsecond timestamps).
-
-Spans recorded inside worker *processes* (the :class:`~repro.api.Runner`
-pool) live in that process's ring and are not shipped back; the parent
-process's spans cover the fan-out call itself.
+  ``"ph": "X"`` events, microsecond timestamps);
+* :meth:`TraceBuffer.add_sink` — a callback invoked per recorded span; the
+  job service installs a :class:`~repro.obs.sink.SpanSpool` here so each
+  process ships its spans to the per-DB span store as they close.  Sink
+  failures are counted (``obs.sink_errors``) and swallowed: telemetry must
+  never break the traced program.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
+
+from repro.obs.context import current_trace
 
 # Default ring capacity: generously above one pipeline run's span count
 # (tens), small enough that an always-on ring is invisible in memory.
@@ -62,6 +71,12 @@ class Span:
     duration: float       # seconds (monotonic clock)
     thread: str
     attrs: dict[str, Any] = field(default_factory=dict)
+    # Distributed identity, stamped from the ambient trace context at record
+    # time.  Defaults keep direct Span(...) construction working.
+    trace_id: str | None = None
+    job_id: str | None = None
+    worker_id: str | None = None
+    pid: int = field(default_factory=os.getpid)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -72,6 +87,10 @@ class Span:
             "duration": self.duration,
             "thread": self.thread,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "job_id": self.job_id,
+            "worker_id": self.worker_id,
+            "pid": self.pid,
         }
 
 
@@ -85,11 +104,33 @@ class TraceBuffer:
         self._lock = threading.Lock()
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._recorded = 0
+        self._sinks: list[Callable[[Span], None]] = []
 
     def record(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
             self._recorded += 1
+            sinks = tuple(self._sinks)
+        for sink in sinks:
+            try:
+                sink(span)
+            except Exception:
+                # A failing sink (disk full, torn-down spool) must not break
+                # the traced program; count it and move on.
+                from repro.obs.metrics import metrics
+
+                metrics().counter("obs.sink_errors").inc()
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Install a per-span callback (e.g. a spool's ``record``)."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
 
     def spans(self) -> list[Span]:
         """The retained spans, oldest first."""
@@ -124,42 +165,14 @@ class TraceBuffer:
     def to_chrome_trace(self) -> dict[str, Any]:
         """The Chrome trace-event document for the retained spans.
 
-        Complete events (``"ph": "X"``) with microsecond timestamps; thread
-        names are emitted as metadata events so Perfetto's track labels read
-        as thread names, not bare ids.
+        Complete events (``"ph": "X"``) with microsecond timestamps.  Events
+        are grouped by each span's recording ``pid`` (spans replayed from
+        other processes keep their own track), and process/thread names are
+        emitted as metadata events so Perfetto's track labels read as names,
+        not bare ids.
         """
         spans = self.spans()
-        pid = os.getpid()
-        thread_ids: dict[str, int] = {}
-        events: list[dict[str, Any]] = []
-        for span in spans:
-            tid = thread_ids.setdefault(span.thread, len(thread_ids) + 1)
-            args = {"span_id": span.span_id}
-            if span.parent_id is not None:
-                args["parent_id"] = span.parent_id
-            args.update(span.attrs)
-            events.append(
-                {
-                    "name": span.name,
-                    "ph": "X",
-                    "ts": span.start * 1e6,
-                    "dur": span.duration * 1e6,
-                    "pid": pid,
-                    "tid": tid,
-                    "args": args,
-                }
-            )
-        metadata = [
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": tid,
-                "args": {"name": thread},
-            }
-            for thread, tid in thread_ids.items()
-        ]
-        return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+        return spans_to_chrome_trace(span.to_dict() for span in spans)
 
     def write_chrome_trace(self, path: str | Path) -> int:
         """Write :meth:`to_chrome_trace` JSON; returns the span count."""
@@ -170,6 +183,67 @@ class TraceBuffer:
         return len(
             [e for e in document["traceEvents"] if e["ph"] == "X"]
         )
+
+
+def spans_to_chrome_trace(spans: Any) -> dict[str, Any]:
+    """Convert span dicts (from any process) into one Chrome trace document.
+
+    Tracks are keyed per ``(pid, thread)`` so merged multi-process traces
+    render one process group per fleet member; each process's metadata row
+    is named after its ``worker_id`` when known.
+    """
+    events: list[dict[str, Any]] = []
+    thread_ids: dict[tuple[int, str], int] = {}
+    process_names: dict[int, str] = {}
+    for span in spans:
+        if not isinstance(span, dict):
+            span = span.to_dict()
+        pid = int(span.get("pid") or os.getpid())
+        thread = str(span.get("thread") or "?")
+        tid = thread_ids.setdefault((pid, thread), len(thread_ids) + 1)
+        worker_id = span.get("worker_id")
+        if worker_id and pid not in process_names:
+            process_names[pid] = str(worker_id)
+        args = {"span_id": span.get("span_id")}
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        for key in ("trace_id", "job_id", "worker_id"):
+            if span.get(key):
+                args[key] = span[key]
+        args.update(span.get("attrs") or {})
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "ph": "X",
+                "ts": float(span.get("start", 0.0)) * 1e6,
+                "dur": float(span.get("duration", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: list[dict[str, Any]] = []
+    for pid in sorted({key[0] for key in thread_ids}):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_names.get(pid, f"pid {pid}")},
+            }
+        )
+    for (pid, thread), tid in thread_ids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
 # The process-global ring every trace_span records into.
@@ -183,7 +257,9 @@ def trace_span(name: str, buffer: TraceBuffer | None = None, **attrs: Any) -> It
     Yields the span's mutable ``attrs`` dict so the block can attach results
     discovered mid-flight (``span["instructions"] = n``).  Nesting within a
     thread parents automatically; exceptions propagate after the span is
-    recorded with an ``error`` attribute.
+    recorded with an ``error`` attribute.  The ambient trace context is read
+    when the span *closes*, so ids bound late (``bind_trace``) still stamp
+    the enclosing span.
     """
     target = buffer if buffer is not None else TRACE
     span_id = next(_ids)
@@ -200,6 +276,7 @@ def trace_span(name: str, buffer: TraceBuffer | None = None, **attrs: Any) -> It
     finally:
         duration = time.perf_counter() - start
         stack.pop()
+        ctx = current_trace()
         target.record(
             Span(
                 span_id=span_id,
@@ -209,6 +286,9 @@ def trace_span(name: str, buffer: TraceBuffer | None = None, **attrs: Any) -> It
                 duration=duration,
                 thread=threading.current_thread().name,
                 attrs=dict(attrs),
+                trace_id=ctx.trace_id,
+                job_id=ctx.job_id,
+                worker_id=ctx.worker_id,
             )
         )
 
@@ -225,5 +305,6 @@ __all__ = [
     "TRACE",
     "TraceBuffer",
     "current_span_id",
+    "spans_to_chrome_trace",
     "trace_span",
 ]

@@ -1,4 +1,4 @@
-"""CLI verbs of the experiment job service: serve, worker, submit, status, stats, cancel.
+"""CLI verbs of the experiment job service: serve, worker, submit, status, stats, top, cancel.
 
 Registered into the main ``python -m repro`` parser by
 :func:`register_serve_commands`; the client-side verbs talk to a running
@@ -34,11 +34,22 @@ DEFAULT_DB = ".repro-cache/serve.db"
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the persistent job service until SIGINT/SIGTERM, then drain."""
+    import os
+
     from repro.api.request import RunOptions
+    from repro.obs import set_trace_defaults
+    from repro.obs.sink import ProcessTelemetry
     from repro.serve.http_api import ExperimentServer
     from repro.serve.scheduler import Scheduler
     from repro.serve.store import JobStore
     from repro.serve.supervisor import WorkerSupervisor
+    from repro.utils.logging import service_log
+
+    # Every span and JSON log line this process emits carries the front-end
+    # identity; the telemetry agent spools spans + metrics beside the DB.
+    frontend_id = f"serve:{os.getpid()}"
+    set_trace_defaults(worker_id=frontend_id)
+    telemetry = ProcessTelemetry(args.db, worker_id=frontend_id).start()
 
     store = JobStore(args.db)
     options = RunOptions(
@@ -70,6 +81,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     except OSError as exc:
         store.close()
+        telemetry.stop()
+        set_trace_defaults(worker_id=None)
         print(
             f"error: cannot bind {args.host}:{args.port} ({exc}); "
             "is another repro serve already running?",
@@ -110,20 +123,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.fleet
         else f"concurrency={args.concurrency}"
     )
-    print(
+    service_log(
         f"repro serve: listening on {server.url} "
         f"(db={args.db}, {execution}, "
         f"workers={args.workers or 'serial'})"
     )
     if recovered:
-        print(f"recovered {recovered} interrupted job(s) back into the queue")
-    sys.stdout.flush()
+        service_log(
+            f"recovered {recovered} interrupted job(s) back into the queue",
+            recovered=recovered,
+        )
     try:
         while not stop.is_set():
             stop.wait(0.2)
     finally:
-        print("repro serve: draining (running jobs finish, queue persists)")
-        sys.stdout.flush()
+        service_log("repro serve: draining (running jobs finish, queue persists)")
         server.shutdown()
         server.server_close()
         drained = True
@@ -137,7 +151,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             store.close()
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-        print(
+        telemetry.stop()
+        # Drop the process-wide identity: in-process callers (tests, library
+        # embedding) must not keep stamping spans as this service.
+        set_trace_defaults(worker_id=None)
+        service_log(
             "repro serve: drained cleanly"
             if drained
             else "repro serve: drain timed out with jobs still running"
@@ -152,8 +170,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_worker(args: argparse.Namespace) -> int:
     """Run one lease-based worker process against a shared job store."""
     from repro.api.request import RunOptions
-    from repro.serve.store import JobStore
+    from repro.obs import set_trace_defaults
+    from repro.obs.sink import ProcessTelemetry
+    from repro.serve.store import JobStore, default_worker_id
     from repro.serve.worker import Worker
+    from repro.utils.logging import service_log
+
+    worker_id = args.worker_id or default_worker_id()
+    # Process-wide identity: spans recorded outside a job's trace context
+    # (and JSON log lines) still carry this worker's id; the telemetry agent
+    # spools every span into the per-DB obs directory.
+    set_trace_defaults(worker_id=worker_id)
+    telemetry = ProcessTelemetry(args.db, worker_id=worker_id).start()
 
     store = JobStore(args.db)
     options = RunOptions(
@@ -164,13 +192,13 @@ def cmd_worker(args: argparse.Namespace) -> int:
     worker = Worker(
         store,
         options=options,
-        worker_id=args.worker_id,
+        worker_id=worker_id,
         lease_ttl=args.lease_ttl,
         heartbeat_interval=args.heartbeat_interval,
         poll_interval=args.poll_interval,
         retry_base_delay=args.retry_delay,
         quarantine_after=args.requeue_cap,
-        log=lambda message: print(message, flush=True),
+        log=service_log,
     )
 
     stop = threading.Event()
@@ -188,6 +216,8 @@ def cmd_worker(args: argparse.Namespace) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
         store.close()
+        telemetry.stop()
+        set_trace_defaults(worker_id=None)
     return 0
 
 
@@ -311,8 +341,20 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 2
 
 
-def _format_stats(stats: dict[str, Any]) -> str:
-    """Human-readable rendering of the ``/stats`` snapshot."""
+def _format_stats(
+    stats: dict[str, Any],
+    previous: dict[str, Any] | None = None,
+    interval: float | None = None,
+) -> str:
+    """Human-readable rendering of the ``/stats`` snapshot.
+
+    With a ``previous`` snapshot and the ``interval`` that separates the
+    two, a ``rate:`` line shows per-second deltas of the job counters — so
+    ``repro stats --watch`` reports what happened *this interval*, not just
+    the monotonic totals.
+    """
+    from repro.serve.top import format_rates, job_rates
+
     lines = [
         f"service v{stats.get('version', '?')} up {stats.get('uptime_s', 0):.0f}s"
     ]
@@ -325,6 +367,9 @@ def _format_stats(stats: dict[str, Any]) -> str:
         "jobs:  "
         + " ".join(f"{name}={value}" for name, value in jobs.items())
     )
+    rates = job_rates(stats, previous, interval)
+    if rates:
+        lines.append("rate:  " + format_rates(rates))
     scheduler = stats.get("scheduler") or {}
     last = scheduler.get("last_dequeue_at")
     lines.append(
@@ -368,17 +413,62 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeError
 
     client = ServeClient(args.url)
+    previous: dict[str, Any] | None = None
     try:
         while True:
             stats = client.stats()
             if args.json:
                 print(json.dumps(stats, indent=2))
             else:
-                print(_format_stats(stats))
+                print(_format_stats(stats, previous, args.interval))
             if not args.watch:
                 return 0
+            previous = stats
             _time.sleep(args.interval)
             print()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# repro top
+# ---------------------------------------------------------------------------
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard: queue, rates, workers, stage latencies."""
+    import time as _time
+
+    from repro.serve.client import ServeClient, ServeError, ServeUnavailableError
+    from repro.serve.top import ANSI_CLEAR, render_top
+
+    client = ServeClient(args.url)
+    previous: dict[str, Any] | None = None
+    try:
+        while True:
+            try:
+                stats = client.stats()
+                health = client.health()
+            except ServeUnavailableError as exc:
+                if args.once:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                # The service blinking (restart, respawn) must not kill the
+                # dashboard; show the outage and keep polling.
+                print(f"{ANSI_CLEAR}repro top — {exc}", flush=True)
+                _time.sleep(args.interval)
+                continue
+            frame = render_top(
+                stats, health, previous, interval=args.interval
+            )
+            if args.once:
+                print(frame)
+                return 0
+            print(f"{ANSI_CLEAR}{frame}", flush=True)
+            previous = stats
+            _time.sleep(args.interval)
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -647,6 +737,20 @@ def register_serve_commands(
     stats.add_argument("--url", default=DEFAULT_URL, help="service URL")
     stats.set_defaults(func=cmd_stats)
 
+    top = sub.add_parser(
+        "top", help="live fleet dashboard (queue, rates, workers, latencies)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default: %(default)s)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (no screen clearing; scriptable)",
+    )
+    top.add_argument("--url", default=DEFAULT_URL, help="service URL")
+    top.set_defaults(func=cmd_top)
+
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     cancel.add_argument("job", help="job id (or unique prefix)")
     cancel.add_argument("--url", default=DEFAULT_URL, help="service URL")
@@ -697,6 +801,7 @@ __all__ = [
     "cmd_stats",
     "cmd_status",
     "cmd_submit",
+    "cmd_top",
     "cmd_worker",
     "register_serve_commands",
 ]

@@ -27,6 +27,7 @@ from typing import Any, Mapping
 
 from repro.api.request import ExperimentRequest
 from repro.faults import InjectedFault, fault_point
+from repro.obs import new_trace_id
 from repro.serve.http_api import DEFAULT_HOST, DEFAULT_PORT
 from repro.serve.store import INACTIVE_STATES
 
@@ -156,6 +157,7 @@ class ServeClient:
         max_retries: int = 0,
         deadline_s: float | None = None,
         admission_retries: int = 5,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Submit a request; returns ``{"job": ..., "deduped": bool}``.
 
@@ -165,6 +167,12 @@ class ServeClient:
         refused clients); the final refusal propagates as
         :class:`ServeBusyError`.  Set ``admission_retries=0`` to surface the
         first refusal immediately.
+
+        A ``trace_id`` is generated client-side when not given — the trace
+        is born at the submitter, so even client logs written before the
+        response can correlate with the job's distributed trace.  (The
+        authoritative id is the one on the returned job: a dedup attach
+        keeps the existing job's trace.)
         """
         payload = (
             request.to_dict()
@@ -175,6 +183,7 @@ class ServeClient:
             "request": payload,
             "priority": priority,
             "max_retries": max_retries,
+            "trace_id": trace_id or new_trace_id(),
         }
         if deadline_s is not None:
             body["deadline_s"] = deadline_s
@@ -203,6 +212,19 @@ class ServeClient:
         if experiment:
             query.append(f"experiment={experiment}")
         return self._call("GET", "/jobs?" + "&".join(query))["jobs"]
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """The job's merged Chrome/Perfetto trace (``GET /jobs/<id>/trace``)."""
+        return self._call("GET", f"/jobs/{job_id}/trace")
+
+    def metrics_history(
+        self, limit: int = 120, since: float | None = None
+    ) -> dict[str, Any]:
+        """The persisted metrics time-series (``GET /metrics/history``)."""
+        query = f"limit={limit}"
+        if since is not None:
+            query += f"&since={since}"
+        return self._call("GET", f"/metrics/history?{query}")
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         """Cancel a queued job; returns ``{"job": ..., "cancelled": bool}``."""

@@ -27,6 +27,17 @@ Routes
     at 60).  Responds ``{"job": ..., "state": ..., "events": [...], "next":
     N}`` — the events are the scheduler's started/stage/done/failed feed (the
     pipeline's ``on_stage`` hook, streamed instead of polled).
+``GET /jobs/<id>/trace``
+    The job's merged distributed trace as a Chrome/Perfetto trace-event
+    document: every span any fleet process spooled under the job's
+    ``trace_id`` (front-end submission, worker claim/execute, pipeline
+    stages), plus a synthetic ``queue.wait`` span from the job row.  The
+    ``metadata`` key carries the trace id, contributing pids and queue wait.
+``GET /metrics/history``
+    The persisted metrics time-series: periodic registry snapshots from
+    every fleet process, merged timestamp-ascending.  ``?limit=N`` keeps the
+    newest N entries (default 120), ``?since=T`` drops entries at or before
+    epoch ``T``.
 ``GET /stats``
     Telemetry snapshot: uptime, queue depth by state, per-stage p50/p95
     latency, cache hit rates, job/scheduler counters (dedup attaches,
@@ -56,7 +67,8 @@ import repro
 from repro.api.registry import UnknownNameError, get_experiment
 from repro.api.request import ExperimentRequest
 from repro.faults import InjectedFault, fault_point
-from repro.obs import metrics
+from repro.obs import bind_trace, metrics, new_trace_id, trace_context, trace_span
+from repro.obs.sink import merge_trace, obs_dir_for, read_metrics_history, read_spans
 from repro.serve.scheduler import Scheduler
 from repro.serve.store import (
     AmbiguousJobError,
@@ -180,6 +192,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"job": job.to_dict()})
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
                 self._send_json(self._events(parts[1], parse_qs(parsed.query)))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                self._send_json(self._trace(parts[1]))
+            elif parts == ["metrics", "history"]:
+                self._send_json(self._metrics_history(parse_qs(parsed.query)))
             else:
                 self._send_error(f"no route for GET {parsed.path}", 404)
         except UnknownJobError as exc:
@@ -216,15 +232,30 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ValueError(
                         f"deadline_s must be > 0, got {deadline_s}"
                     )
+            trace_id = body.get("trace_id")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise ValueError("trace_id must be a string")
+            trace_id = trace_id or new_trace_id()
             if self._admission_refused(request):
                 return
-            job, deduped = self.server.scheduler.submit(
-                request,
-                priority=int(body.get("priority", 0)),
-                max_retries=int(body.get("max_retries", 0)),
-                source=body.get("source") or self.client_address[0],
-                deadline_s=deadline_s,
-            )
+            # The submission span is the trace's front-end root.  The ids
+            # are re-bound after the store decides: a dedup attach keeps the
+            # existing job's trace_id, and the span must carry the id the
+            # job actually ended up with.
+            with trace_context(trace_id=trace_id):
+                with trace_span(
+                    "http.submit", experiment=request.experiment
+                ) as span:
+                    job, deduped = self.server.scheduler.submit(
+                        request,
+                        priority=int(body.get("priority", 0)),
+                        max_retries=int(body.get("max_retries", 0)),
+                        source=body.get("source") or self.client_address[0],
+                        deadline_s=deadline_s,
+                        trace_id=trace_id,
+                    )
+                    bind_trace(trace_id=job.trace_id, job_id=job.id)
+                    span["deduped"] = deduped
         except (
             json.JSONDecodeError,
             KeyError,
@@ -432,6 +463,32 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _trace(self, job_ref: str) -> dict[str, Any]:
+        """GET /jobs/<id>/trace — the merged cross-process Chrome trace."""
+        job = self.server.store.find(job_ref)
+        directory = obs_dir_for(self.server.store.path)
+        spans = (
+            read_spans(directory, trace_id=job.trace_id)
+            if job.trace_id
+            else []
+        )
+        return merge_trace(spans, job=job.to_dict(include_result=False))
+
+    def _metrics_history(self, query: dict[str, list[str]]) -> dict[str, Any]:
+        """GET /metrics/history — merged per-process snapshot series."""
+        limit = int(query.get("limit", ["120"])[0])
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        since_raw = query.get("since", [None])[0]
+        since = float(since_raw) if since_raw is not None else None
+        entries = read_metrics_history(
+            obs_dir_for(self.server.store.path), limit=limit, since=since
+        )
+        return {
+            "history": entries,
+            "processes": sorted({entry.get("pid") for entry in entries if entry.get("pid")}),
+        }
 
     def _events(self, job_ref: str, query: dict[str, list[str]]) -> dict[str, Any]:
         """Long-poll one job's progress events past ``since``."""

@@ -46,7 +46,7 @@ from typing import Any, Callable
 from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
 from repro.api.stages import DeadlineExceeded
 from repro.faults import fault_point
-from repro.obs import metrics
+from repro.obs import metrics, trace_context, trace_span
 from repro.serve.store import (
     DEFAULT_LEASE_TTL,
     DEFAULT_REQUEUE_CAP,
@@ -447,6 +447,7 @@ class Scheduler:
         max_retries: int | None = None,
         source: str | None = None,
         deadline_s: float | None = None,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Submit through the store's dedup seam and wake a worker."""
         job, deduped = self.store.submit(
@@ -455,6 +456,7 @@ class Scheduler:
             max_retries=0 if max_retries is None else max_retries,
             source=source,
             deadline_s=deadline_s,
+            trace_id=trace_id,
         )
         with self._wake:
             self._wake.notify_all()
@@ -583,15 +585,30 @@ class Scheduler:
             else job.started_at + job.deadline_s
         )
         try:
-            fault_point(
-                "worker.claim",
-                job=job.id,
-                experiment=job.experiment,
-                execution=job.executions,
-            )
-            result = call_execute(
-                self._execute, job.request(), self.options, on_stage, deadline
-            )
+            # The whole execution runs under the job's trace context, so
+            # every span below (pipeline, stages, the execute wrapper) is
+            # stamped with the ids a cross-process merge needs.
+            with trace_context(
+                trace_id=job.trace_id, job_id=job.id, worker_id=worker_id
+            ):
+                fault_point(
+                    "worker.claim",
+                    job=job.id,
+                    experiment=job.experiment,
+                    execution=job.executions,
+                )
+                with trace_span(
+                    "scheduler.execute",
+                    experiment=job.experiment,
+                    execution=job.executions,
+                ):
+                    result = call_execute(
+                        self._execute,
+                        job.request(),
+                        self.options,
+                        on_stage,
+                        deadline,
+                    )
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
             self._record_failure(job, exc, worker_id)
         except BaseException:

@@ -91,7 +91,7 @@ _BUSY_RETRIES = 5
 _BUSY_RETRY_BASE = 0.05  # seconds; doubles per attempt
 
 # Bump on incompatible schema changes; checked against PRAGMA user_version.
-_SCHEMA_VERSION = 3
+_SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -118,8 +118,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     requeue_count    INTEGER NOT NULL DEFAULT 0,  -- lease-expiry requeues
                                                   -- since last (re)submit
     deadline_s       REAL,                 -- per-job execution deadline
-    complete_count   INTEGER NOT NULL DEFAULT 0   -- applied mark_done count
+    complete_count   INTEGER NOT NULL DEFAULT 0,  -- applied mark_done count
                                                   -- (double-completion probe)
+    trace_id         TEXT                  -- distributed-trace correlation id
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before, priority);
 CREATE INDEX IF NOT EXISTS idx_jobs_lease ON jobs (state, lease_expires_at);
@@ -161,13 +162,18 @@ _MIGRATIONS: dict[int, tuple[str, ...]] = {
         "ALTER TABLE jobs ADD COLUMN deadline_s REAL",
         "ALTER TABLE jobs ADD COLUMN complete_count INTEGER NOT NULL DEFAULT 0",
     ),
+    # v3 -> v4: the distributed-trace correlation id, assigned at submission.
+    # Jobs that predate tracing keep NULL; their traces are queue-wait only.
+    3: (
+        "ALTER TABLE jobs ADD COLUMN trace_id TEXT",
+    ),
 }
 
 _JOB_COLUMNS = (
     "id, experiment, request, state, priority, created_at, started_at, "
     "finished_at, not_before, executions, max_retries, retry_base, error, "
     "result, timings, worker_id, lease_expires_at, heartbeat_at, "
-    "requeue_count, deadline_s, complete_count, "
+    "requeue_count, deadline_s, complete_count, trace_id, "
     "(SELECT COUNT(*) FROM submissions s WHERE s.job_id = jobs.id) AS submissions"
 )
 
@@ -215,6 +221,7 @@ class Job:
     requeue_count: int = 0
     deadline_s: float | None = None
     complete_count: int = 0
+    trace_id: str | None = None
 
     @property
     def short_id(self) -> str:
@@ -285,6 +292,7 @@ class Job:
             "requeue_count": self.requeue_count,
             "deadline_s": self.deadline_s,
             "complete_count": self.complete_count,
+            "trace_id": self.trace_id,
             "fidelity": self.fidelity,
             "request": json.loads(self.request_json),
         }
@@ -340,6 +348,7 @@ def _job_from_row(row: sqlite3.Row) -> Job:
         requeue_count=row["requeue_count"],
         deadline_s=row["deadline_s"],
         complete_count=row["complete_count"],
+        trace_id=row["trace_id"],
     )
 
 
@@ -487,6 +496,7 @@ class JobStore:
         source: str | None = None,
         now: float | None = None,
         deadline_s: float | None = None,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Submit a request; returns ``(job, deduped)``.
 
@@ -501,8 +511,17 @@ class JobStore:
 
         ``deadline_s`` is a per-job execution budget checked cooperatively
         at pipeline stage boundaries; exceeding it fails the job terminally.
+
+        ``trace_id`` is the distributed-trace correlation id assigned at
+        submission (generated here when the submitter did not propose one).
+        A job keeps the trace id of the submission that *created* it: a
+        deduped attach never rewrites an in-flight job's id (spans already
+        spooled under it would be orphaned), it only backfills pre-v4 NULLs.
         """
+        from repro.obs.context import new_trace_id
+
         now = time.time() if now is None else now
+        trace_id = trace_id or new_trace_id()
         job_id = request.content_hash
         with self._write("submit", job=job_id) as conn:
             row = conn.execute(
@@ -511,8 +530,8 @@ class JobStore:
             if row is None:
                 conn.execute(
                     "INSERT INTO jobs (id, experiment, request, state, priority,"
-                    " created_at, max_retries, deadline_s)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    " created_at, max_retries, deadline_s, trace_id)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         job_id,
                         request.experiment,
@@ -522,17 +541,23 @@ class JobStore:
                         now,
                         max_retries,
                         deadline_s,
+                        trace_id,
                     ),
                 )
                 deduped = False
             elif row["state"] in (QUEUED, RUNNING, DONE, QUARANTINED):
                 # Attach to the in-flight, completed, or quarantined job.  A
                 # queued job can still absorb a higher priority or a larger
-                # retry budget.
+                # retry budget.  The trace id only backfills rows migrated
+                # from pre-v4 schemas — an existing id is never rewritten.
                 conn.execute(
                     "UPDATE jobs SET priority=MAX(priority, ?),"
                     " max_retries=MAX(max_retries, ?) WHERE id=? AND state=?",
                     (priority, max_retries, job_id, QUEUED),
+                )
+                conn.execute(
+                    "UPDATE jobs SET trace_id=? WHERE id=? AND trace_id IS NULL",
+                    (trace_id, job_id),
                 )
                 deduped = True
             else:  # failed / cancelled: requeue the same job
@@ -540,13 +565,17 @@ class JobStore:
                 # ``max_retries`` budget applies to this incarnation only,
                 # not to the job's lifetime history.  ``requeue_count``
                 # resets too: the crash-loop bound is per incarnation.
+                # The trace id survives resubmission (COALESCE only fills
+                # pre-v4 NULLs): one job keeps one trace across incarnations,
+                # so a merged trace shows the failed attempts too.
                 conn.execute(
                     "UPDATE jobs SET state=?, priority=?, max_retries=?,"
                     " retry_base=executions, not_before=0, error=NULL,"
                     " started_at=NULL, finished_at=NULL, worker_id=NULL,"
                     " lease_expires_at=NULL, heartbeat_at=NULL,"
-                    " requeue_count=0, deadline_s=? WHERE id=?",
-                    (QUEUED, priority, max_retries, deadline_s, job_id),
+                    " requeue_count=0, deadline_s=?,"
+                    " trace_id=COALESCE(trace_id, ?) WHERE id=?",
+                    (QUEUED, priority, max_retries, deadline_s, trace_id, job_id),
                 )
                 deduped = False
             conn.execute(

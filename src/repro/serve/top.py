@@ -1,0 +1,150 @@
+"""Rendering for ``repro top`` — the live fleet dashboard.
+
+Pure functions from the service's ``/stats`` + ``/healthz`` snapshots to a
+terminal frame: :func:`render_top` draws queue depths, per-interval
+throughput rates (computed from the *previous* snapshot, so the numbers are
+live rates rather than monotonic totals), per-stage latency quantiles, the
+worker registry with heartbeat ages, fleet process states, and cache hit
+rates.  The CLI loop owns the terminal (clearing, sleeping, Ctrl-C); this
+module owns none of it, which keeps every frame unit-testable as a plain
+string.
+
+``job_rates`` is shared with ``repro stats --watch``: both surfaces derive
+"what is happening now" the same way — counter deltas divided by the
+interval that produced them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def job_rates(
+    stats: Mapping[str, Any],
+    previous: Mapping[str, Any] | None,
+    interval: float | None,
+) -> dict[str, float]:
+    """Per-second rates of the ``jobs`` counters between two snapshots.
+
+    Returns ``{}`` when there is no previous snapshot (first frame) or no
+    usable interval.  A counter that went *backwards* (service restart reset
+    the registry) clamps to 0.0 instead of reporting a negative rate.
+    """
+    if not previous or not interval or interval <= 0:
+        return {}
+    current_jobs = stats.get("jobs") or {}
+    previous_jobs = previous.get("jobs") or {}
+    rates: dict[str, float] = {}
+    for name, value in current_jobs.items():
+        if not isinstance(value, (int, float)):
+            continue
+        delta = value - previous_jobs.get(name, 0)
+        rates[name] = max(0.0, delta) / interval
+    return rates
+
+
+def format_rates(rates: Mapping[str, float]) -> str:
+    """One ``name=N.NN/s`` line, empty-string when there are no rates."""
+    if not rates:
+        return ""
+    return " ".join(f"{name}={rate:.2f}/s" for name, rate in rates.items())
+
+
+def _age(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def render_top(
+    stats: Mapping[str, Any],
+    health: Mapping[str, Any],
+    previous: Mapping[str, Any] | None = None,
+    interval: float | None = None,
+    now: float | None = None,
+) -> str:
+    """One dashboard frame from the two telemetry snapshots."""
+    now = time.time() if now is None else now
+    lines = [
+        f"repro top — service v{stats.get('version', '?')} "
+        f"up {stats.get('uptime_s', 0):.0f}s — "
+        f"{time.strftime('%H:%M:%S', time.localtime(now))}",
+        "",
+    ]
+
+    queue = stats.get("queue") or {}
+    lines.append(
+        "queue   " + " ".join(f"{state}={n}" for state, n in queue.items())
+    )
+    jobs = stats.get("jobs") or {}
+    lines.append(
+        "totals  " + " ".join(f"{name}={value}" for name, value in jobs.items())
+    )
+    rates = job_rates(stats, previous, interval)
+    lines.append(
+        "rates   " + (format_rates(rates) or "(collecting — one interval needed)")
+    )
+
+    scheduler = stats.get("scheduler") or {}
+    lines.append(
+        f"sched   workers_alive={scheduler.get('workers_alive', '?')} "
+        f"concurrency={scheduler.get('concurrency', '?')}"
+    )
+
+    workers = health.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'worker':<24} {'hb age':>7} {'done':>5} {'failed':>6}  current job"
+        )
+        for worker in workers:
+            current = worker.get("current_job") or "-"
+            lines.append(
+                f"{str(worker.get('id', '?')):<24} "
+                f"{_age(worker.get('heartbeat_age_s')):>7} "
+                f"{worker.get('jobs_done', 0):>5} "
+                f"{worker.get('jobs_failed', 0):>6}  {current[:12]}"
+            )
+
+    fleet = health.get("fleet")
+    if fleet:
+        states = " ".join(
+            f"pid={proc.get('pid', '?')}:"
+            f"{'up' if proc.get('alive') else 'down'}"
+            + (f"({proc['restarts']} respawns)" if proc.get("restarts") else "")
+            for proc in fleet.get("processes") or []
+        )
+        lines.append("")
+        lines.append(
+            f"fleet   {fleet.get('alive', '?')}/{fleet.get('size', '?')} alive  {states}"
+        )
+
+    stages = stats.get("stages") or {}
+    if stages:
+        lines.append("")
+        lines.append(f"{'stage':<12} {'count':>6} {'p50':>10} {'p95':>10}")
+        for stage, info in stages.items():
+            p50, p95 = info.get("p50"), info.get("p95")
+            lines.append(
+                f"{stage:<12} {info.get('count', 0):>6} "
+                f"{'n/a' if p50 is None else f'{p50:.3f}s':>10} "
+                f"{'n/a' if p95 is None else f'{p95:.3f}s':>10}"
+            )
+
+    caches = stats.get("caches") or {}
+    for cache, info in caches.items():
+        rate = info.get("hit_rate")
+        lines.append(
+            f"cache   {cache}: hits={info.get('hits', 0)} "
+            f"misses={info.get('misses', 0)} "
+            f"hit_rate={'n/a' if rate is None else f'{rate:.0%}'}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["ANSI_CLEAR", "format_rates", "job_rates", "render_top"]

@@ -34,7 +34,7 @@ from typing import Callable
 from repro.api.request import ExperimentRequest, ExperimentResult, RunOptions
 from repro.api.stages import DeadlineExceeded
 from repro.faults import fault_point
-from repro.obs import metrics
+from repro.obs import metrics, trace_context, trace_span
 from repro.serve.scheduler import ExecuteFn, call_execute, plan_retry
 from repro.serve.store import (
     DEFAULT_LEASE_TTL,
@@ -184,6 +184,22 @@ class Worker:
 
     # ------------------------------------------------------------------
     def _run_job(self, job: Job, stop: threading.Event) -> None:
+        # The whole claim-to-outcome arc runs under the job's trace context,
+        # so every span (and JSON log line) this thread emits carries the
+        # cross-process correlation ids.
+        with trace_context(
+            trace_id=job.trace_id, job_id=job.id, worker_id=self.worker_id
+        ):
+            self._run_job_traced(job, stop)
+
+    def _run_job_traced(self, job: Job, stop: threading.Event) -> None:
+        # An instantaneous claim marker, recorded (and spooled) *before*
+        # execution starts: even a worker SIGKILL'd mid-job leaves proof in
+        # the span store that it touched this trace.
+        with trace_span(
+            "worker.claim", experiment=job.experiment, execution=job.executions
+        ):
+            pass
         self._log(
             f"worker {self.worker_id}: claimed job {job.short_id}"
             f" [{job.experiment}] execution={job.executions}"
@@ -225,9 +241,14 @@ class Worker:
                 experiment=job.experiment,
                 execution=job.executions,
             )
-            result = call_execute(
-                self._execute, job.request(), self.options, on_stage, deadline
-            )
+            with trace_span(
+                "worker.execute",
+                experiment=job.experiment,
+                execution=job.executions,
+            ):
+                result = call_execute(
+                    self._execute, job.request(), self.options, on_stage, deadline
+                )
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
             done.set()
             beater.join()

@@ -4,18 +4,69 @@ We avoid configuring the root logger so the library behaves well when
 embedded.  ``get_logger`` returns namespaced loggers; ``ProgressPrinter`` is a
 tiny helper for example scripts that want human-readable progress lines
 without pulling in a progress-bar dependency.
+
+``service_log`` is the fleet's operator-log seam: plain one-line messages by
+default, but with ``REPRO_LOG_FORMAT=json`` in the environment every line
+becomes one JSON object stamped with the ambient trace context
+(``worker_id`` / ``job_id`` / ``trace_id`` when available), so fleet logs
+are machine-correlatable with the distributed traces the span store holds.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import os
 import sys
 import time
+
+#: Environment variable selecting the log format ("json" or default text).
+LOG_FORMAT_ENV = "REPRO_LOG_FORMAT"
 
 
 def get_logger(name: str) -> logging.Logger:
     """Return a library-namespaced logger (``repro.<name>``)."""
     return logging.getLogger(f"repro.{name}")
+
+
+def json_logs_enabled() -> bool:
+    """Whether ``REPRO_LOG_FORMAT=json`` selected structured log output."""
+    return os.environ.get(LOG_FORMAT_ENV, "").strip().lower() == "json"
+
+
+def log_record(message: str, level: str = "info", **fields) -> dict:
+    """One structured log record stamped with the ambient trace context.
+
+    Context fields are only present when bound (no ``null`` noise), and
+    explicit ``fields`` win over ambient ones.
+    """
+    from repro.obs.context import current_trace
+
+    record: dict = {
+        "ts": round(time.time(), 6),
+        "level": level,
+        "message": message,
+    }
+    record.update(current_trace().to_dict())
+    record.update({key: value for key, value in fields.items() if value is not None})
+    return record
+
+
+def service_log(message: str, *, level: str = "info", stream=None, **fields) -> None:
+    """Emit one operator-facing log line (text, or JSON when selected).
+
+    The seam every ``repro serve`` / ``repro worker`` message goes through:
+    default output is the bare ``message`` (unchanged human behaviour);
+    under ``REPRO_LOG_FORMAT=json`` it is one compact JSON object per line
+    carrying ``ts``/``level``/``message`` plus the trace context and any
+    extra ``fields``.
+    """
+    stream = sys.stdout if stream is None else stream
+    if not json_logs_enabled():
+        print(message, file=stream, flush=True)
+        return
+    record = log_record(message, level=level, **fields)
+    print(json.dumps(record, separators=(",", ":")), file=stream, flush=True)
 
 
 class ProgressPrinter:

@@ -1,0 +1,144 @@
+"""Ambient trace context: nesting, inheritance, late binding, thread scope."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    bind_trace,
+    current_trace,
+    new_trace_id,
+    set_trace_defaults,
+    trace_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_defaults():
+    """Process-wide defaults must not bleed between tests (either way)."""
+    set_trace_defaults(trace_id=None, job_id=None, worker_id=None)
+    yield
+    set_trace_defaults(trace_id=None, job_id=None, worker_id=None)
+
+
+class TestTraceIds:
+    def test_new_trace_id_is_32_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)  # raises if not hex
+
+    def test_new_trace_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestContextStack:
+    def test_empty_context_has_no_fields(self):
+        ctx = current_trace()
+        assert ctx.trace_id is None
+        assert ctx.job_id is None
+        assert ctx.worker_id is None
+        assert ctx.to_dict() == {}
+
+    def test_context_binds_and_unbinds(self):
+        with trace_context(trace_id="t1", job_id="j1"):
+            assert current_trace().trace_id == "t1"
+            assert current_trace().job_id == "j1"
+        assert current_trace().trace_id is None
+
+    def test_nested_context_inherits_unset_fields(self):
+        with trace_context(trace_id="t1", worker_id="w1"):
+            with trace_context(job_id="j1"):
+                ctx = current_trace()
+                assert ctx.trace_id == "t1"  # inherited
+                assert ctx.job_id == "j1"  # own
+                assert ctx.worker_id == "w1"  # inherited
+            assert current_trace().job_id is None
+
+    def test_inner_context_shadows_outer(self):
+        with trace_context(trace_id="outer"):
+            with trace_context(trace_id="inner"):
+                assert current_trace().trace_id == "inner"
+            assert current_trace().trace_id == "outer"
+
+    def test_to_dict_only_holds_bound_fields(self):
+        with trace_context(trace_id="t1"):
+            assert current_trace().to_dict() == {"trace_id": "t1"}
+
+    def test_exception_still_pops_the_frame(self):
+        try:
+            with trace_context(trace_id="doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace().trace_id is None
+
+
+class TestBindTrace:
+    def test_bind_rewrites_the_innermost_frame(self):
+        """The dedup-attach case: the authoritative id arrives mid-span."""
+        with trace_context(trace_id="proposed"):
+            bind_trace(trace_id="authoritative", job_id="j1")
+            ctx = current_trace()
+            assert ctx.trace_id == "authoritative"
+            assert ctx.job_id == "j1"
+        assert current_trace().trace_id is None
+
+    def test_bind_does_not_leak_into_outer_frames(self):
+        with trace_context(trace_id="outer"):
+            with trace_context():
+                bind_trace(trace_id="inner-only")
+            assert current_trace().trace_id == "outer"
+
+
+class TestDefaults:
+    def test_defaults_apply_process_wide(self):
+        set_trace_defaults(worker_id="w-proc")
+        try:
+            assert current_trace().worker_id == "w-proc"
+            with trace_context(trace_id="t1"):
+                ctx = current_trace()
+                assert ctx.worker_id == "w-proc"
+                assert ctx.trace_id == "t1"
+        finally:
+            set_trace_defaults(worker_id=None)
+        assert current_trace().worker_id is None
+
+    def test_frames_shadow_defaults(self):
+        set_trace_defaults(worker_id="w-proc")
+        try:
+            with trace_context(worker_id="w-frame"):
+                assert current_trace().worker_id == "w-frame"
+        finally:
+            set_trace_defaults(worker_id=None)
+
+
+class TestThreadIsolation:
+    def test_frames_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = current_trace().trace_id
+            with trace_context(trace_id="thread-own"):
+                seen["own"] = current_trace().trace_id
+
+        with trace_context(trace_id="main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["in_thread"] is None  # main's frame did not leak
+        assert seen["own"] == "thread-own"
+
+    def test_defaults_are_visible_across_threads(self):
+        set_trace_defaults(worker_id="w-shared")
+        seen = {}
+        try:
+            thread = threading.Thread(
+                target=lambda: seen.update(wid=current_trace().worker_id)
+            )
+            thread.start()
+            thread.join()
+        finally:
+            set_trace_defaults(worker_id=None)
+        assert seen["wid"] == "w-shared"

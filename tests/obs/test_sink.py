@@ -1,0 +1,240 @@
+"""The span store: spools, rotation, merge, metrics rings, telemetry agent."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.context import trace_context
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import (
+    ProcessTelemetry,
+    SnapshotRing,
+    SpanSpool,
+    merge_trace,
+    obs_dir_for,
+    prune_obs_dir,
+    read_metrics_history,
+    read_spans,
+)
+from repro.obs.trace import TraceBuffer, trace_span
+
+
+class TestObsDir:
+    def test_obs_dir_sits_beside_the_database(self, tmp_path):
+        assert obs_dir_for(tmp_path / "serve.db") == tmp_path / "serve.db.obs"
+
+
+class TestSpanSpool:
+    def test_spans_spool_as_stamped_jsonl(self, tmp_path):
+        buffer = TraceBuffer()
+        spool = SpanSpool(tmp_path, worker_id="w1")
+        buffer.add_sink(spool.record)
+        with trace_context(trace_id="t-abc", job_id="j-1"):
+            with trace_span("work", buffer=buffer, stage="train"):
+                pass
+        spool.close()
+        (line,) = spool.path.read_text().splitlines()
+        entry = json.loads(line)
+        assert entry["name"] == "work"
+        assert entry["trace_id"] == "t-abc"
+        assert entry["job_id"] == "j-1"
+        assert entry["worker_id"] == "w1"
+        assert entry["pid"] == os.getpid()
+
+    def test_spool_backfills_worker_id_only_when_missing(self, tmp_path):
+        spool = SpanSpool(tmp_path, worker_id="spool-id")
+        spool.record({"name": "a", "span_id": 1, "start": 1.0, "duration": 0.0})
+        spool.record(
+            {"name": "b", "span_id": 2, "start": 2.0, "duration": 0.0,
+             "worker_id": "span-own"}
+        )
+        spool.close()
+        entries = [json.loads(line) for line in spool.path.read_text().splitlines()]
+        assert entries[0]["worker_id"] == "spool-id"
+        assert entries[1]["worker_id"] == "span-own"
+
+    def test_rotation_bounds_the_spool(self, tmp_path):
+        spool = SpanSpool(tmp_path, max_bytes=512)
+        for i in range(200):
+            spool.record({"name": f"s{i}", "span_id": i, "start": float(i)})
+        spool.close()
+        rotated = spool.path.with_name(spool.path.name + ".1")
+        assert rotated.exists()
+        # Two generations, each bounded by max_bytes (plus one line slack).
+        assert spool.path.stat().st_size <= 512 + 128
+        assert rotated.stat().st_size <= 512 + 128
+        # Readers still see both generations, newest data included.
+        names = {span["name"] for span in read_spans(tmp_path)}
+        assert "s199" in names
+
+    def test_read_spans_skips_torn_lines(self, tmp_path):
+        spool = SpanSpool(tmp_path)
+        spool.record({"name": "good", "span_id": 1, "start": 1.0})
+        spool.close()
+        with spool.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn", "span')  # killed mid-write
+        spans = read_spans(tmp_path)
+        assert [span["name"] for span in spans] == ["good"]
+
+    def test_read_spans_filters_by_trace_id(self, tmp_path):
+        spool = SpanSpool(tmp_path)
+        spool.record({"name": "mine", "span_id": 1, "start": 1.0, "trace_id": "t1"})
+        spool.record({"name": "other", "span_id": 2, "start": 2.0, "trace_id": "t2"})
+        spool.close()
+        assert [s["name"] for s in read_spans(tmp_path, trace_id="t1")] == ["mine"]
+
+    def test_read_spans_orders_across_files_by_start(self, tmp_path):
+        late = SpanSpool(tmp_path)
+        late.path = tmp_path / "spans-host-111.jsonl"
+        late.record({"name": "late", "span_id": 9, "start": 9.0})
+        late.close()
+        early = SpanSpool(tmp_path)
+        early.path = tmp_path / "spans-host-222.jsonl"
+        early.record({"name": "early", "span_id": 1, "start": 1.0})
+        early.close()
+        assert [s["name"] for s in read_spans(tmp_path)] == ["early", "late"]
+
+
+class TestPrune:
+    def test_prune_deletes_oldest_beyond_cap(self, tmp_path):
+        for i in range(6):
+            path = tmp_path / f"spans-host-{i}.jsonl"
+            path.write_text("{}\n")
+            os.utime(path, (i, i))  # mtime order == index order
+        removed = prune_obs_dir(tmp_path, "spans", max_files=4)
+        assert [path.name for path in removed] == [
+            "spans-host-0.jsonl", "spans-host-1.jsonl"
+        ]
+        assert len(list(tmp_path.glob("spans-*"))) == 4
+
+    def test_prune_missing_directory_is_noop(self, tmp_path):
+        assert prune_obs_dir(tmp_path / "absent", "spans") == []
+
+
+class TestMergeTrace:
+    def _spans(self):
+        return [
+            {"name": "http.submit", "span_id": 1, "start": 10.0, "duration": 0.01,
+             "thread": "http", "pid": 100, "trace_id": "t1", "worker_id": "serve:100"},
+            {"name": "worker.execute", "span_id": 2, "start": 11.0, "duration": 1.0,
+             "thread": "MainThread", "pid": 200, "trace_id": "t1",
+             "worker_id": "host:200"},
+        ]
+
+    def test_merge_produces_one_multi_process_document(self):
+        document = merge_trace(self._spans())
+        meta = document["metadata"]
+        assert meta["trace_id"] == "t1"
+        assert meta["span_count"] == 2
+        assert meta["pids"] == [100, 200]
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert names == {"serve:100", "host:200"}
+
+    def test_queue_wait_span_matches_the_store_observation(self):
+        """The synthetic span must equal started - max(created, not_before)."""
+        job = {
+            "id": "j1", "trace_id": "t1", "state": "done",
+            "created_at": 9.0, "not_before": 10.5, "started_at": 11.0,
+        }
+        document = merge_trace(self._spans(), job=job)
+        wait = next(
+            e for e in document["traceEvents"] if e["name"] == "queue.wait"
+        )
+        assert wait["pid"] == 0
+        assert wait["ts"] == pytest.approx(10.5e6)
+        assert wait["dur"] == pytest.approx(0.5e6)  # 11.0 - max(9.0, 10.5)
+        assert document["metadata"]["queue_wait_s"] == pytest.approx(0.5)
+
+    def test_unstarted_job_has_no_queue_wait(self):
+        job = {"id": "j1", "trace_id": "t1", "created_at": 9.0, "started_at": None}
+        document = merge_trace([], job=job)
+        assert document["metadata"]["queue_wait_s"] is None
+        assert document["metadata"]["span_count"] == 0
+
+
+class TestSnapshotRing:
+    def test_snapshot_appends_entries(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        ring = SnapshotRing(tmp_path, worker_id="w1", capacity=10)
+        ring.snapshot(registry, now=100.0)
+        ring.snapshot(registry, now=101.0)
+        history = read_metrics_history(tmp_path)
+        assert [entry["ts"] for entry in history] == [100.0, 101.0]
+        assert history[0]["worker_id"] == "w1"
+        assert history[0]["metrics"]["x"][0]["value"] == 3
+
+    def test_file_is_bounded_by_compaction(self, tmp_path):
+        registry = MetricsRegistry()
+        ring = SnapshotRing(tmp_path, capacity=5)
+        for i in range(40):
+            ring.snapshot(registry, now=float(i))
+        lines = ring.path.read_text().splitlines()
+        assert len(lines) <= 2 * 5  # file never exceeds 2x capacity
+        history = read_metrics_history(tmp_path)
+        assert history[-1]["ts"] == 39.0  # newest entries survive
+
+    def test_history_since_and_limit(self, tmp_path):
+        registry = MetricsRegistry()
+        ring = SnapshotRing(tmp_path, capacity=50)
+        for i in range(10):
+            ring.snapshot(registry, now=float(i))
+        assert [e["ts"] for e in read_metrics_history(tmp_path, since=6.0)] == [
+            7.0, 8.0, 9.0
+        ]
+        assert [e["ts"] for e in read_metrics_history(tmp_path, limit=2)] == [
+            8.0, 9.0
+        ]
+
+    def test_capacity_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="capacity"):
+            SnapshotRing(tmp_path, capacity=0)
+
+
+class TestProcessTelemetry:
+    def test_spans_recorded_while_started_are_spooled(self, tmp_path):
+        db = tmp_path / "serve.db"
+        buffer = TraceBuffer()
+        telemetry = ProcessTelemetry(
+            db, worker_id="w1", snapshot_interval=0, buffer=buffer
+        )
+        with telemetry:
+            with trace_context(trace_id="t-live"):
+                with trace_span("inside", buffer=buffer):
+                    pass
+        # After stop the sink is removed: new spans do not spool.
+        with trace_span("after", buffer=buffer):
+            pass
+        names = [span["name"] for span in read_spans(obs_dir_for(db))]
+        assert names == ["inside"]
+        # stop() always takes one final metrics snapshot.
+        assert read_metrics_history(obs_dir_for(db))
+
+    def test_start_and_stop_are_idempotent(self, tmp_path):
+        telemetry = ProcessTelemetry(
+            tmp_path / "serve.db", snapshot_interval=0, buffer=TraceBuffer()
+        )
+        telemetry.start()
+        telemetry.start()
+        telemetry.stop()
+        telemetry.stop()
+
+    def test_snapshot_thread_writes_history(self, tmp_path):
+        import time
+
+        db = tmp_path / "serve.db"
+        telemetry = ProcessTelemetry(
+            db, snapshot_interval=0.02, buffer=TraceBuffer()
+        )
+        with telemetry:
+            deadline = time.time() + 5.0
+            while not read_metrics_history(obs_dir_for(db)):
+                assert time.time() < deadline, "no snapshot within 5s"
+                time.sleep(0.02)

@@ -158,7 +158,10 @@ class TestExporters:
         complete = [e for e in events if e["ph"] == "X"]
         metadata = [e for e in events if e["ph"] == "M"]
         assert {e["name"] for e in complete} == {"pipeline.fig8", "stage.train"}
-        assert metadata and metadata[0]["name"] == "thread_name"
+        # One process_name row per contributing pid, then thread_name rows.
+        assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+        threads = [e for e in metadata if e["name"] == "thread_name"]
+        assert threads and all(e["args"]["name"] for e in threads)
         for event in complete:
             assert event["dur"] >= 0.0
             assert event["ts"] > 0.0  # microseconds since the epoch

@@ -221,7 +221,7 @@ class TestMigration:
         _build_v1_database(path)
         with JobStore(path) as store:
             version = store._conn.execute("PRAGMA user_version").fetchone()[0]
-            assert version == 3
+            assert version == 4
             job = store.get(_request().content_hash)
             assert job.state == RUNNING
             assert job.worker_id is None

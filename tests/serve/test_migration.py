@@ -1,4 +1,4 @@
-"""Schema migrations v1/v2 -> v3 and corrupt-database recovery."""
+"""Schema migrations v1/v2/v3 -> v4 and corrupt-database recovery."""
 
 from __future__ import annotations
 
@@ -40,56 +40,99 @@ def _build_v2_database(path) -> None:
     conn.close()
 
 
-class TestMigrationLadder:
-    """Every starting version lands on the same v3 shape, idempotently."""
+def _build_v3_database(path) -> None:
+    """A v2 database plus the quarantine/deadline columns — v3's shape."""
+    _build_v2_database(path)
+    conn = sqlite3.connect(str(path))
+    for ddl in (
+        "ALTER TABLE jobs ADD COLUMN requeue_count INTEGER NOT NULL DEFAULT 0",
+        "ALTER TABLE jobs ADD COLUMN deadline_s REAL",
+        "ALTER TABLE jobs ADD COLUMN complete_count INTEGER NOT NULL DEFAULT 0",
+    ):
+        conn.execute(ddl)
+    conn.execute("PRAGMA user_version=3")
+    conn.commit()
+    conn.close()
 
-    def test_fresh_database_is_created_at_v3(self, tmp_path):
+
+class TestMigrationLadder:
+    """Every starting version lands on the same v4 shape, idempotently."""
+
+    def test_fresh_database_is_created_at_v4(self, tmp_path):
         with JobStore(tmp_path / "fresh.db") as store:
-            assert _user_version(store) == 3
+            assert _user_version(store) == 4
             job, _ = store.submit(_request())
             assert job.requeue_count == 0
             assert job.deadline_s is None
             assert job.complete_count == 0
+            # v4: every fresh submission is born with a trace id.
+            assert job.trace_id is not None and len(job.trace_id) == 32
 
-    def test_v1_database_reaches_v3(self, tmp_path):
+    def test_v1_database_reaches_v4(self, tmp_path):
         path = tmp_path / "v1.db"
         _build_v1_database(path)
         with JobStore(path) as store:
-            assert _user_version(store) == 3
+            assert _user_version(store) == 4
             job = store.get(_request().content_hash)
             assert job.requeue_count == 0
             assert job.complete_count == 0
+            assert job.trace_id is None  # pre-tracing rows stay NULL
 
-    def test_v2_database_reaches_v3_and_keeps_lease_state(self, tmp_path):
+    def test_v2_database_reaches_v4_and_keeps_lease_state(self, tmp_path):
         path = tmp_path / "v2.db"
         _build_v2_database(path)
         with JobStore(path) as store:
-            assert _user_version(store) == 3
+            assert _user_version(store) == 4
             job = store.get(_request().content_hash)
             assert job.state == RUNNING
             assert job.worker_id == "w-old"  # v2 data survived
             assert job.requeue_count == 0  # v3 columns defaulted
+            assert job.trace_id is None  # v4 column defaulted
             # The expired v2 lease behaves under the new quarantine reaper.
             outcome = store.reap_expired(quarantine_after=5)
             assert outcome.requeued == [job.id]
             assert store.get(job.id).state == QUEUED
 
-    @pytest.mark.parametrize("builder", [_build_v1_database, _build_v2_database])
+    def test_v3_database_reaches_v4_and_backfills_on_submit(self, tmp_path):
+        path = tmp_path / "v3.db"
+        _build_v3_database(path)
+        with JobStore(path) as store:
+            assert _user_version(store) == 4
+            job = store.get(_request().content_hash)
+            assert job.trace_id is None  # migrated rows keep NULL...
+            # ...until a dedup attach backfills the hole.
+            job, deduped = store.submit(_request())
+            assert deduped is True
+            assert job.trace_id is not None
+
+    @pytest.mark.parametrize(
+        "builder", [_build_v1_database, _build_v2_database, _build_v3_database]
+    )
     def test_migration_is_idempotent_across_reopens(self, tmp_path, builder):
         path = tmp_path / "ladder.db"
         builder(path)
         for _ in range(3):
             with JobStore(path) as store:
-                assert _user_version(store) == 3
+                assert _user_version(store) == 4
                 store.get(_request().content_hash)
 
-    def test_v3_database_reopens_untouched(self, tmp_path):
-        path = tmp_path / "v3.db"
+    def test_v4_database_reopens_untouched(self, tmp_path):
+        path = tmp_path / "v4.db"
         with JobStore(path) as store:
-            store.submit(_request(), deadline_s=4.5)
+            job, _ = store.submit(_request(), deadline_s=4.5)
+            trace_id = job.trace_id
         with JobStore(path) as store:
-            assert _user_version(store) == 3
-            assert store.get(_request().content_hash).deadline_s == 4.5
+            assert _user_version(store) == 4
+            reopened = store.get(_request().content_hash)
+            assert reopened.deadline_s == 4.5
+            assert reopened.trace_id == trace_id
+
+    def test_dedup_attach_keeps_the_original_trace_id(self, tmp_path):
+        with JobStore(tmp_path / "dedup.db") as store:
+            first, _ = store.submit(_request(), trace_id="trace-original")
+            attached, deduped = store.submit(_request(), trace_id="trace-late")
+            assert deduped is True
+            assert attached.trace_id == "trace-original"
 
 
 class TestCorruptDatabase:

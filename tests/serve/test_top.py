@@ -1,0 +1,124 @@
+"""``repro top`` rendering, per-interval rates, and the stats --watch deltas."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.serve.cli import _format_stats, cmd_top
+from repro.serve.top import format_rates, job_rates, render_top
+
+from test_obs_endpoints import StageExecutor, _Service, _request
+
+
+def _stats(submitted=0, done=0, uptime=120.0):
+    return {
+        "version": "1.0",
+        "uptime_s": uptime,
+        "queue": {"queued": 1, "running": 2, "done": done},
+        "jobs": {"submitted": submitted, "claimed": done, "done": done},
+        "scheduler": {"workers_alive": 2, "concurrency": 2},
+        "stages": {"simulate": {"count": 4, "p50": 0.1, "p95": 0.2}},
+        "caches": {"stage": {"hits": 3, "misses": 1, "hit_rate": 0.75}},
+    }
+
+
+def _health():
+    return {
+        "workers": [
+            {"id": "host:100", "heartbeat_age_s": 1.2, "current_job": "abc123def",
+             "jobs_done": 5, "jobs_failed": 1},
+            {"id": "host:200", "heartbeat_age_s": 95.0, "current_job": None,
+             "jobs_done": 2, "jobs_failed": 0},
+        ],
+        "fleet": {
+            "size": 2, "alive": 2,
+            "processes": [{"pid": 100, "alive": True, "restarts": 0},
+                          {"pid": 200, "alive": True, "restarts": 1}],
+        },
+    }
+
+
+class TestJobRates:
+    def test_rates_are_deltas_over_the_interval(self):
+        rates = job_rates(_stats(submitted=10, done=6),
+                          _stats(submitted=4, done=2), interval=2.0)
+        assert rates["submitted"] == pytest.approx(3.0)
+        assert rates["done"] == pytest.approx(2.0)
+
+    def test_first_frame_has_no_rates(self):
+        assert job_rates(_stats(), None, 2.0) == {}
+        assert job_rates(_stats(), _stats(), None) == {}
+
+    def test_counter_reset_clamps_to_zero(self):
+        """A restarted service's counters going backwards is not a negative rate."""
+        rates = job_rates(_stats(submitted=1), _stats(submitted=50), interval=1.0)
+        assert rates["submitted"] == 0.0
+
+    def test_format_rates(self):
+        assert format_rates({}) == ""
+        assert format_rates({"done": 1.5}) == "done=1.50/s"
+
+
+class TestRenderTop:
+    def test_frame_shows_queue_workers_fleet_and_stages(self):
+        frame = render_top(_stats(done=3), _health(), now=1700000000.0)
+        assert "repro top" in frame
+        assert "queued=1" in frame and "running=2" in frame
+        assert "host:100" in frame and "abc123def"[:12] in frame
+        assert "2/2 alive" in frame
+        assert "pid=100:up" in frame
+        assert "pid=200:up(1 respawns)" in frame
+        assert "simulate" in frame and "0.200s" in frame
+        assert "hit_rate=75%" in frame
+
+    def test_first_frame_says_collecting(self):
+        frame = render_top(_stats(), _health())
+        assert "collecting" in frame
+
+    def test_second_frame_shows_rates(self):
+        frame = render_top(
+            _stats(submitted=8), _health(),
+            previous=_stats(submitted=4), interval=2.0,
+        )
+        assert "submitted=2.00/s" in frame
+        assert "collecting" not in frame
+
+    def test_minimal_snapshots_render_without_error(self):
+        frame = render_top({}, {})
+        assert "repro top" in frame
+
+
+class TestStatsWatchDeltas:
+    def test_format_stats_without_previous_has_no_rate_line(self):
+        assert "rate:" not in _format_stats(_stats())
+
+    def test_format_stats_with_previous_shows_rates(self):
+        text = _format_stats(_stats(submitted=10), _stats(submitted=5), 5.0)
+        assert "rate:" in text
+        assert "submitted=1.00/s" in text
+
+
+class TestCmdTopOnce:
+    def test_once_prints_one_frame_against_a_live_service(self, tmp_path, capsys):
+        service = _Service(tmp_path, execute=StageExecutor(), start=True)
+        try:
+            job = service.client.submit(_request())["job"]
+            service.client.wait(job["id"], timeout=30.0, poll=0.02)
+            args = argparse.Namespace(
+                url=service.server.url, interval=0.1, once=True
+            )
+            assert cmd_top(args) == 0
+        finally:
+            service.close()
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "done=1" in out
+
+    def test_once_with_no_service_exits_2(self, capsys):
+        args = argparse.Namespace(
+            url="http://127.0.0.1:1", interval=0.1, once=True
+        )
+        assert cmd_top(args) == 2
+        assert "error:" in capsys.readouterr().err

@@ -8,7 +8,13 @@ import pytest
 
 from pathlib import Path
 
-from repro.bench import SMOKE_SCALE, BenchResult, _write_atomic, run_bench
+from repro.bench import (
+    SMOKE_SCALE,
+    BenchResult,
+    _write_atomic,
+    check_regression,
+    run_bench,
+)
 from repro.cli import main
 from repro.explore.cache import ResultCache
 
@@ -102,6 +108,136 @@ class TestAtomicWrite:
             _write_atomic(out, {"bad": object()})
         assert json.loads(out.read_text()) == {"original": True}
         assert not list(tmp_path.glob("*.tmp"))
+
+
+def _payload(
+    speedup: float,
+    stages: dict[str, float] | None = None,
+    smoke: bool = False,
+) -> dict:
+    """A minimal bench payload with the given rowop speedup and stage p95s."""
+    stage_seconds = {
+        stage: {"count": 1, "p50": p95, "p95": p95}
+        for stage, p95 in (stages or {}).items()
+    }
+    return {
+        "schema": 1,
+        "smoke": smoke,
+        "rowop_speedup": speedup,
+        "metrics": {"stage_seconds": stage_seconds},
+    }
+
+
+class TestCheckRegression:
+    def test_within_tolerance_passes(self):
+        violations, checked = check_regression(
+            _payload(10.0, {"train": 1.0}),
+            _payload(11.0, {"train": 0.9}),
+        )
+        assert violations == []
+        assert any("rowop_speedup" in note for note in checked)
+        assert any("stage train" in note for note in checked)
+
+    def test_speedup_regression_detected(self):
+        violations, _ = check_regression(_payload(7.9), _payload(10.0))
+        assert len(violations) == 1
+        assert "rowop_speedup regressed" in violations[0]
+        # Exactly at the floor (10.0 * 0.8) is still a pass.
+        assert check_regression(_payload(8.0), _payload(10.0))[0] == []
+
+    def test_stage_p95_regression_detected(self):
+        violations, _ = check_regression(
+            _payload(10.0, {"train": 1.3}), _payload(10.0, {"train": 1.0})
+        )
+        assert len(violations) == 1
+        assert "stage train p95 regressed" in violations[0]
+
+    def test_noise_floor_stages_are_skipped(self):
+        """A 10x blowup of a 1ms stage is noise, not a regression."""
+        violations, checked = check_regression(
+            _payload(10.0, {"compile": 0.010}),
+            _payload(10.0, {"compile": 0.001}),
+        )
+        assert violations == []
+        assert any("noise floor" in note for note in checked)
+
+    def test_stage_missing_from_current_is_skipped(self):
+        violations, checked = check_regression(
+            _payload(10.0, {}), _payload(10.0, {"train": 1.0})
+        )
+        assert violations == []
+        assert any("p95 missing" in note for note in checked)
+
+    def test_scale_mismatch_raises(self):
+        with pytest.raises(ValueError, match="scale mismatch"):
+            check_regression(_payload(10.0, smoke=True), _payload(10.0))
+
+    def test_tolerance_is_configurable(self):
+        current, baseline = _payload(9.5), _payload(10.0)
+        assert check_regression(current, baseline, tolerance=0.1)[0] == []
+        assert check_regression(current, baseline, tolerance=0.01)[0] != []
+
+
+class TestBenchCheckCLI:
+    def test_missing_baseline_exits_2(self, tmp_path):
+        code = main(
+            [
+                "bench", "--smoke", "--check",
+                "--baseline", str(tmp_path / "absent.json"),
+                "--out", str(tmp_path / "bench.json"),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 2
+
+    def test_scale_mismatch_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "full.json"
+        baseline.write_text(json.dumps(_payload(10.0, smoke=False)))
+        code = main(
+            [
+                "bench", "--smoke", "--check", "--baseline", str(baseline),
+                "--out", str(tmp_path / "bench.json"),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 2
+        assert "scale mismatch" in capsys.readouterr().err
+
+    def test_regression_exits_1_and_clean_run_exits_0(self, tmp_path, capsys):
+        # A deliberately unbeatable baseline: the smoke run cannot reach a
+        # 1000x speedup, so the check must fail...
+        impossible = tmp_path / "impossible.json"
+        impossible.write_text(
+            json.dumps(_payload(1000.0, {"train": 100.0}, smoke=True))
+        )
+        out = tmp_path / "bench.json"
+        args = ["--out", str(out), "--cache-dir", str(tmp_path / "cache")]
+        code = main(["bench", "--smoke", "--check", "--baseline",
+                     str(impossible)] + args)
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        # ...while a generous baseline passes (exit 0) using the same run
+        # shape; the payload just written is a valid baseline format.
+        generous = tmp_path / "generous.json"
+        generous.write_text(
+            json.dumps(_payload(1.0, {"train": 1000.0}, smoke=True))
+        )
+        code = main(["bench", "--smoke", "--check", "--baseline",
+                     str(generous)] + args)
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_committed_baseline_is_checkable(self):
+        """The repo's BENCH_repro.json must parse and be full-scale."""
+        payload = json.loads(
+            (Path(__file__).resolve().parents[1] / "BENCH_repro.json").read_text()
+        )
+        assert payload["smoke"] is False
+        assert payload["rowop_speedup"] >= 10.0
+        assert payload["metrics"]["stage_seconds"]
+        # Self-comparison is the identity check: zero violations.
+        violations, _ = check_regression(payload, payload)
+        assert violations == []
 
 
 class TestBenchCLI:

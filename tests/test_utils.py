@@ -7,7 +7,14 @@ import logging
 import numpy as np
 import pytest
 
-from repro.utils.logging import ProgressPrinter, get_logger
+from repro.utils.logging import (
+    LOG_FORMAT_ENV,
+    ProgressPrinter,
+    get_logger,
+    json_logs_enabled,
+    log_record,
+    service_log,
+)
 from repro.utils.rng import derive_rng, new_rng, spawn_rngs, stable_hash_seed
 from repro.utils.validation import (
     check_non_negative_int,
@@ -133,3 +140,50 @@ class TestLogging:
         printer.update(3, "msg")
         err = capsys.readouterr().err
         assert "step 3" in err and "msg" in err
+
+
+class TestServiceLog:
+    def test_text_mode_prints_the_bare_message(self, capsys, monkeypatch):
+        monkeypatch.delenv(LOG_FORMAT_ENV, raising=False)
+        assert not json_logs_enabled()
+        service_log("worker started")
+        assert capsys.readouterr().out == "worker started\n"
+
+    def test_json_mode_emits_one_json_object_per_line(self, capsys, monkeypatch):
+        import json as _json
+
+        monkeypatch.setenv(LOG_FORMAT_ENV, "json")
+        assert json_logs_enabled()
+        service_log("claimed job", level="info", job="abc123")
+        line = capsys.readouterr().out.strip()
+        record = _json.loads(line)
+        assert record["message"] == "claimed job"
+        assert record["level"] == "info"
+        assert record["job"] == "abc123"
+        assert record["ts"] > 0
+
+    def test_json_lines_carry_the_ambient_trace_context(self, capsys, monkeypatch):
+        import json as _json
+
+        from repro.obs import trace_context
+
+        monkeypatch.setenv(LOG_FORMAT_ENV, "JSON")  # case-insensitive
+        with trace_context(trace_id="t-1", job_id="j-1", worker_id="w-1"):
+            service_log("executing")
+        record = _json.loads(capsys.readouterr().out)
+        assert record["trace_id"] == "t-1"
+        assert record["job_id"] == "j-1"
+        assert record["worker_id"] == "w-1"
+
+    def test_log_record_omits_unbound_fields(self, monkeypatch):
+        record = log_record("idle", extra=None, depth=3)
+        assert "trace_id" not in record  # no ambient context, no null noise
+        assert "extra" not in record  # explicit None fields dropped too
+        assert record["depth"] == 3
+
+    def test_explicit_fields_win_over_ambient(self, monkeypatch):
+        from repro.obs import trace_context
+
+        with trace_context(worker_id="ambient"):
+            record = log_record("msg", worker_id="explicit")
+        assert record["worker_id"] == "explicit"
